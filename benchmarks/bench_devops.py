@@ -1,0 +1,100 @@
+"""§6.3 — DevOps (data-center CPU monitoring) end-to-end performance.
+
+Paper: with the TSBS-style CPU workload (10 metrics, 100 hosts, 10 s data
+rate, one-minute chunks of 6 records) the plaintext setting reaches 60.6k
+records/s ingest and 40.4k ops/s queries, and TimeCrypt matches it with only
+a 0.75 % slowdown; queries ask for average CPU utilisation and the fraction
+of machines above 50 % utilisation over up to 16 h windows.
+
+The scaled-down run replays a few hosts' streams through TimeCrypt and the
+plaintext baseline and issues the same two query shapes (mean utilisation,
+histogram bin counts above the 50 % boundary).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ServerEngine, TimeCrypt
+from repro.core.plaintext import PlaintextTimeSeriesStore
+from repro.workloads.devops import DevOpsWorkload
+from repro.workloads.generator import LoadGenerator
+
+from conftest import scaled
+
+NUM_HOSTS = scaled(4)
+DURATION_SECONDS = scaled(3600)
+CHUNK_INTERVAL_MS = 60_000
+
+
+def _records():
+    workload = DevOpsWorkload(num_hosts=max(NUM_HOSTS, 1), seed=23)
+    return {f"host-{host}": list(workload.records(host, DURATION_SECONDS)) for host in range(NUM_HOSTS)}
+
+
+class _RenamingStore:
+    def __init__(self, store, mapping):
+        self._store = store
+        self._mapping = mapping
+
+    def insert_record(self, uuid, timestamp, value):
+        self._store.insert_record(self._mapping[uuid], timestamp, value)
+
+    def flush(self, uuid):
+        self._store.flush(self._mapping[uuid])
+
+    def get_stat_range(self, uuid, start, end, operators=("mean", "freq")):
+        return self._store.get_stat_range(self._mapping[uuid], start, end, operators=operators)
+
+
+def _build(store_cls):
+    config = DevOpsWorkload.stream_config(CHUNK_INTERVAL_MS)
+    if store_cls is TimeCrypt:
+        store = TimeCrypt(server=ServerEngine(), owner_id="ops")
+    else:
+        store = PlaintextTimeSeriesStore()
+    mapping = {f"host-{host}": store.create_stream(metric="cpu", config=config) for host in range(NUM_HOSTS)}
+    return store, mapping
+
+
+def _run(store, mapping, label):
+    generator = LoadGenerator(
+        store=_RenamingStore(store, mapping),
+        stream_records=_records(),
+        read_write_ratio=4,
+        chunk_interval=CHUNK_INTERVAL_MS,
+        query_operators=("mean", "freq"),
+    )
+    return generator.run(label=label)
+
+
+def test_devops_timecrypt(benchmark):
+    benchmark.group = "devops-e2e"
+    store, mapping = _build(TimeCrypt)
+    report = benchmark.pedantic(lambda: _run(store, mapping, "timecrypt"), rounds=1, iterations=1)
+    assert report.records_written == NUM_HOSTS * DURATION_SECONDS // 10
+
+
+def test_devops_plaintext(benchmark):
+    benchmark.group = "devops-e2e"
+    store, mapping = _build(PlaintextTimeSeriesStore)
+    report = benchmark.pedantic(lambda: _run(store, mapping, "plaintext"), rounds=1, iterations=1)
+    assert report.records_written == NUM_HOSTS * DURATION_SECONDS // 10
+
+
+def test_devops_query_semantics():
+    """The two paper queries: average utilisation and share of hosts above 50 %."""
+    store, mapping = _build(TimeCrypt)
+    _run(store, mapping, "warm-up")
+    end_time = DURATION_SECONDS * 1000
+    above_50 = 0
+    total = 0
+    for uuid in mapping.values():
+        stats = store.get_stat_range(uuid, 0, end_time, operators=("mean", "freq", "count"))
+        assert 0.0 <= stats["mean"] <= 100.0
+        bins = stats["freq"]
+        # Histogram boundaries are (25, 50, 75) in fixed-point (2500/5000/7500):
+        # bins[2] + bins[3] count samples at or above 50 % utilisation.
+        above_50 += bins[2] + bins[3]
+        total += stats["count"]
+    assert 0 <= above_50 <= total

@@ -1,0 +1,66 @@
+"""Figure 6 — key-derivation cost vs. keystream size for different PRGs.
+
+Paper: deriving a single key from a tree with n leaves costs log2(n) PRG
+evaluations; with AES-NI this is ~2.5 µs even at 2^30 keys, with SHA-256 and
+software AES proportionally slower.  The figure sweeps the keystream size
+from 2^0 to 2^60 keys.
+
+We sweep tree heights and the available PRG backends ("aes-ni" uses the
+native ``cryptography`` AES as the hardware stand-in, "aes" is the pure
+Python block cipher, plus the SHA-256 and BLAKE2b hash constructions).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.keytree import KeyDerivationTree
+from repro.crypto.prf import available_prgs
+
+HEIGHTS = [5, 10, 20, 30, 40, 50, 60]
+
+#: Pure-python AES is very slow; restrict it to shallow trees to keep runs short.
+_SLOW_PRGS = {"aes"}
+
+
+def _prg_heights():
+    for prg in available_prgs():
+        for height in HEIGHTS:
+            if prg in _SLOW_PRGS and height > 20:
+                continue
+            yield prg, height
+
+
+@pytest.mark.parametrize("prg,height", list(_prg_heights()))
+def test_fig6_single_key_derivation(benchmark, prg, height):
+    """Cost of deriving one key from a tree with 2^height leaves (cold cache)."""
+    benchmark.group = f"fig6-height{height:02d}"
+    tree = KeyDerivationTree(seed=b"f" * 16, height=height, prg=prg, cache_levels=0)
+    target = (1 << height) - 1  # the deepest, right-most leaf: log2(n) PRG calls
+    benchmark(lambda: tree.leaf(target))
+
+
+def test_fig6_cost_grows_logarithmically():
+    """Doubling the keystream size adds one PRG call, not double the work."""
+    from repro.bench.harness import measure
+
+    timings = {}
+    for height in (10, 20, 40):
+        tree = KeyDerivationTree(seed=b"f" * 16, height=height, prg="blake2", cache_levels=0)
+        target = (1 << height) - 1
+        timings[height] = measure(f"h{height}", lambda t=tree, x=target: t.leaf(x), repetitions=200).mean_seconds
+    # 2^40 keys vs 2^10 keys: 4x the tree depth must cost roughly 4x, far from 2^30x.
+    assert timings[40] < 10 * timings[10]
+
+
+def test_fig6_sequential_derivation_amortises_with_cache():
+    """With the hot-path cache, sequential key derivation is near O(1) per key."""
+    from repro.bench.harness import measure
+
+    cold = KeyDerivationTree(seed=b"f" * 16, height=30, prg="blake2", cache_levels=0)
+    warm = KeyDerivationTree(seed=b"f" * 16, height=30, prg="blake2", cache_levels=24)
+    counter_cold = iter(range(10**6))
+    counter_warm = iter(range(10**6))
+    cold_time = measure("cold", lambda: cold.leaf(next(counter_cold)), repetitions=500).mean_seconds
+    warm_time = measure("warm", lambda: warm.leaf(next(counter_warm)), repetitions=500).mean_seconds
+    assert warm_time <= cold_time

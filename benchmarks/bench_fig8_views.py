@@ -1,0 +1,118 @@
+"""Figure 8 — mHealth dashboard views: one month of data at varying granularity.
+
+Paper: plotting one month of heart-rate data (121M records) at minute
+granularity requires decrypting ~40,320 individual aggregates and costs
+~1.5x plaintext; at hour/day/week/month granularity the number of decrypted
+aggregates (and the overhead) drops sharply, down to ~1.01x for a single
+month-wide aggregate.
+
+We ingest a scaled-down "month" (the chunk count is reduced, the
+chunk-to-granularity ratios preserved) and time the dashboard series query at
+each granularity for TimeCrypt and the plaintext baseline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ServerEngine, TimeCrypt, TimeCryptConsumer, Principal
+from repro.core.plaintext import PlaintextTimeSeriesStore
+from repro.workloads.mhealth import MHealthWorkload
+
+from conftest import scaled
+
+CHUNK_INTERVAL_MS = 10_000
+#: Scaled month: number of 10 s chunks ingested (the real month has ~260k).
+MONTH_CHUNKS = scaled(2048)
+#: Dashboard granularities in chunk multiples (minute=6, hour=360, day=8640, ...).
+GRANULARITIES = {
+    "minute": 6,
+    "hour": 360,
+    "day": 8_640,
+    "week": 60_480,
+    "month": MONTH_CHUNKS,
+}
+
+
+def _synthetic_month_records():
+    """One value per chunk window keeps ingest fast while preserving query shape."""
+    workload = MHealthWorkload(seed=21)
+    values = [60 + (i % 40) for i in range(MONTH_CHUNKS)]
+    return [(i * CHUNK_INTERVAL_MS, float(v)) for i, v in enumerate(values)], workload
+
+
+@pytest.fixture(scope="module")
+def month_deployment():
+    records, _workload = _synthetic_month_records()
+    config = MHealthWorkload.stream_config("heart_rate", CHUNK_INTERVAL_MS)
+    server = ServerEngine()
+    owner = TimeCrypt(server=server, owner_id="user")
+    uuid = owner.create_stream(metric="heart_rate", config=config)
+    owner.insert_records(uuid, records)
+    owner.flush(uuid)
+    # The dashboard consumer holds a full-resolution grant over the month.
+    viewer = Principal.create("dashboard")
+    owner.register_principal(viewer)
+    end_time = MONTH_CHUNKS * CHUNK_INTERVAL_MS
+    owner.grant_access(uuid, "dashboard", 0, end_time)
+    consumer = TimeCryptConsumer(server=server, principal=viewer)
+    consumer.fetch_access(uuid, config)
+
+    plaintext = PlaintextTimeSeriesStore()
+    plain_uuid = plaintext.create_stream(config=config)
+    plaintext.insert_records(plain_uuid, records)
+    plaintext.flush(plain_uuid)
+    return consumer, uuid, plaintext, plain_uuid, end_time
+
+
+@pytest.mark.parametrize("granularity", list(GRANULARITIES))
+def test_fig8_timecrypt_views(benchmark, month_deployment, granularity):
+    benchmark.group = f"fig8-{granularity}"
+    consumer, uuid, _plain, _plain_uuid, end_time = month_deployment
+    chunks = min(GRANULARITIES[granularity], MONTH_CHUNKS)
+    interval = chunks * CHUNK_INTERVAL_MS
+    benchmark.pedantic(
+        lambda: consumer.get_stat_series(uuid, 0, end_time, interval, operators=("mean",)),
+        rounds=3,
+        iterations=1,
+    )
+
+
+@pytest.mark.parametrize("granularity", list(GRANULARITIES))
+def test_fig8_plaintext_views(benchmark, month_deployment, granularity):
+    benchmark.group = f"fig8-{granularity}"
+    _consumer, _uuid, plaintext, plain_uuid, end_time = month_deployment
+    chunks = min(GRANULARITIES[granularity], MONTH_CHUNKS)
+    interval = chunks * CHUNK_INTERVAL_MS
+    benchmark.pedantic(
+        lambda: plaintext.get_stat_series(plain_uuid, 0, end_time, interval, operators=("mean",)),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_fig8_overhead_shrinks_with_granularity(month_deployment):
+    """The TimeCrypt/plaintext ratio is largest at fine granularity (many decryptions)."""
+    import time
+
+    consumer, uuid, plaintext, plain_uuid, end_time = month_deployment
+
+    def time_views(run, interval):
+        start = time.perf_counter()
+        run(interval)
+        return time.perf_counter() - start
+
+    fine_interval = GRANULARITIES["minute"] * CHUNK_INTERVAL_MS
+    coarse_interval = MONTH_CHUNKS * CHUNK_INTERVAL_MS
+
+    tc_fine = time_views(lambda i: consumer.get_stat_series(uuid, 0, end_time, i, operators=("mean",)), fine_interval)
+    tc_coarse = time_views(lambda i: consumer.get_stat_series(uuid, 0, end_time, i, operators=("mean",)), coarse_interval)
+    pl_fine = time_views(lambda i: plaintext.get_stat_series(plain_uuid, 0, end_time, i, operators=("mean",)), fine_interval)
+    pl_coarse = time_views(lambda i: plaintext.get_stat_series(plain_uuid, 0, end_time, i, operators=("mean",)), coarse_interval)
+
+    # Fine granularity touches many more aggregates than coarse, for both systems.
+    assert tc_fine > tc_coarse
+    assert pl_fine > pl_coarse
+    # The number of returned points matches the expected bucket count.
+    series = consumer.get_stat_series(uuid, 0, end_time, fine_interval, operators=("count",))
+    assert len(series) == MONTH_CHUNKS // GRANULARITIES["minute"]

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""mHealth scenario: a wearable shares health data at different resolutions.
+
+This example mirrors the paper's motivating health application (§1, §6.3):
+
+* a wearable produces 12 metrics at 50 Hz; here we ingest two of them,
+* the user shares **per-minute averages** of their heart rate with their
+  doctor for the whole period,
+* and **full-resolution** data with their trainer, but only for the workout
+  session window,
+* revocation with forward secrecy cuts the trainer off from data recorded
+  after the revocation point.
+
+Run it with ``python examples/mhealth_sharing.py``.
+"""
+
+from __future__ import annotations
+
+from repro import Principal, ServerEngine, TimeCrypt, TimeCryptConsumer
+from repro.exceptions import AccessDeniedError
+from repro.workloads.mhealth import MHealthWorkload
+
+MINUTE_MS = 60_000
+SESSION_MINUTES = 30
+
+
+def main() -> None:
+    server = ServerEngine()
+    user = TimeCrypt(server=server, owner_id="wearable-user")
+    workload = MHealthWorkload(seed=42)
+
+    # Create two encrypted metric streams with the wearable's configuration.
+    heart_rate_config = MHealthWorkload.stream_config("heart_rate")
+    streams = {}
+    for metric in ("heart_rate", "spo2"):
+        config = MHealthWorkload.stream_config(metric)
+        streams[metric] = user.create_stream(metric=metric, config=config)
+
+    # Ingest a 30-minute workout session at 50 Hz.
+    duration_seconds = SESSION_MINUTES * 60
+    for metric, uuid in streams.items():
+        points = workload.points(metric, duration_seconds)
+        user.insert_points(uuid, points)
+        user.flush(uuid)
+        print(f"ingested {len(points)} points into {metric}")
+
+    session_end = duration_seconds * 1000
+    heart_rate = streams["heart_rate"]
+
+    # --- the doctor: per-minute averages only ------------------------------------
+    doctor = Principal.create("doctor")
+    user.register_principal(doctor)
+    user.grant_access(heart_rate, "doctor", 0, session_end, resolution_interval=MINUTE_MS)
+
+    doctor_client = TimeCryptConsumer(server=server, principal=doctor)
+    doctor_client.fetch_access(heart_rate, heart_rate_config)
+    per_minute = doctor_client.get_stat_series(
+        heart_rate, 0, session_end, granularity_interval=MINUTE_MS, operators=("mean",)
+    )
+    print(f"doctor sees {len(per_minute)} per-minute heart-rate averages, e.g.:")
+    for entry in per_minute[:3]:
+        print(f"  windows [{entry['window_start']}, {entry['window_end']}): mean={entry['mean']:.1f} bpm")
+    try:
+        doctor_client.get_range(heart_rate, 0, MINUTE_MS)
+    except AccessDeniedError:
+        print("doctor cannot read raw 50 Hz samples (resolution-restricted grant)")
+
+    # --- the trainer: full resolution, but only the first 10 minutes ---------------
+    trainer = Principal.create("trainer")
+    user.register_principal(trainer)
+    trainer_window_end = 10 * MINUTE_MS
+    user.grant_access(heart_rate, "trainer", 0, trainer_window_end)
+
+    trainer_client = TimeCryptConsumer(server=server, principal=trainer)
+    trainer_client.fetch_access(heart_rate, heart_rate_config)
+    raw = trainer_client.get_range(heart_rate, 0, 5_000)
+    print(f"trainer reads {len(raw)} raw samples from the first 5 seconds")
+    try:
+        trainer_client.get_stat_range(heart_rate, 0, session_end)
+    except AccessDeniedError:
+        print("trainer cannot query beyond the granted 10-minute window")
+
+    # --- revocation: the trainer loses access to anything recorded later ------------
+    user.revoke_access(heart_rate, "trainer", end=5 * MINUTE_MS)
+    print("user revoked the trainer's access from minute 5 onward (forward secrecy)")
+    trainer_client.fetch_access(heart_rate, heart_rate_config)
+    still_allowed = trainer_client.get_stat_range(heart_rate, 0, 5 * MINUTE_MS, operators=("mean",))
+    print(f"trainer still sees minutes 0-5 (already granted): mean={still_allowed['mean']:.1f} bpm")
+    try:
+        trainer_client.get_stat_range(heart_rate, 0, 6 * MINUTE_MS)
+    except AccessDeniedError:
+        print("trainer can no longer decrypt past the revocation point")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""Access control: principals, policies, tokens, resolution restriction, revocation."""
+
+from repro.access.grants import AccessGrant, GrantManager
+from repro.access.keystore import TokenStore
+from repro.access.policy import AccessPolicy, Resolution
+from repro.access.principal import IdentityProvider, Principal
+from repro.access.resolution import ResolutionKeystream, ResolutionShare
+from repro.access.tokens import AccessToken
+
+__all__ = [
+    "Principal",
+    "IdentityProvider",
+    "AccessPolicy",
+    "Resolution",
+    "AccessToken",
+    "TokenStore",
+    "AccessGrant",
+    "GrantManager",
+    "ResolutionKeystream",
+    "ResolutionShare",
+]

@@ -1,0 +1,185 @@
+"""Grant management: turning policies into key material (Table 1, §4.3-§4.4).
+
+The :class:`GrantManager` is owner-side logic.  Given an access policy it
+
+1. maps the policy's time range onto chunk-window indices,
+2. derives the minimal key material enforcing the policy
+   (tree tokens for full resolution, a dual-key-regression share plus key
+   envelopes for restricted resolution),
+3. seals the resulting :class:`~repro.access.tokens.AccessToken` for the
+   recipient via the identity provider, and
+4. parks the sealed token (and any envelopes) in the server's token store.
+
+Revocation (forward secrecy only, per §3.3) is implemented by replacing the
+stored grant with one whose end is clipped: the principal keeps key material
+for data it already had access to, but new grants never extend past the
+revocation point, and open-ended subscriptions stop being refreshed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.access.keystore import TokenStore
+from repro.access.policy import AccessPolicy, OPEN_END, Resolution
+from repro.access.principal import IdentityProvider
+from repro.access.resolution import ResolutionKeystream
+from repro.access.tokens import AccessToken
+from repro.crypto.keytree import KeyDerivationTree
+from repro.exceptions import AccessDeniedError, ConfigurationError
+from repro.timeseries.stream import StreamConfig
+from repro.util.timeutil import TimeRange
+
+
+@dataclass
+class AccessGrant:
+    """Owner-side record of one issued grant."""
+
+    policy: AccessPolicy
+    grant_id: int
+    revoked_at: Optional[int] = None
+
+    @property
+    def is_revoked(self) -> bool:
+        return self.revoked_at is not None
+
+
+@dataclass
+class GrantManager:
+    """Owner-side issuance and revocation of grants for one stream."""
+
+    stream_uuid: str
+    config: StreamConfig
+    key_tree: KeyDerivationTree
+    identity_provider: IdentityProvider
+    token_store: TokenStore
+    _grants: Dict[Tuple[str, int], AccessGrant] = field(default_factory=dict, init=False)
+    _resolutions: Dict[int, ResolutionKeystream] = field(default_factory=dict, init=False)
+
+    # -- window mapping ---------------------------------------------------------
+
+    def _windows_for(self, time_range: TimeRange) -> Tuple[int, int]:
+        """Chunk-window interval [start, end) covered by a policy time range."""
+        if time_range.start < self.config.start_time:
+            raise ConfigurationError("grant starts before the stream epoch")
+        window_start = self.config.window_of(time_range.start)
+        if time_range.end >= OPEN_END:
+            window_end = self.config.max_chunks
+        else:
+            window_end = self.config.window_of(max(time_range.end - 1, time_range.start)) + 1
+        return window_start, min(window_end, self.config.max_chunks)
+
+    # -- issuance ----------------------------------------------------------------
+
+    def grant(self, policy: AccessPolicy) -> AccessGrant:
+        """Issue key material for ``policy`` and park it at the server."""
+        if policy.stream_uuid != self.stream_uuid:
+            raise ConfigurationError("policy addresses a different stream")
+        window_start, window_end = self._windows_for(policy.time_range)
+        if window_end <= window_start:
+            raise ConfigurationError("the granted time range covers no chunk window")
+        if policy.resolution.is_full:
+            token = self._full_resolution_token(policy, window_start, window_end)
+        else:
+            token = self._restricted_resolution_token(policy, window_start, window_end)
+        sealed = self.identity_provider.encrypt_for(
+            policy.principal_id, token.to_bytes(), context=self.stream_uuid.encode("utf-8")
+        )
+        grant_id = self.token_store.put_grant(self.stream_uuid, policy.principal_id, sealed)
+        grant = AccessGrant(policy=policy, grant_id=grant_id)
+        self._grants[(policy.principal_id, grant_id)] = grant
+        return grant
+
+    def _full_resolution_token(
+        self, policy: AccessPolicy, window_start: int, window_end: int
+    ) -> AccessToken:
+        # HEAC decryption of window w needs keys k_w and k_{w+1}, so the shared
+        # keystream segment extends one position past the last granted window.
+        tree_tokens = self.key_tree.tokens_for_range(
+            window_start, min(window_end + 1, self.key_tree.num_keys)
+        )
+        return AccessToken(
+            stream_uuid=self.stream_uuid,
+            principal_id=policy.principal_id,
+            time_range=policy.time_range,
+            window_start=window_start,
+            window_end=window_end,
+            resolution_chunks=1,
+            prg=self.key_tree.prg_name,
+            tree_tokens=tree_tokens,
+        )
+
+    def _restricted_resolution_token(
+        self, policy: AccessPolicy, window_start: int, window_end: int
+    ) -> AccessToken:
+        resolution = policy.resolution
+        keystream = self.resolution_keystream(resolution)
+        share = keystream.share(window_start, window_end)
+        # Publish the envelopes the principal will need (idempotent).
+        envelopes = keystream.make_envelopes(window_start, window_end)
+        self.token_store.put_envelopes(self.stream_uuid, resolution.chunks, envelopes)
+        return AccessToken(
+            stream_uuid=self.stream_uuid,
+            principal_id=policy.principal_id,
+            time_range=policy.time_range,
+            window_start=window_start,
+            window_end=window_end,
+            resolution_chunks=resolution.chunks,
+            prg=self.key_tree.prg_name,
+            tree_tokens=[],
+            regression_token=share.token,
+        )
+
+    def resolution_keystream(self, resolution: Resolution) -> ResolutionKeystream:
+        """The (lazily created) resolution keystream for a granularity."""
+        existing = self._resolutions.get(resolution.chunks)
+        if existing is None:
+            existing = ResolutionKeystream(
+                stream_uuid=self.stream_uuid,
+                resolution_chunks=resolution.chunks,
+                base_keystream=self.key_tree,
+            )
+            self._resolutions[resolution.chunks] = existing
+        return existing
+
+    def publish_envelopes(self, resolution: Resolution, window_start: int, window_end: int) -> int:
+        """Publish (or refresh) envelopes for a window interval; returns the count."""
+        keystream = self.resolution_keystream(resolution)
+        envelopes = keystream.make_envelopes(window_start, window_end)
+        self.token_store.put_envelopes(self.stream_uuid, resolution.chunks, envelopes)
+        return len(envelopes)
+
+    # -- revocation --------------------------------------------------------------------
+
+    def revoke(self, principal_id: str, end_time: int) -> List[AccessGrant]:
+        """Revoke a principal's access from ``end_time`` onward (forward secrecy).
+
+        Every live grant whose range extends past ``end_time`` is replaced by
+        a clipped grant; already-expired grants are left untouched.  Returns
+        the grants that were modified.
+        """
+        modified: List[AccessGrant] = []
+        for (grantee, _grant_id), grant in sorted(self._grants.items()):
+            if grantee != principal_id or grant.is_revoked:
+                continue
+            if grant.policy.time_range.end <= end_time:
+                continue
+            grant.revoked_at = end_time
+            clipped = grant.policy.restrict_end(end_time)
+            modified.append(grant)
+            if clipped.time_range.duration > 0:
+                # Re-issue the clipped grant so future token pickups stop at the
+                # revocation point.
+                self.grant(clipped)
+        if not modified and not any(g for (p, _), g in self._grants.items() if p == principal_id):
+            raise AccessDeniedError(f"principal '{principal_id}' holds no grant to revoke")
+        return modified
+
+    def grants_for(self, principal_id: str) -> List[AccessGrant]:
+        return [grant for (grantee, _), grant in sorted(self._grants.items()) if grantee == principal_id]
+
+    def active_policy(self, principal_id: str) -> Optional[AccessPolicy]:
+        """The most recently issued, non-revoked policy for a principal."""
+        grants = [g for g in self.grants_for(principal_id) if not g.is_revoked]
+        return grants[-1].policy if grants else None

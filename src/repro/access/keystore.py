@@ -1,0 +1,119 @@
+"""The server-side token store.
+
+Access tokens are encrypted for their recipient (ECIES) by the data owner and
+parked at the server, so principals can pick them up asynchronously (§3.2).
+The server never sees token contents — it only stores opaque envelopes keyed
+by ``(stream, principal)`` — and additionally stores the public key envelopes
+of resolution keystreams (wrapped outer keys), which are equally opaque.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.exceptions import AccessDeniedError
+from repro.storage.kv import KeyValueStore
+from repro.storage.memory import MemoryStore
+from repro.util.encoding import decode_varint, encode_varint
+
+
+def _grant_key(stream_uuid: str, principal_id: str, grant_id: int) -> bytes:
+    return f"grant/{stream_uuid}/{principal_id}/{grant_id:08d}".encode("utf-8")
+
+
+def _grant_prefix(stream_uuid: str, principal_id: Optional[str] = None) -> bytes:
+    if principal_id is None:
+        return f"grant/{stream_uuid}/".encode("utf-8")
+    return f"grant/{stream_uuid}/{principal_id}/".encode("utf-8")
+
+
+def _envelope_key(stream_uuid: str, resolution_chunks: int, window_index: int) -> bytes:
+    return f"envelope/{stream_uuid}/{resolution_chunks:08d}/{window_index:016x}".encode("utf-8")
+
+
+class TokenStore:
+    """Stores sealed access tokens and resolution key envelopes."""
+
+    def __init__(self, store: Optional[KeyValueStore] = None) -> None:
+        self._store = store or MemoryStore()
+
+    # -- sealed grant envelopes -----------------------------------------------
+
+    def put_grant(self, stream_uuid: str, principal_id: str, sealed_token: bytes) -> int:
+        """Store a sealed grant envelope; returns its grant id."""
+        grant_id = self._next_grant_id(stream_uuid, principal_id)
+        self._store.put(_grant_key(stream_uuid, principal_id, grant_id), sealed_token)
+        return grant_id
+
+    def _next_grant_id(self, stream_uuid: str, principal_id: str) -> int:
+        existing = self._store.keys_with_prefix(_grant_prefix(stream_uuid, principal_id))
+        return len(existing)
+
+    def grants_for(self, stream_uuid: str, principal_id: str) -> List[bytes]:
+        """All sealed envelopes addressed to a principal for a stream."""
+        return [
+            value
+            for _key, value in self._store.scan_prefix(_grant_prefix(stream_uuid, principal_id))
+        ]
+
+    def latest_grant(self, stream_uuid: str, principal_id: str) -> bytes:
+        grants = self.grants_for(stream_uuid, principal_id)
+        if not grants:
+            raise AccessDeniedError(
+                f"no grant stored for principal '{principal_id}' on stream '{stream_uuid}'"
+            )
+        return grants[-1]
+
+    def principals_with_grants(self, stream_uuid: str) -> List[str]:
+        """Principal ids that have at least one stored grant for the stream."""
+        principals = set()
+        for key, _value in self._store.scan_prefix(_grant_prefix(stream_uuid)):
+            parts = key.decode("utf-8").split("/")
+            if len(parts) >= 3:
+                principals.add(parts[2])
+        return sorted(principals)
+
+    def delete_grants(self, stream_uuid: str, principal_id: Optional[str] = None) -> int:
+        """Remove stored grants (all of a stream's, or one principal's)."""
+        keys = self._store.keys_with_prefix(_grant_prefix(stream_uuid, principal_id))
+        for key in keys:
+            self._store.delete(key)
+        return len(keys)
+
+    # -- resolution key envelopes -----------------------------------------------
+
+    def put_envelope(
+        self, stream_uuid: str, resolution_chunks: int, window_index: int, envelope: bytes
+    ) -> None:
+        self._store.put(_envelope_key(stream_uuid, resolution_chunks, window_index), envelope)
+
+    def put_envelopes(
+        self, stream_uuid: str, resolution_chunks: int, envelopes: Dict[int, bytes]
+    ) -> None:
+        for window_index, envelope in envelopes.items():
+            self.put_envelope(stream_uuid, resolution_chunks, window_index, envelope)
+
+    def get_envelope(
+        self, stream_uuid: str, resolution_chunks: int, window_index: int
+    ) -> Optional[bytes]:
+        return self._store.get(_envelope_key(stream_uuid, resolution_chunks, window_index))
+
+    def envelopes_for_range(
+        self, stream_uuid: str, resolution_chunks: int, window_start: int, window_end: int
+    ) -> Dict[int, bytes]:
+        """Envelopes for aligned boundaries within ``[window_start, window_end]``."""
+        envelopes: Dict[int, bytes] = {}
+        prefix = f"envelope/{stream_uuid}/{resolution_chunks:08d}/".encode("utf-8")
+        for key, value in self._store.scan_prefix(prefix):
+            window_index = int(key.rsplit(b"/", 1)[-1], 16)
+            if window_start <= window_index <= window_end:
+                envelopes[window_index] = value
+        return envelopes
+
+    # -- introspection ---------------------------------------------------------------
+
+    def iter_all(self) -> Iterator[Tuple[bytes, bytes]]:
+        return self._store.scan_prefix(b"")
+
+    def size_bytes(self) -> int:
+        return self._store.size_bytes()

@@ -1,0 +1,113 @@
+"""Access policies: temporal scope and resolution (paper §4.3, §4.4).
+
+An access policy answers two questions about a principal and a stream:
+
+* *when* — the half-open time interval the principal may query, and
+* *how fine* — the coarsest chunk multiple ("resolution") at which the
+  principal may decrypt aggregates.  ``Resolution.chunks == 1`` means
+  full chunk-level access; ``Resolution.chunks == 6`` means only 6-chunk
+  aggregates (and coarser multiples thereof) can be decrypted.
+
+Policies are plain data; the cryptographic enforcement happens in the key
+material the grant machinery derives from them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.exceptions import ConfigurationError
+from repro.util.timeutil import TimeRange
+
+#: Sentinel end time for open-ended subscriptions (GrantOpenAccess).
+OPEN_END = (1 << 62)
+
+
+@dataclass(frozen=True)
+class Resolution:
+    """An access granularity expressed as a multiple of the chunk interval Δ."""
+
+    chunks: int = 1
+
+    def __post_init__(self) -> None:
+        if self.chunks < 1:
+            raise ConfigurationError("resolution must be at least one chunk")
+
+    @property
+    def is_full(self) -> bool:
+        """True for unrestricted (per-chunk) access."""
+        return self.chunks == 1
+
+    def aligned(self, window_index: int) -> bool:
+        """True when ``window_index`` lies on a boundary of this resolution."""
+        return window_index % self.chunks == 0
+
+    def align_down(self, window_index: int) -> int:
+        return (window_index // self.chunks) * self.chunks
+
+    def align_up(self, window_index: int) -> int:
+        return ((window_index + self.chunks - 1) // self.chunks) * self.chunks
+
+    @classmethod
+    def from_interval(cls, interval: int, chunk_interval: int) -> "Resolution":
+        """Build a resolution from a time interval (e.g. one minute of 10 s chunks)."""
+        if interval <= 0 or chunk_interval <= 0:
+            raise ConfigurationError("intervals must be positive")
+        if interval % chunk_interval != 0:
+            raise ConfigurationError(
+                f"resolution interval {interval} is not a multiple of the chunk interval "
+                f"{chunk_interval}"
+            )
+        return cls(chunks=interval // chunk_interval)
+
+
+@dataclass(frozen=True)
+class AccessPolicy:
+    """What a principal may see of one stream."""
+
+    stream_uuid: str
+    principal_id: str
+    time_range: TimeRange
+    resolution: Resolution = Resolution(1)
+
+    @property
+    def is_open_ended(self) -> bool:
+        return self.time_range.end >= OPEN_END
+
+    def restrict_end(self, new_end: int) -> "AccessPolicy":
+        """A copy of the policy truncated at ``new_end`` (used by revocation)."""
+        if new_end >= self.time_range.end:
+            return self
+        clipped_end = max(self.time_range.start, new_end)
+        return AccessPolicy(
+            stream_uuid=self.stream_uuid,
+            principal_id=self.principal_id,
+            time_range=TimeRange(self.time_range.start, clipped_end),
+            resolution=self.resolution,
+        )
+
+    def allows_time_range(self, requested: TimeRange) -> bool:
+        return self.time_range.contains_range(requested)
+
+    def allows_resolution(self, requested_chunks: int) -> bool:
+        """A request at ``requested_chunks`` granularity is allowed when it is a
+        multiple of the granted resolution (coarser or equal)."""
+        if requested_chunks < 1:
+            return False
+        return requested_chunks % self.resolution.chunks == 0
+
+
+def open_ended(
+    stream_uuid: str,
+    principal_id: str,
+    start: int,
+    resolution: Optional[Resolution] = None,
+) -> AccessPolicy:
+    """Policy for an open-ended subscription starting at ``start``."""
+    return AccessPolicy(
+        stream_uuid=stream_uuid,
+        principal_id=principal_id,
+        time_range=TimeRange(start, OPEN_END),
+        resolution=resolution or Resolution(1),
+    )

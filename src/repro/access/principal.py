@@ -1,0 +1,73 @@
+"""Principals and the identity provider (the Keybase stand-in).
+
+TimeCrypt assumes an identity provider that maps principal identities to
+public keys (§3.3); access tokens are then encrypted under the recipient's
+public key and parked on the untrusted server.  :class:`Principal` bundles a
+principal's identity and ECIES keypair; :class:`IdentityProvider` is the
+public-key directory both data owners and the server consult.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.crypto import hybrid
+from repro.exceptions import AccessDeniedError
+
+
+@dataclass
+class Principal:
+    """A data consumer (or owner) with an identity and an ECIES keypair."""
+
+    principal_id: str
+    private_key: int = field(repr=False)
+    public_key: bytes = field(repr=False)
+
+    @classmethod
+    def create(cls, principal_id: str) -> "Principal":
+        """Generate a fresh keypair for ``principal_id``."""
+        private_key, public_key = hybrid.generate_keypair()
+        return cls(principal_id=principal_id, private_key=private_key, public_key=public_key)
+
+    def decrypt_envelope(self, blob: bytes, context: bytes = b"") -> bytes:
+        """Open an access-token envelope addressed to this principal."""
+        return hybrid.decrypt(self.private_key, blob, context)
+
+
+class IdentityProvider:
+    """A public-key directory: identity string -> public key.
+
+    The paper points at Keybase for publicly auditable identity-to-key
+    mappings; here registration is explicit and lookups of unknown
+    identities fail loudly.
+    """
+
+    def __init__(self) -> None:
+        self._directory: Dict[str, bytes] = {}
+
+    def register(self, principal: Principal) -> None:
+        """Publish a principal's public key."""
+        self._directory[principal.principal_id] = principal.public_key
+
+    def register_key(self, principal_id: str, public_key: bytes) -> None:
+        """Publish a public key for an identity without holding the private half."""
+        self._directory[principal_id] = public_key
+
+    def public_key_of(self, principal_id: str) -> bytes:
+        """Look up a principal's public key; raises if unknown."""
+        key = self._directory.get(principal_id)
+        if key is None:
+            raise AccessDeniedError(f"unknown principal '{principal_id}'")
+        return key
+
+    def is_registered(self, principal_id: str) -> bool:
+        return principal_id in self._directory
+
+    def encrypt_for(self, principal_id: str, plaintext: bytes, context: bytes = b"") -> bytes:
+        """Seal a payload for a registered principal."""
+        return hybrid.encrypt(self.public_key_of(principal_id), plaintext, context)
+
+    def unregister(self, principal_id: str) -> Optional[bytes]:
+        """Remove an identity from the directory (returns its last public key)."""
+        return self._directory.pop(principal_id, None)

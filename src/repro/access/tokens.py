@@ -1,0 +1,115 @@
+"""Access tokens: the serialized key material a grant hands to a principal.
+
+A grant bundles, depending on the policy's resolution:
+
+* **full resolution** — a set of key-derivation-tree tokens covering the
+  granted chunk-window interval (the principal can derive every key, hence
+  decrypt per-chunk digests, raw payloads, and any in-range aggregate), or
+* **restricted resolution** — a dual-key-regression share plus the indices of
+  the key envelopes the principal should fetch (the principal can decrypt
+  only aligned aggregates at that resolution or coarser).
+
+Tokens are serialized to bytes, sealed for the recipient with ECIES and
+parked in the server's :class:`~repro.access.keystore.TokenStore`.
+Serialization uses JSON with hex-encoded byte fields — token payloads are
+tiny and readability beats compactness here.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.crypto.keyregression import DualKeyRegressionToken
+from repro.crypto.keytree import TreeToken
+from repro.exceptions import ProtocolError
+from repro.util.timeutil import TimeRange
+
+
+@dataclass(frozen=True)
+class AccessToken:
+    """The decrypted content of one grant, as seen by the principal."""
+
+    stream_uuid: str
+    principal_id: str
+    time_range: TimeRange
+    window_start: int
+    window_end: int
+    resolution_chunks: int
+    prg: str
+    tree_tokens: List[TreeToken]
+    regression_token: Optional[DualKeyRegressionToken] = None
+
+    @property
+    def is_full_resolution(self) -> bool:
+        return self.resolution_chunks == 1
+
+    # -- serialization ---------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        payload = {
+            "stream_uuid": self.stream_uuid,
+            "principal_id": self.principal_id,
+            "time_start": self.time_range.start,
+            "time_end": self.time_range.end,
+            "window_start": self.window_start,
+            "window_end": self.window_end,
+            "resolution_chunks": self.resolution_chunks,
+            "prg": self.prg,
+            "tree_tokens": [
+                {
+                    "depth": token.depth,
+                    "index": token.index,
+                    "height": token.height,
+                    "value": token.value.hex(),
+                }
+                for token in self.tree_tokens
+            ],
+        }
+        if self.regression_token is not None:
+            payload["regression_token"] = {
+                "lower": self.regression_token.lower,
+                "upper": self.regression_token.upper,
+                "primary_state": self.regression_token.primary_state.hex(),
+                "secondary_state": self.regression_token.secondary_state.hex(),
+                "length": self.regression_token.length,
+            }
+        return json.dumps(payload, sort_keys=True).encode("utf-8")
+
+    @staticmethod
+    def from_bytes(blob: bytes) -> "AccessToken":
+        try:
+            payload = json.loads(blob.decode("utf-8"))
+            tree_tokens = [
+                TreeToken(
+                    depth=entry["depth"],
+                    index=entry["index"],
+                    height=entry["height"],
+                    value=bytes.fromhex(entry["value"]),
+                )
+                for entry in payload["tree_tokens"]
+            ]
+            regression_token = None
+            if "regression_token" in payload:
+                reg = payload["regression_token"]
+                regression_token = DualKeyRegressionToken(
+                    lower=reg["lower"],
+                    upper=reg["upper"],
+                    primary_state=bytes.fromhex(reg["primary_state"]),
+                    secondary_state=bytes.fromhex(reg["secondary_state"]),
+                    length=reg["length"],
+                )
+            return AccessToken(
+                stream_uuid=payload["stream_uuid"],
+                principal_id=payload["principal_id"],
+                time_range=TimeRange(payload["time_start"], payload["time_end"]),
+                window_start=payload["window_start"],
+                window_end=payload["window_end"],
+                resolution_chunks=payload["resolution_chunks"],
+                prg=payload["prg"],
+                tree_tokens=tree_tokens,
+                regression_token=regression_token,
+            )
+        except (KeyError, ValueError, TypeError) as exc:
+            raise ProtocolError("malformed access token") from exc

@@ -1,0 +1,6 @@
+"""Benchmark harness utilities: timing, result tables, paper-figure reporting."""
+
+from repro.bench.harness import Measurement, measure, measure_many
+from repro.bench.reporting import ResultTable, format_duration
+
+__all__ = ["Measurement", "measure", "measure_many", "ResultTable", "format_duration"]

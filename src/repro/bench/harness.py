@@ -1,0 +1,101 @@
+"""Timing helpers shared by the benchmark scripts.
+
+``pytest-benchmark`` drives the per-operation microbenchmarks; the helpers
+here serve the table/figure regeneration scripts, which need straightforward
+"run this N times and give me mean / best / per-op" measurements plus a
+uniform way to assemble the rows the paper's tables report.
+"""
+
+from __future__ import annotations
+
+import gc
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """Aggregate timing of a repeated operation."""
+
+    label: str
+    repetitions: int
+    total_seconds: float
+    best_seconds: float
+
+    @property
+    def mean_seconds(self) -> float:
+        return self.total_seconds / self.repetitions if self.repetitions else 0.0
+
+    @property
+    def mean_microseconds(self) -> float:
+        return self.mean_seconds * 1e6
+
+    @property
+    def ops_per_second(self) -> float:
+        return self.repetitions / self.total_seconds if self.total_seconds else 0.0
+
+    def ratio_to(self, baseline: "Measurement") -> float:
+        """Slowdown factor relative to a baseline measurement (>1 = slower)."""
+        if baseline.mean_seconds == 0:
+            return float("inf")
+        return self.mean_seconds / baseline.mean_seconds
+
+
+def measure(
+    label: str,
+    operation: Callable[[], object],
+    repetitions: int = 100,
+    warmup: int = 3,
+    disable_gc: bool = True,
+) -> Measurement:
+    """Time ``operation()`` ``repetitions`` times and return the aggregate."""
+    for _ in range(warmup):
+        operation()
+    gc_was_enabled = gc.isenabled()
+    if disable_gc:
+        gc.disable()
+    try:
+        best = float("inf")
+        total = 0.0
+        for _ in range(repetitions):
+            start = time.perf_counter()
+            operation()
+            elapsed = time.perf_counter() - start
+            total += elapsed
+            best = min(best, elapsed)
+    finally:
+        if disable_gc and gc_was_enabled:
+            gc.enable()
+    return Measurement(label=label, repetitions=repetitions, total_seconds=total, best_seconds=best)
+
+
+def measure_many(
+    operations: Dict[str, Callable[[], object]],
+    repetitions: int = 100,
+    warmup: int = 3,
+) -> List[Measurement]:
+    """Measure a labelled set of operations with identical settings."""
+    return [
+        measure(label, operation, repetitions=repetitions, warmup=warmup)
+        for label, operation in operations.items()
+    ]
+
+
+def measure_total(label: str, operation: Callable[[], int], repetitions: int = 1) -> Measurement:
+    """Time an operation whose return value is the number of sub-operations performed.
+
+    Useful for bulk paths (e.g. "ingest 10k chunks") where per-item timing
+    would distort the measurement; the resulting mean is per sub-operation.
+    """
+    total = 0.0
+    items = 0
+    best = float("inf")
+    for _ in range(repetitions):
+        start = time.perf_counter()
+        count = operation()
+        elapsed = time.perf_counter() - start
+        total += elapsed
+        items += int(count)
+        best = min(best, elapsed / max(1, int(count)))
+    return Measurement(label=label, repetitions=max(1, items), total_seconds=total, best_seconds=best)

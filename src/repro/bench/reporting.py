@@ -1,0 +1,77 @@
+"""Plain-text result tables for the paper-figure regeneration scripts.
+
+Every benchmark script prints a table whose rows mirror the corresponding
+table or figure series in the paper, alongside the paper-reported values
+where available, so ``EXPERIMENTS.md`` can be filled in by reading the
+benchmark output directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+
+def format_duration(seconds: float) -> str:
+    """Human-friendly duration: ns/µs/ms/s with three significant digits."""
+    if seconds <= 0:
+        return "0"
+    if seconds < 1e-6:
+        return f"{seconds * 1e9:.3g}ns"
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.3g}µs"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.3g}ms"
+    return f"{seconds:.3g}s"
+
+
+def format_bytes(num_bytes: float) -> str:
+    """Human-friendly byte size."""
+    value = float(num_bytes)
+    for unit in ("B", "KB", "MB", "GB", "TB"):
+        if value < 1024 or unit == "TB":
+            return f"{value:.3g}{unit}"
+        value /= 1024
+    return f"{value:.3g}TB"
+
+
+@dataclass
+class ResultTable:
+    """An aligned plain-text table."""
+
+    title: str
+    columns: Sequence[str]
+    rows: List[List[str]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *cells: object) -> None:
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"row has {len(cells)} cells, table '{self.title}' has {len(self.columns)} columns"
+            )
+        self.rows.append([str(cell) for cell in cells])
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def render(self) -> str:
+        widths = [len(column) for column in self.columns]
+        for row in self.rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+
+        def format_row(cells: Sequence[str]) -> str:
+            return "  ".join(cell.ljust(widths[index]) for index, cell in enumerate(cells))
+
+        lines = [f"== {self.title} ==", format_row(list(self.columns)), format_row(["-" * w for w in widths])]
+        lines.extend(format_row(row) for row in self.rows)
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def print(self) -> None:
+        print(self.render())
+        print()
+
+    def as_dicts(self) -> List[Dict[str, str]]:
+        return [dict(zip(self.columns, row)) for row in self.rows]

@@ -1,0 +1,7 @@
+"""The trusted client engine: key management, chunk encryption, query decryption."""
+
+from repro.client.keymanager import OwnerKeyManager
+from repro.client.reader import ConsumerReader, DecryptedStatistics
+from repro.client.writer import StreamWriter
+
+__all__ = ["OwnerKeyManager", "StreamWriter", "ConsumerReader", "DecryptedStatistics"]

@@ -1,0 +1,113 @@
+"""The data-producer write path (paper §4.1, §4.2).
+
+The writer turns raw measurements into what the untrusted server stores:
+
+1. points are batched into fixed-Δ chunks (:class:`ChunkBuilder`),
+2. the chunk's plaintext digest is computed and each component encrypted
+   with HEAC under the chunk's window keys,
+3. the raw points are compressed with the stream's codec and sealed with
+   AES-GCM under a key derived from the same window keys,
+4. the resulting :class:`EncryptedChunk` is handed to the server (directly
+   or over the network transport).
+
+The writer never buffers more than the currently open chunk, matching the
+paper's client-side batching model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional
+
+from repro.crypto.gcm import aead_encrypt
+from repro.crypto.heac import HEACCipher
+from repro.exceptions import ChunkError
+from repro.timeseries.chunk import Chunk, ChunkBuilder
+from repro.timeseries.compression import Codec, get_codec
+from repro.timeseries.point import DataPoint, encode_value
+from repro.timeseries.serialization import EncryptedChunk
+from repro.timeseries.stream import StreamConfig
+
+
+@dataclass
+class StreamWriter:
+    """Client-side encryption pipeline for one stream's ingest path."""
+
+    stream_uuid: str
+    config: StreamConfig
+    cipher: HEACCipher
+    sink: Callable[[EncryptedChunk], None]
+    use_pure_python_aead: bool = False
+    _builder: ChunkBuilder = field(init=False)
+    _codec: Codec = field(init=False)
+    chunks_written: int = field(default=0, init=False)
+    records_written: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        self._builder = ChunkBuilder(config=self.config)
+        self._codec = get_codec(self.config.compression)
+
+    # -- ingest -------------------------------------------------------------------
+
+    def append(self, timestamp: int, value: float) -> List[EncryptedChunk]:
+        """Add one measurement; returns any chunks that were completed and sent."""
+        point = DataPoint(timestamp=timestamp, value=encode_value(value, self.config.value_scale))
+        return self._handle_completed(self._builder.append(point))
+
+    def append_point(self, point: DataPoint) -> List[EncryptedChunk]:
+        """Add an already fixed-point encoded data point."""
+        return self._handle_completed(self._builder.append(point))
+
+    def extend(self, points: Iterable[DataPoint]) -> List[EncryptedChunk]:
+        """Add many pre-encoded points."""
+        return self._handle_completed(self._builder.extend(points))
+
+    def flush(self) -> List[EncryptedChunk]:
+        """Seal and send the currently open chunk."""
+        return self._handle_completed(self._builder.flush())
+
+    def _handle_completed(self, chunks: List[Chunk]) -> List[EncryptedChunk]:
+        encrypted = [self.encrypt_chunk(chunk) for chunk in chunks]
+        for item in encrypted:
+            self.sink(item)
+            self.chunks_written += 1
+            self.records_written += item.num_points
+        return encrypted
+
+    # -- chunk encryption --------------------------------------------------------------
+
+    def encrypt_chunk(self, chunk: Chunk) -> EncryptedChunk:
+        """Encrypt one plaintext chunk (digest with HEAC, payload with AEAD)."""
+        if chunk.window_index >= self.config.max_chunks:
+            raise ChunkError(
+                f"window {chunk.window_index} exceeds the stream's keystream capacity "
+                f"({self.config.max_chunks} chunks)"
+            )
+        digest_cells = self.cipher.encrypt_vector(chunk.digest.values, chunk.window_index)
+        payload_key = self.cipher.chunk_payload_key(chunk.window_index)
+        compressed = self._codec.compress(chunk.points)
+        aad = f"{self.stream_uuid}:{chunk.window_index}".encode("utf-8")
+        payload = aead_encrypt(
+            payload_key, compressed, aad, force_pure_python=self.use_pure_python_aead
+        )
+        return EncryptedChunk(
+            stream_uuid=self.stream_uuid,
+            window_index=chunk.window_index,
+            payload=payload,
+            digest=digest_cells,
+            num_points=chunk.num_points,
+        )
+
+
+def write_points(
+    writer: StreamWriter, points: Iterable[DataPoint], flush: bool = True
+) -> int:
+    """Convenience helper: push a complete point sequence through a writer.
+
+    Returns the number of chunks written (including the final flush).
+    """
+    before = writer.chunks_written
+    writer.extend(points)
+    if flush:
+        writer.flush()
+    return writer.chunks_written - before

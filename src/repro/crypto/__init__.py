@@ -1,0 +1,35 @@
+"""Cryptographic substrates for the TimeCrypt reproduction.
+
+This package contains every cryptographic building block the paper uses or
+compares against:
+
+* :mod:`repro.crypto.prf` — PRF/PRG abstractions (SHA-256, BLAKE2b, AES).
+* :mod:`repro.crypto.aes` / :mod:`repro.crypto.gcm` — AES and AES-GCM, with a
+  pure-Python reference path and an optional fast backend.
+* :mod:`repro.crypto.chacha` — ChaCha20-Poly1305 (RFC 8439) from scratch.
+* :mod:`repro.crypto.keytree` — the GGM key-derivation tree with access tokens.
+* :mod:`repro.crypto.heac` — the Homomorphic Encryption-based Access Control
+  scheme (key-cancelling additive stream cipher).
+* :mod:`repro.crypto.hashchain` / :mod:`repro.crypto.keyregression` — hash
+  chains and single/dual key regression for resolution keystreams.
+* :mod:`repro.crypto.paillier` / :mod:`repro.crypto.ecelgamal` — the strawman
+  additively-homomorphic schemes the paper benchmarks against.
+* :mod:`repro.crypto.abe` — an attribute-gated scheme with a calibrated cost
+  model standing in for pairing-based ABE (Sieve).
+"""
+
+from repro.crypto.heac import HEACCipher, HEACCiphertext
+from repro.crypto.keytree import KeyDerivationTree, TreeToken
+from repro.crypto.keyregression import DualKeyRegression, KeyRegression
+from repro.crypto.prf import PRG, get_prg
+
+__all__ = [
+    "HEACCipher",
+    "HEACCiphertext",
+    "KeyDerivationTree",
+    "TreeToken",
+    "KeyRegression",
+    "DualKeyRegression",
+    "PRG",
+    "get_prg",
+]

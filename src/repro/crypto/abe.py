@@ -1,0 +1,169 @@
+"""Attribute-gated encryption with a calibrated ABE cost model (paper §6.2).
+
+The paper compares TimeCrypt's access-control path against attribute-based
+encryption as used by Sieve: each chunk is protected under an attribute (its
+chunk counter), principals receive keys whose attributes describe the ranges
+they may read, and resolution access requires a proxy to re-aggregate.
+
+Real CP-ABE requires bilinear pairings, which we cannot implement credibly in
+pure Python within this project's scope.  The substitution (documented in
+DESIGN.md §3) is:
+
+* **Functional layer** — a symmetric attribute-gated scheme: every chunk key is
+  wrapped once per matching attribute policy with an HMAC-derived KEK, so the
+  grant/deny *semantics* (which principal can open which chunk) are enforced
+  for real and exercised by tests.
+* **Cost layer** — a :class:`ABECostModel` that charges the paper's measured
+  pairing costs (53 ms per chunk encryption, 13 ms per chunk decryption at
+  80-bit security, scaling linearly in the number of attributes) so the §6.2
+  comparison keeps its shape without pretending Python HMACs are pairings.
+
+Benchmarks report both the modelled latency and the actually measured
+functional-layer latency, clearly labelled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.crypto.prf import kdf, prf
+from repro.exceptions import AccessDeniedError
+
+#: Paper-reported per-chunk costs for the ABE baseline (seconds, 80-bit security,
+#: one attribute).  Used by the cost model, not by the functional layer.
+ABE_ENCRYPT_SECONDS_PER_ATTRIBUTE = 0.053
+ABE_DECRYPT_SECONDS_PER_ATTRIBUTE = 0.013
+
+
+@dataclass
+class ABECostModel:
+    """Accumulates the modelled pairing cost of ABE operations."""
+
+    encrypt_seconds_per_attribute: float = ABE_ENCRYPT_SECONDS_PER_ATTRIBUTE
+    decrypt_seconds_per_attribute: float = ABE_DECRYPT_SECONDS_PER_ATTRIBUTE
+    modelled_encrypt_seconds: float = 0.0
+    modelled_decrypt_seconds: float = 0.0
+    encrypt_operations: int = 0
+    decrypt_operations: int = 0
+
+    def charge_encrypt(self, num_attributes: int = 1) -> float:
+        cost = self.encrypt_seconds_per_attribute * max(1, num_attributes)
+        self.modelled_encrypt_seconds += cost
+        self.encrypt_operations += 1
+        return cost
+
+    def charge_decrypt(self, num_attributes: int = 1) -> float:
+        cost = self.decrypt_seconds_per_attribute * max(1, num_attributes)
+        self.modelled_decrypt_seconds += cost
+        self.decrypt_operations += 1
+        return cost
+
+    @property
+    def total_modelled_seconds(self) -> float:
+        return self.modelled_encrypt_seconds + self.modelled_decrypt_seconds
+
+
+@dataclass(frozen=True)
+class AttributeKey:
+    """A principal's key for a contiguous chunk-counter attribute range."""
+
+    principal_id: str
+    start: int
+    end: int  # exclusive
+    secret: bytes
+
+    def covers(self, chunk_counter: int) -> bool:
+        return self.start <= chunk_counter < self.end
+
+
+@dataclass
+class ABEAuthority:
+    """The data owner's side: issues attribute keys and wraps chunk keys.
+
+    The master secret plays the role of the ABE master key; per-range
+    principal keys are PRF-derived, and a chunk key for counter ``c`` can be
+    unwrapped by any principal key whose range covers ``c``.
+    """
+
+    master_secret: bytes
+    cost_model: ABECostModel = field(default_factory=ABECostModel)
+
+    def issue_key(self, principal_id: str, start: int, end: int) -> AttributeKey:
+        """Issue a per-range attribute key (the analogue of an ABE secret key).
+
+        The secret is range-specific (not principal-specific) so that the
+        server-side wrapping published by :func:`wrap_chunk_key` can be opened
+        by any principal granted that range, mirroring ABE policy matching.
+        """
+        if end <= start:
+            raise ValueError("attribute range must be non-empty")
+        secret = kdf(self.master_secret, f"abe-range:{start}:{end}")
+        return AttributeKey(principal_id=principal_id, start=start, end=end, secret=secret)
+
+    def chunk_kek(self, chunk_counter: int) -> bytes:
+        """The key-encryption key protecting chunk ``chunk_counter``."""
+        self.cost_model.charge_encrypt(num_attributes=1)
+        return kdf(self.master_secret, f"abe-chunk:{chunk_counter}")
+
+    def wrap_for_range(self, chunk_counter: int, start: int, end: int) -> bytes:
+        """The wrapping value a principal with range ``[start, end)`` can recompute."""
+        range_secret = kdf(self.master_secret, f"abe-range:{start}:{end}")
+        return prf(range_secret, chunk_counter.to_bytes(8, "big"))
+
+
+class ABEPrincipal:
+    """A data consumer holding attribute keys for one or more ranges."""
+
+    def __init__(self, principal_id: str, cost_model: ABECostModel | None = None) -> None:
+        self.principal_id = principal_id
+        self._keys: List[AttributeKey] = []
+        self.cost_model = cost_model or ABECostModel()
+
+    def add_key(self, key: AttributeKey) -> None:
+        if key.principal_id != self.principal_id:
+            raise AccessDeniedError("attribute key issued to a different principal")
+        self._keys.append(key)
+
+    def covered_ranges(self) -> List[Sequence[int]]:
+        return [(key.start, key.end) for key in self._keys]
+
+    def unwrap(self, authority_public_hint: Dict[str, bytes], chunk_counter: int) -> bytes:
+        """Recover the chunk KEK for ``chunk_counter``; denies outside held ranges.
+
+        ``authority_public_hint`` maps ``"start:end"`` range labels to the
+        wrapped chunk KEK (KEK XOR range-derived pad), as published by the
+        authority alongside each chunk.
+        """
+        for key in self._keys:
+            if not key.covers(chunk_counter):
+                continue
+            label = f"{key.start}:{key.end}"
+            wrapped = authority_public_hint.get(label)
+            if wrapped is None:
+                continue
+            self.cost_model.charge_decrypt(num_attributes=1)
+            pad = prf(key.secret, chunk_counter.to_bytes(8, "big"), len(wrapped))
+            return bytes(a ^ b for a, b in zip(wrapped, pad))
+        raise AccessDeniedError(
+            f"principal {self.principal_id} holds no attribute covering chunk {chunk_counter}"
+        )
+
+
+def wrap_chunk_key(
+    authority: ABEAuthority, chunk_counter: int, granted_ranges: Sequence[Sequence[int]]
+) -> Dict[str, bytes]:
+    """Publish the per-range wrappings of a chunk KEK (what the server stores).
+
+    Each granted range gets the chunk KEK XOR-ed with a pad only principals
+    holding that range's key can regenerate.
+    """
+    kek = kdf(authority.master_secret, f"abe-chunk:{chunk_counter}")
+    wrappings: Dict[str, bytes] = {}
+    for start, end in granted_ranges:
+        if not (start <= chunk_counter < end):
+            continue
+        range_key = kdf(authority.master_secret, f"abe-range:{start}:{end}")
+        pad = prf(range_key, chunk_counter.to_bytes(8, "big"), len(kek))
+        wrappings[f"{start}:{end}"] = bytes(a ^ b for a, b in zip(kek, pad))
+    return wrappings

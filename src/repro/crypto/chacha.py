@@ -1,0 +1,157 @@
+"""ChaCha20-Poly1305 authenticated encryption (RFC 8439), from scratch.
+
+TimeCrypt only requires *an* AEAD for chunk payloads (the paper uses
+AES-GCM-128).  We additionally provide ChaCha20-Poly1305 as an alternative
+chunk cipher: it is attractive for the IoT data producers the paper targets
+(OpenMote-class devices without AES hardware), and having a second,
+independently implemented AEAD lets the test suite cross-check the chunk
+encryption layer.
+
+The implementation follows RFC 8439: the ChaCha20 block function, the
+Poly1305 one-time authenticator keyed from the first keystream block, and the
+standard AEAD construction (AAD || pad || ciphertext || pad || lengths).
+"""
+
+from __future__ import annotations
+
+import hmac
+import os
+import struct
+from typing import List, Optional
+
+from repro.exceptions import IntegrityError
+
+KEY_BYTES = 32
+NONCE_BYTES = 12
+TAG_BYTES = 16
+
+_MASK32 = 0xFFFFFFFF
+
+
+def _rotl32(value: int, count: int) -> int:
+    return ((value << count) & _MASK32) | (value >> (32 - count))
+
+
+def _quarter_round(state: List[int], a: int, b: int, c: int, d: int) -> None:
+    state[a] = (state[a] + state[b]) & _MASK32
+    state[d] = _rotl32(state[d] ^ state[a], 16)
+    state[c] = (state[c] + state[d]) & _MASK32
+    state[b] = _rotl32(state[b] ^ state[c], 12)
+    state[a] = (state[a] + state[b]) & _MASK32
+    state[d] = _rotl32(state[d] ^ state[a], 8)
+    state[c] = (state[c] + state[d]) & _MASK32
+    state[b] = _rotl32(state[b] ^ state[c], 7)
+
+
+def chacha20_block(key: bytes, counter: int, nonce: bytes) -> bytes:
+    """The ChaCha20 block function: 64 bytes of keystream."""
+    if len(key) != KEY_BYTES:
+        raise ValueError("ChaCha20 key must be 32 bytes")
+    if len(nonce) != NONCE_BYTES:
+        raise ValueError("ChaCha20 nonce must be 12 bytes")
+    constants = (0x61707865, 0x3320646E, 0x79622D32, 0x6B206574)
+    state = list(constants) + list(struct.unpack("<8L", key)) + [counter & _MASK32] + list(
+        struct.unpack("<3L", nonce)
+    )
+    working = list(state)
+    for _ in range(10):
+        _quarter_round(working, 0, 4, 8, 12)
+        _quarter_round(working, 1, 5, 9, 13)
+        _quarter_round(working, 2, 6, 10, 14)
+        _quarter_round(working, 3, 7, 11, 15)
+        _quarter_round(working, 0, 5, 10, 15)
+        _quarter_round(working, 1, 6, 11, 12)
+        _quarter_round(working, 2, 7, 8, 13)
+        _quarter_round(working, 3, 4, 9, 14)
+    output = [(w + s) & _MASK32 for w, s in zip(working, state)]
+    return struct.pack("<16L", *output)
+
+
+def chacha20_xor(key: bytes, nonce: bytes, data: bytes, initial_counter: int = 1) -> bytes:
+    """Encrypt/decrypt ``data`` with the ChaCha20 stream cipher."""
+    out = bytearray()
+    counter = initial_counter
+    for offset in range(0, len(data), 64):
+        keystream = chacha20_block(key, counter, nonce)
+        block = data[offset : offset + 64]
+        out += bytes(a ^ b for a, b in zip(block, keystream))
+        counter += 1
+    return bytes(out)
+
+
+def poly1305_mac(key: bytes, message: bytes) -> bytes:
+    """Compute the Poly1305 authenticator of ``message`` under a 32-byte key."""
+    if len(key) != 32:
+        raise ValueError("Poly1305 key must be 32 bytes")
+    r = int.from_bytes(key[:16], "little") & 0x0FFFFFFC0FFFFFFC0FFFFFFC0FFFFFFF
+    s = int.from_bytes(key[16:], "little")
+    prime = (1 << 130) - 5
+    accumulator = 0
+    for offset in range(0, len(message), 16):
+        block = message[offset : offset + 16]
+        n = int.from_bytes(block + b"\x01", "little")
+        accumulator = ((accumulator + n) * r) % prime
+    return ((accumulator + s) & ((1 << 128) - 1)).to_bytes(16, "little")
+
+
+def _pad16(data: bytes) -> bytes:
+    remainder = len(data) % 16
+    return b"" if remainder == 0 else b"\x00" * (16 - remainder)
+
+
+def _aead_mac_data(aad: bytes, ciphertext: bytes) -> bytes:
+    return (
+        aad
+        + _pad16(aad)
+        + ciphertext
+        + _pad16(ciphertext)
+        + struct.pack("<Q", len(aad))
+        + struct.pack("<Q", len(ciphertext))
+    )
+
+
+class ChaCha20Poly1305:
+    """The RFC 8439 AEAD construction."""
+
+    def __init__(self, key: bytes) -> None:
+        if len(key) != KEY_BYTES:
+            raise ValueError("ChaCha20-Poly1305 key must be 32 bytes")
+        self._key = key
+
+    def _one_time_key(self, nonce: bytes) -> bytes:
+        return chacha20_block(self._key, 0, nonce)[:32]
+
+    def encrypt(self, nonce: bytes, plaintext: bytes, aad: bytes = b"") -> bytes:
+        """Return ``ciphertext || tag``."""
+        ciphertext = chacha20_xor(self._key, nonce, plaintext)
+        tag = poly1305_mac(self._one_time_key(nonce), _aead_mac_data(aad, ciphertext))
+        return ciphertext + tag
+
+    def decrypt(self, nonce: bytes, data: bytes, aad: bytes = b"") -> bytes:
+        """Verify and decrypt ``ciphertext || tag``; raises on tampering."""
+        if len(data) < TAG_BYTES:
+            raise IntegrityError("ciphertext shorter than the Poly1305 tag")
+        ciphertext, tag = data[:-TAG_BYTES], data[-TAG_BYTES:]
+        expected = poly1305_mac(self._one_time_key(nonce), _aead_mac_data(aad, ciphertext))
+        if not hmac.compare_digest(tag, expected):
+            raise IntegrityError("ChaCha20-Poly1305 tag mismatch")
+        return chacha20_xor(self._key, nonce, ciphertext)
+
+
+def chacha_encrypt(
+    key: bytes, plaintext: bytes, aad: bytes = b"", nonce: Optional[bytes] = None
+) -> bytes:
+    """Encrypt returning ``nonce || ciphertext || tag`` (random nonce by default)."""
+    if nonce is None:
+        nonce = os.urandom(NONCE_BYTES)
+    if len(nonce) != NONCE_BYTES:
+        raise ValueError(f"nonce must be {NONCE_BYTES} bytes")
+    return nonce + ChaCha20Poly1305(key).encrypt(nonce, plaintext, aad)
+
+
+def chacha_decrypt(key: bytes, blob: bytes, aad: bytes = b"") -> bytes:
+    """Decrypt a blob produced by :func:`chacha_encrypt`."""
+    if len(blob) < NONCE_BYTES + TAG_BYTES:
+        raise IntegrityError("AEAD blob too short")
+    nonce, body = blob[:NONCE_BYTES], blob[NONCE_BYTES:]
+    return ChaCha20Poly1305(key).decrypt(nonce, body, aad)

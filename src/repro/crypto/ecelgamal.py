@@ -1,0 +1,134 @@
+"""Additive (lifted) EC-ElGamal — the paper's second strawman digest cipher.
+
+Plaintexts are encoded "in the exponent": ``Enc(m) = (r·G, m·G + r·Q)`` for
+public key ``Q = x·G``.  Adding ciphertexts component-wise adds plaintexts,
+so the scheme is additively homomorphic, but decryption recovers ``m·G`` and
+must solve a small discrete logarithm to get ``m`` back.  We use a
+baby-step/giant-step table, which works for the aggregate magnitudes a
+monitoring digest reaches but makes decryption expensive and bounded — the
+exact drawback the paper's evaluation highlights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.crypto import ecc
+from repro.exceptions import DecryptionError
+
+
+@dataclass(frozen=True)
+class ECElGamalCiphertext:
+    """A lifted-ElGamal ciphertext ``(c1, c2) = (r·G, m·G + r·Q)``."""
+
+    c1: ecc.Point
+    c2: ecc.Point
+
+    def encode(self) -> bytes:
+        return self.c1.encode() + self.c2.encode()
+
+    @property
+    def size_bytes(self) -> int:
+        """Serialized size; drives the strawman's index-size expansion."""
+        return len(self.encode())
+
+
+class ECElGamal:
+    """Additive EC-ElGamal over P-256 with baby-step/giant-step decryption.
+
+    Parameters
+    ----------
+    private_key:
+        The decryption scalar; omit it to build an encrypt/aggregate-only
+        instance (as the untrusted server would hold).
+    max_plaintext:
+        Upper bound (exclusive) on decryptable aggregates.  The baby-step
+        table costs O(sqrt(max_plaintext)) space and each decryption costs
+        O(sqrt(max_plaintext)) group operations.
+    """
+
+    def __init__(
+        self,
+        public_key: ecc.Point,
+        private_key: Optional[int] = None,
+        max_plaintext: int = 1 << 32,
+    ) -> None:
+        self._public = public_key
+        self._private = private_key
+        self._max_plaintext = max_plaintext
+        self._baby_steps: Optional[Dict[bytes, int]] = None
+        self._baby_count = 0
+
+    @classmethod
+    def generate(cls, max_plaintext: int = 1 << 32) -> "ECElGamal":
+        private, public = ecc.generate_keypair()
+        return cls(public_key=public, private_key=private, max_plaintext=max_plaintext)
+
+    @property
+    def public_key(self) -> ecc.Point:
+        return self._public
+
+    def public_instance(self) -> "ECElGamal":
+        """An instance without the private key (what the server holds)."""
+        return ECElGamal(self._public, None, self._max_plaintext)
+
+    # -- encryption / homomorphism -------------------------------------------
+
+    def encrypt(self, plaintext: int, randomness: Optional[int] = None) -> ECElGamalCiphertext:
+        if plaintext < 0:
+            raise ValueError("lifted ElGamal plaintexts must be non-negative")
+        r = randomness if randomness is not None else ecc.random_scalar()
+        c1 = ecc.scalar_mult(r)
+        shared = ecc.scalar_mult(r, self._public)
+        message_point = ecc.scalar_mult(plaintext) if plaintext else ecc.INFINITY
+        c2 = ecc.point_add(message_point, shared)
+        return ECElGamalCiphertext(c1=c1, c2=c2)
+
+    @staticmethod
+    def add(a: ECElGamalCiphertext, b: ECElGamalCiphertext) -> ECElGamalCiphertext:
+        """Homomorphic addition (two point additions)."""
+        return ECElGamalCiphertext(
+            c1=ecc.point_add(a.c1, b.c1), c2=ecc.point_add(a.c2, b.c2)
+        )
+
+    # -- decryption ------------------------------------------------------------
+
+    def _ensure_baby_table(self) -> Tuple[Dict[bytes, int], int]:
+        if self._baby_steps is None:
+            count = int(self._max_plaintext ** 0.5) + 1
+            table: Dict[bytes, int] = {}
+            point = ecc.INFINITY
+            for i in range(count):
+                table[point.encode()] = i
+                point = ecc.point_add(point, ecc.GENERATOR)
+            self._baby_steps = table
+            self._baby_count = count
+        return self._baby_steps, self._baby_count
+
+    def decrypt(self, ciphertext: ECElGamalCiphertext) -> int:
+        """Recover the aggregated plaintext (small discrete log)."""
+        if self._private is None:
+            raise DecryptionError("no EC-ElGamal private key available")
+        shared = ecc.scalar_mult(self._private, ciphertext.c1)
+        message_point = ecc.point_sub(ciphertext.c2, shared)
+        return self._discrete_log(message_point)
+
+    def _discrete_log(self, point: ecc.Point) -> int:
+        if point.is_infinity:
+            return 0
+        table, count = self._ensure_baby_table()
+        # Giant steps: point - j*(count*G) for j in [0, count).
+        giant_stride = ecc.point_neg(ecc.scalar_mult(count))
+        current = point
+        for giant in range(count + 1):
+            hit = table.get(current.encode())
+            if hit is not None:
+                value = giant * count + hit
+                if value < self._max_plaintext:
+                    return value
+                break
+            current = ecc.point_add(current, giant_stride)
+        raise DecryptionError(
+            f"EC-ElGamal aggregate exceeds the decodable bound {self._max_plaintext}"
+        )

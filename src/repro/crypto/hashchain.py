@@ -1,0 +1,108 @@
+"""Hash chains: the primitive underneath key regression (paper §A.2).
+
+A hash chain is a sequence of states ``s_n -> s_{n-1} -> ... -> s_0`` where
+``s_{i-1} = MSB_λ(G(s_i))`` for a length-expanding one-way function ``G``.
+Walking the chain "forward" (towards lower indices) is cheap; inverting it is
+infeasible.  Key regression exploits this asymmetry: handing out state ``s_i``
+grants the ability to compute every state (and thus key) with index ``<= i``
+but nothing newer.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List
+
+from repro.exceptions import KeyDerivationError
+
+STATE_BYTES = 16
+KEY_BYTES = 16
+
+
+def expand(state: bytes) -> bytes:
+    """Length-expanding one-way function ``G: {0,1}^λ -> {0,1}^{λ+l}``.
+
+    Implemented as BLAKE2b with 32-byte output; the first 16 bytes are the
+    "MSB" half (the next state), the last 16 bytes the "LSB" half (the key).
+    """
+    if len(state) != STATE_BYTES:
+        raise ValueError(f"hash-chain state must be {STATE_BYTES} bytes")
+    return hashlib.blake2b(state, digest_size=STATE_BYTES + KEY_BYTES, person=b"tc-hashchain0000").digest()
+
+
+def next_state(state: bytes) -> bytes:
+    """``MSB_λ(G(state))`` — one step along the chain."""
+    return expand(state)[:STATE_BYTES]
+
+
+def state_key(state: bytes) -> bytes:
+    """``LSB_l(G(state))`` — the key derived from a state."""
+    return expand(state)[STATE_BYTES:]
+
+
+def walk(state: bytes, steps: int) -> bytes:
+    """Apply :func:`next_state` ``steps`` times."""
+    if steps < 0:
+        raise KeyDerivationError("cannot walk a hash chain backwards")
+    current = state
+    for _ in range(steps):
+        current = next_state(current)
+    return current
+
+
+class HashChain:
+    """A materialised hash chain of ``length`` states.
+
+    The chain is generated from a random ``seed`` assigned to the *last*
+    state ``s_{length-1}``; earlier states are derived by repeated hashing.
+    For long chains, materialising every state costs O(n) memory; the
+    ``checkpoint_interval`` option keeps only every k-th state and re-derives
+    the rest on demand (O(n/k) memory, O(k) worst-case lookup), which is how
+    we keep million-entry resolution keystreams practical.
+    """
+
+    def __init__(self, seed: bytes, length: int, checkpoint_interval: int = 64) -> None:
+        if len(seed) != STATE_BYTES:
+            raise ValueError(f"seed must be {STATE_BYTES} bytes")
+        if length <= 0:
+            raise ValueError("chain length must be positive")
+        if checkpoint_interval <= 0:
+            raise ValueError("checkpoint interval must be positive")
+        self._length = length
+        self._interval = checkpoint_interval
+        self._checkpoints: Dict[int, bytes] = {}
+        # Generate from the tail (index length-1) towards the head (index 0),
+        # storing checkpoints along the way.
+        state = seed
+        for index in range(length - 1, -1, -1):
+            if index % checkpoint_interval == 0 or index == length - 1:
+                self._checkpoints[index] = state
+            if index > 0:
+                state = next_state(state)
+
+    @property
+    def length(self) -> int:
+        return self._length
+
+    def state(self, index: int) -> bytes:
+        """The chain state ``s_index``."""
+        if not 0 <= index < self._length:
+            raise KeyDerivationError(f"chain index {index} out of range [0, {self._length})")
+        cached = self._checkpoints.get(index)
+        if cached is not None:
+            return cached
+        # The nearest checkpoint with a *higher* index can walk down to us.
+        checkpoint_index = ((index // self._interval) + 1) * self._interval
+        checkpoint_index = min(checkpoint_index, self._length - 1)
+        checkpoint = self._checkpoints.get(checkpoint_index)
+        if checkpoint is None:
+            raise KeyDerivationError(f"missing checkpoint for index {index}")
+        return walk(checkpoint, checkpoint_index - index)
+
+    def key(self, index: int) -> bytes:
+        """The key derived from state ``s_index``."""
+        return state_key(self.state(index))
+
+    def states(self, start: int, end: int) -> List[bytes]:
+        """States for indices ``[start, end)`` in order."""
+        return [self.state(i) for i in range(start, end)]

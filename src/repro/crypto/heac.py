@@ -1,0 +1,250 @@
+"""HEAC: Homomorphic Encryption-based Access Control (paper §4.2, §A.1).
+
+HEAC is a symmetric, additively homomorphic stream cipher with a key encoding
+that makes contiguous-range aggregation cheap to decrypt:
+
+* Encryption of the digest value ``m_i`` for chunk window ``i`` is
+  ``c_i = m_i + (k_i - k_{i+1})  mod M`` with ``M = 2^64``.
+* Adding ciphertexts adds plaintexts (mod M).
+* For a contiguous range ``[i, j)`` the inner keys telescope away, so
+  decryption of ``sum(c_i .. c_{j-1})`` needs only ``k_i`` and ``k_j``
+  ("key cancelling", §4.2.2) — this is also what enables resolution-based
+  access control via outer-key sharing (§4.4.1).
+
+Keys come from the GGM key-derivation tree (:mod:`repro.crypto.keytree`);
+any object exposing ``leaf(index) -> bytes`` works as a keystream, so both
+the data owner's full tree and a consumer's token-derived partial keystream
+plug in directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Protocol, Sequence
+
+from repro.crypto.prf import kdf
+from repro.exceptions import DecryptionError, KeyDerivationError
+
+#: Plaintext/ciphertext ring modulus.  The paper sets M = 2^64 so that any
+#: 64-bit integer can be encrypted without leaking its magnitude.
+MODULUS = 1 << 64
+_MASK = MODULUS - 1
+
+
+class Keystream(Protocol):
+    """Anything that can produce the i-th 16-byte keystream key."""
+
+    def leaf(self, leaf_index: int) -> bytes:  # pragma: no cover - protocol
+        ...
+
+
+@dataclass(frozen=True)
+class HEACCiphertext:
+    """A HEAC ciphertext tagged with the chunk-window interval it covers.
+
+    ``window_start`` / ``window_end`` identify the half-open keystream
+    interval ``[window_start, window_end)`` the ciphertext aggregates over.
+    A freshly encrypted per-chunk digest value has ``window_end ==
+    window_start + 1``.  Homomorphic addition of adjacent ciphertexts widens
+    the interval; the interval is exactly what determines which two outer
+    keys decrypt the aggregate.
+    """
+
+    value: int
+    window_start: int
+    window_end: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.value < MODULUS:
+            raise ValueError("HEAC ciphertext value outside the 64-bit ring")
+        if self.window_end <= self.window_start:
+            raise ValueError("HEAC ciphertext must cover a non-empty window interval")
+
+    @property
+    def num_windows(self) -> int:
+        return self.window_end - self.window_start
+
+    def __add__(self, other: "HEACCiphertext") -> "HEACCiphertext":
+        """Homomorphic addition of ciphertexts over adjacent window intervals."""
+        if not isinstance(other, HEACCiphertext):
+            return NotImplemented
+        if self.window_end == other.window_start:
+            first, second = self, other
+        elif other.window_end == self.window_start:
+            first, second = other, self
+        else:
+            raise ValueError(
+                "HEAC ciphertexts can only be combined over adjacent window intervals; "
+                f"got [{self.window_start},{self.window_end}) and "
+                f"[{other.window_start},{other.window_end})"
+            )
+        return HEACCiphertext(
+            value=(first.value + second.value) & _MASK,
+            window_start=first.window_start,
+            window_end=second.window_end,
+        )
+
+    def add_scalar(self, plaintext_delta: int) -> "HEACCiphertext":
+        """Homomorphically add a known plaintext constant."""
+        return HEACCiphertext(
+            value=(self.value + plaintext_delta) & _MASK,
+            window_start=self.window_start,
+            window_end=self.window_end,
+        )
+
+
+def key_to_int(key: bytes) -> int:
+    """Length-matching hash: fold a 128-bit key into the 64-bit ring (§A.1.5).
+
+    The paper folds the PRF output by XOR-ing fixed-size substrings; the
+    result stays uniform over ``[0, 2^64)``.
+    """
+    if len(key) < 16:
+        raise ValueError("keystream keys must be at least 16 bytes")
+    high = int.from_bytes(key[:8], "big")
+    low = int.from_bytes(key[8:16], "big")
+    return (high ^ low) & _MASK
+
+
+class HEACCipher:
+    """Encrypt/decrypt per-window digest values with the key-cancelling encoding."""
+
+    def __init__(self, keystream: Keystream) -> None:
+        self._keystream = keystream
+
+    # -- key material -------------------------------------------------------
+
+    def window_key(self, window_index: int) -> int:
+        """The 64-bit additive key ``k_i`` for window ``i``."""
+        return key_to_int(self._keystream.leaf(window_index))
+
+    def encoded_key(self, window_index: int) -> int:
+        """The encoded one-time pad ``k_i - k_{i+1} mod M``."""
+        return (self.window_key(window_index) - self.window_key(window_index + 1)) & _MASK
+
+    def chunk_payload_key(self, window_index: int, length: int = 16) -> bytes:
+        """Derive the AEAD key for the raw chunk payload of window ``i``.
+
+        The paper uses ``H(k_i - k_{i+1})``; we use a domain-separated PRF of
+        the encoded key so payload keys are independent of digest pads.
+        """
+        encoded = self.encoded_key(window_index).to_bytes(8, "big")
+        return kdf(self._keystream.leaf(window_index), "chunk-payload:" + encoded.hex(), length)
+
+    # -- encryption / decryption ---------------------------------------------
+
+    def encrypt(self, plaintext: int, window_index: int) -> HEACCiphertext:
+        """Encrypt the digest value of chunk window ``window_index``."""
+        value = (plaintext + self.encoded_key(window_index)) & _MASK
+        return HEACCiphertext(value=value, window_start=window_index, window_end=window_index + 1)
+
+    def encrypt_vector(self, plaintexts: Sequence[int], window_index: int) -> List[HEACCiphertext]:
+        """Encrypt a digest vector; each component gets an independent pad.
+
+        Component ``j`` is padded with keys derived for the sub-position
+        ``window_index`` of a component-specific keystream slice, realised by
+        mixing the component index into the keystream key via the PRF.  This
+        keeps one tree per stream while never reusing a pad.
+        """
+        return [
+            HEACCiphertext(
+                value=(plaintext + self._component_pad(window_index, component)) & _MASK,
+                window_start=window_index,
+                window_end=window_index + 1,
+            )
+            for component, plaintext in enumerate(plaintexts)
+        ]
+
+    def decrypt(self, ciphertext: HEACCiphertext) -> int:
+        """Decrypt a (possibly range-aggregated) ciphertext.
+
+        Only the two outer keys ``k_start`` and ``k_end`` are needed; a
+        consumer whose keystream cannot derive them gets a
+        :class:`DecryptionError` — that failure *is* the access-control
+        enforcement.
+        """
+        try:
+            outer_start = self.window_key(ciphertext.window_start)
+            outer_end = self.window_key(ciphertext.window_end)
+        except KeyDerivationError as exc:
+            raise DecryptionError(
+                "missing outer keys for windows "
+                f"[{ciphertext.window_start}, {ciphertext.window_end})"
+            ) from exc
+        return (ciphertext.value - outer_start + outer_end) & _MASK
+
+    def decrypt_vector(
+        self, ciphertexts: Sequence[HEACCiphertext], component_offset: int = 0
+    ) -> List[int]:
+        """Decrypt a vector of per-component range aggregates."""
+        plaintexts = []
+        for component, ciphertext in enumerate(ciphertexts, start=component_offset):
+            pad = (
+                self._component_outer_pad(ciphertext.window_start, component)
+                - self._component_outer_pad(ciphertext.window_end, component)
+            ) & _MASK
+            plaintexts.append((ciphertext.value - pad) & _MASK)
+        return plaintexts
+
+    def outer_pad(self, window_start: int, window_end: int, component: int = 0) -> int:
+        """The additive pad covering ``[window_start, window_end)`` for one component.
+
+        Subtracting this pad from a range-aggregated ciphertext value yields
+        the plaintext aggregate; it is what remains after all inner keys
+        cancel.  Exposed for multi-stream decryption, where pads from several
+        streams are removed from one combined value.
+        """
+        return (
+            self._component_key(window_start, component)
+            - self._component_key(window_end, component)
+        ) & _MASK
+
+    def decrypt_signed(self, ciphertext: HEACCiphertext) -> int:
+        """Decrypt and reinterpret the 64-bit result as a signed integer."""
+        value = self.decrypt(ciphertext)
+        return value - MODULUS if value >= MODULUS // 2 else value
+
+    # -- component pads ------------------------------------------------------
+
+    def _component_key(self, window_index: int, component: int) -> int:
+        if component == 0:
+            return self.window_key(window_index)
+        derived = kdf(self._keystream.leaf(window_index), f"digest-component:{component}")
+        return key_to_int(derived)
+
+    def _component_outer_pad(self, window_index: int, component: int) -> int:
+        return self._component_key(window_index, component)
+
+    def _component_pad(self, window_index: int, component: int) -> int:
+        return (
+            self._component_key(window_index, component)
+            - self._component_key(window_index + 1, component)
+        ) & _MASK
+
+
+def aggregate(ciphertexts: Iterable[HEACCiphertext]) -> HEACCiphertext:
+    """Homomorphically sum ciphertexts covering a contiguous window range.
+
+    The inputs may arrive in any order; they are sorted by window interval
+    and must tile a contiguous range with no gaps or overlaps.
+    """
+    ordered = sorted(ciphertexts, key=lambda c: c.window_start)
+    if not ordered:
+        raise ValueError("cannot aggregate an empty ciphertext sequence")
+    result = ordered[0]
+    for ciphertext in ordered[1:]:
+        result = result + ciphertext
+    return result
+
+
+def aggregate_componentwise(
+    vectors: Iterable[Sequence[HEACCiphertext]],
+) -> List[HEACCiphertext]:
+    """Aggregate digest vectors component by component."""
+    materialised = [list(vector) for vector in vectors]
+    if not materialised:
+        raise ValueError("cannot aggregate an empty vector sequence")
+    width = len(materialised[0])
+    if any(len(vector) != width for vector in materialised):
+        raise ValueError("all digest vectors must have the same number of components")
+    return [aggregate(vector[i] for vector in materialised) for i in range(width)]

@@ -1,0 +1,81 @@
+"""Hybrid (ECIES-style) public-key encryption for access tokens.
+
+TimeCrypt stores access tokens on the untrusted server, encrypted under each
+principal's public key ("hybrid encryption", §3.2).  We realise this with an
+ECIES construction over the P-256 group from :mod:`repro.crypto.ecc`:
+
+* an ephemeral keypair is generated per message,
+* the shared secret ``ephemeral_priv · recipient_pub`` is hashed into an AEAD
+  key,
+* the payload is sealed with AES-GCM (or the pure-Python fallback).
+
+The identity provider mapping principal identities to public keys (Keybase in
+the paper) is modelled in :mod:`repro.access.principal`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.crypto import ecc
+from repro.crypto.gcm import aead_decrypt, aead_encrypt
+from repro.exceptions import DecryptionError
+
+
+@dataclass(frozen=True)
+class HybridCiphertext:
+    """An ECIES envelope: ephemeral public point plus sealed payload."""
+
+    ephemeral_public: bytes
+    sealed: bytes
+
+    def encode(self) -> bytes:
+        return (
+            len(self.ephemeral_public).to_bytes(2, "big")
+            + self.ephemeral_public
+            + self.sealed
+        )
+
+    @staticmethod
+    def decode(blob: bytes) -> "HybridCiphertext":
+        if len(blob) < 2:
+            raise DecryptionError("hybrid ciphertext too short")
+        point_len = int.from_bytes(blob[:2], "big")
+        if len(blob) < 2 + point_len:
+            raise DecryptionError("hybrid ciphertext truncated")
+        return HybridCiphertext(
+            ephemeral_public=blob[2 : 2 + point_len], sealed=blob[2 + point_len :]
+        )
+
+
+def _derive_aead_key(shared_point: ecc.Point, ephemeral_public: bytes) -> bytes:
+    material = shared_point.encode() + ephemeral_public
+    return hashlib.sha256(b"timecrypt-ecies" + material).digest()[:16]
+
+
+def generate_keypair() -> Tuple[int, bytes]:
+    """A recipient keypair ``(private_scalar, encoded_public_point)``."""
+    private, public = ecc.generate_keypair()
+    return private, public.encode()
+
+
+def encrypt(recipient_public: bytes, plaintext: bytes, aad: bytes = b"") -> bytes:
+    """Seal ``plaintext`` for the holder of ``recipient_public``; returns an encoded envelope."""
+    recipient_point = ecc.Point.decode(recipient_public)
+    ephemeral_private, ephemeral_point = ecc.generate_keypair()
+    ephemeral_public = ephemeral_point.encode()
+    shared = ecc.scalar_mult(ephemeral_private, recipient_point)
+    key = _derive_aead_key(shared, ephemeral_public)
+    sealed = aead_encrypt(key, plaintext, aad)
+    return HybridCiphertext(ephemeral_public=ephemeral_public, sealed=sealed).encode()
+
+
+def decrypt(recipient_private: int, blob: bytes, aad: bytes = b"") -> bytes:
+    """Open an envelope produced by :func:`encrypt`."""
+    envelope = HybridCiphertext.decode(blob)
+    ephemeral_point = ecc.Point.decode(envelope.ephemeral_public)
+    shared = ecc.scalar_mult(recipient_private, ephemeral_point)
+    key = _derive_aead_key(shared, envelope.ephemeral_public)
+    return aead_decrypt(key, envelope.sealed, aad)

@@ -1,0 +1,265 @@
+"""The GGM key-derivation tree with access tokens (paper §4.2.3, Fig. 2, §A.1.3).
+
+The keystream used by HEAC is the sequence of leaf labels of a balanced
+binary tree.  The root is a random seed; the two children of a node are
+``G0(node)`` and ``G1(node)`` for a length-doubling PRG ``G``.  Leaf ``i``
+(reading the bits of ``i`` from the most significant to the least significant
+tree level) is the i-th key of the keystream.
+
+Sharing works by handing out *inner nodes* ("access tokens"): a principal
+holding the token for an inner node can derive every leaf in its subtree but
+— by the one-wayness of the PRG — nothing outside it.  Granting access to an
+arbitrary leaf interval ``[lo, hi]`` therefore amounts to computing the
+minimal set of maximal subtrees covering the interval (at most ``2·h`` tokens
+for a tree of height ``h``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.crypto.prf import DEFAULT_PRG, PRG, SEED_BYTES, get_prg
+from repro.exceptions import KeyDerivationError
+
+
+@dataclass(frozen=True)
+class TreeToken:
+    """An access token: one inner (or leaf) node of the key-derivation tree.
+
+    Attributes
+    ----------
+    depth:
+        Depth of the node (0 = root, ``height`` = leaf level).
+    index:
+        Index of the node within its level (0-based, left to right).
+    value:
+        The node's 16-byte pseudorandom label.
+    height:
+        Total height of the tree the token belongs to.
+    """
+
+    depth: int
+    index: int
+    value: bytes
+    height: int
+
+    @property
+    def leaf_span(self) -> Tuple[int, int]:
+        """The inclusive leaf-index interval ``[lo, hi]`` covered by this token."""
+        width = 1 << (self.height - self.depth)
+        lo = self.index * width
+        return lo, lo + width - 1
+
+    def covers(self, leaf_index: int) -> bool:
+        lo, hi = self.leaf_span
+        return lo <= leaf_index <= hi
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        lo, hi = self.leaf_span
+        return f"TreeToken(depth={self.depth}, index={self.index}, leaves=[{lo},{hi}])"
+
+
+class KeyDerivationTree:
+    """The key-derivation tree owned by a data owner.
+
+    Parameters
+    ----------
+    seed:
+        The 16-byte root secret.
+    height:
+        Tree height ``h``; the keystream has ``2**h`` keys.  The paper uses
+        trees large enough to be "virtually infinite" (2^30 keys and beyond).
+    prg:
+        Name of the PRG construction (see :mod:`repro.crypto.prf`).
+    cache_levels:
+        Number of levels below the root whose nodes are memoised.  Caching the
+        top of the tree turns repeated sequential derivations into O(1) work
+        for the hot path while bounding memory.
+    """
+
+    def __init__(
+        self,
+        seed: bytes,
+        height: int = 30,
+        prg: str = DEFAULT_PRG,
+        cache_levels: int = 16,
+    ) -> None:
+        if len(seed) != SEED_BYTES:
+            raise ValueError(f"seed must be {SEED_BYTES} bytes")
+        if not 1 <= height <= 62:
+            raise ValueError("tree height must be between 1 and 62")
+        self._seed = seed
+        self._height = height
+        self._prg_name = prg
+        self._prg: PRG = get_prg(prg)
+        self._cache_levels = max(0, min(cache_levels, height))
+        self._node_cache: Dict[Tuple[int, int], bytes] = {(0, 0): seed}
+
+    # -- properties --------------------------------------------------------
+
+    @property
+    def height(self) -> int:
+        return self._height
+
+    @property
+    def num_keys(self) -> int:
+        return 1 << self._height
+
+    @property
+    def prg_name(self) -> str:
+        return self._prg_name
+
+    # -- node derivation ---------------------------------------------------
+
+    def _node(self, depth: int, index: int) -> bytes:
+        """Label of the node at ``(depth, index)``, derived from the root."""
+        if not 0 <= depth <= self._height:
+            raise KeyDerivationError(f"depth {depth} outside tree of height {self._height}")
+        if not 0 <= index < (1 << depth):
+            raise KeyDerivationError(f"node index {index} out of range at depth {depth}")
+        cached = self._node_cache.get((depth, index))
+        if cached is not None:
+            return cached
+        # Walk down from the deepest cached ancestor.
+        value = self._seed
+        start_depth = 0
+        for ancestor_depth in range(min(depth, self._cache_levels), 0, -1):
+            ancestor_index = index >> (depth - ancestor_depth)
+            hit = self._node_cache.get((ancestor_depth, ancestor_index))
+            if hit is not None:
+                value = hit
+                start_depth = ancestor_depth
+                break
+        for level in range(start_depth + 1, depth + 1):
+            bit = (index >> (depth - level)) & 1
+            value = self._prg.child(value, bit)
+            if level <= self._cache_levels:
+                self._node_cache[(level, index >> (depth - level))] = value
+        return value
+
+    def leaf(self, leaf_index: int) -> bytes:
+        """The ``leaf_index``-th key of the keystream."""
+        if not 0 <= leaf_index < self.num_keys:
+            raise KeyDerivationError(
+                f"leaf index {leaf_index} outside keystream of {self.num_keys} keys"
+            )
+        return self._node(self._height, leaf_index)
+
+    def keys(self, start: int, end: int) -> Iterator[bytes]:
+        """Yield keystream keys ``start .. end-1`` (half-open interval)."""
+        if end < start:
+            raise KeyDerivationError("invalid key range")
+        for leaf_index in range(start, end):
+            yield self.leaf(leaf_index)
+
+    # -- token computation ---------------------------------------------------
+
+    def token_for(self, depth: int, index: int) -> TreeToken:
+        """Construct the access token for an explicit tree node."""
+        return TreeToken(depth=depth, index=index, value=self._node(depth, index), height=self._height)
+
+    def tokens_for_range(self, start: int, end: int) -> List[TreeToken]:
+        """Minimal set of tokens covering leaves ``[start, end)``.
+
+        The cover is canonical: maximal aligned subtrees from left to right,
+        at most ``2·height`` tokens for any range.
+        """
+        if not 0 <= start <= end <= self.num_keys:
+            raise KeyDerivationError(
+                f"key range [{start}, {end}) outside keystream of {self.num_keys} keys"
+            )
+        tokens: List[TreeToken] = []
+        position = start
+        while position < end:
+            # Largest aligned subtree starting at `position` that fits in the range.
+            span = position & -position if position else self.num_keys
+            while span > end - position:
+                span >>= 1
+            depth = self._height - span.bit_length() + 1
+            tokens.append(self.token_for(depth, position >> (self._height - depth)))
+            position += span
+        return tokens
+
+    def root_token(self) -> TreeToken:
+        """Token granting the entire keystream (the root seed)."""
+        return TreeToken(depth=0, index=0, value=self._seed, height=self._height)
+
+
+class DerivedKeystream:
+    """Keystream view reconstructed from access tokens (the principal's side).
+
+    A data consumer holds tokens covering some leaf ranges and can derive
+    exactly those keys.  Lookups outside the covered ranges raise
+    :class:`KeyDerivationError` — that is the crypto-enforced access control.
+    """
+
+    def __init__(self, tokens: Sequence[TreeToken], prg: str = DEFAULT_PRG) -> None:
+        if not tokens:
+            raise ValueError("at least one token is required")
+        heights = {token.height for token in tokens}
+        if len(heights) != 1:
+            raise ValueError("all tokens must come from the same tree")
+        self._height = heights.pop()
+        self._prg = get_prg(prg)
+        self._tokens = sorted(tokens, key=lambda t: t.leaf_span)
+        self._cache: Dict[int, bytes] = {}
+
+    @property
+    def covered_ranges(self) -> List[Tuple[int, int]]:
+        """Inclusive leaf intervals this keystream can derive, merged and sorted."""
+        merged: List[Tuple[int, int]] = []
+        for token in self._tokens:
+            lo, hi = token.leaf_span
+            if merged and lo <= merged[-1][1] + 1:
+                merged[-1] = (merged[-1][0], max(merged[-1][1], hi))
+            else:
+                merged.append((lo, hi))
+        return merged
+
+    def can_derive(self, leaf_index: int) -> bool:
+        return any(token.covers(leaf_index) for token in self._tokens)
+
+    def can_derive_range(self, start: int, end: int) -> bool:
+        """True when every leaf in ``[start, end)`` is covered."""
+        if end <= start:
+            return True
+        for lo, hi in self.covered_ranges:
+            if lo <= start and end - 1 <= hi:
+                return True
+        return False
+
+    def leaf(self, leaf_index: int) -> bytes:
+        """Derive a keystream key from the held tokens."""
+        cached = self._cache.get(leaf_index)
+        if cached is not None:
+            return cached
+        for token in self._tokens:
+            if token.covers(leaf_index):
+                value = token.value
+                lo, _hi = token.leaf_span
+                offset = leaf_index - lo
+                for level in range(self._height - token.depth - 1, -1, -1):
+                    bit = (offset >> level) & 1
+                    value = self._prg.child(value, bit)
+                if len(self._cache) < 65536:
+                    self._cache[leaf_index] = value
+                return value
+        raise KeyDerivationError(f"no token covers keystream position {leaf_index}")
+
+    def keys(self, start: int, end: int) -> Iterator[bytes]:
+        for leaf_index in range(start, end):
+            yield self.leaf(leaf_index)
+
+
+def merge_token_sets(*token_sets: Sequence[TreeToken]) -> List[TreeToken]:
+    """Combine token sets (e.g. from multiple grants), dropping exact duplicates."""
+    seen = set()
+    merged: List[TreeToken] = []
+    for tokens in token_sets:
+        for token in tokens:
+            key = (token.depth, token.index, token.height)
+            if key not in seen:
+                seen.add(key)
+                merged.append(token)
+    return merged

@@ -1,0 +1,182 @@
+"""Pseudorandom generators and functions used for key derivation.
+
+TimeCrypt's GGM key-derivation tree (Figure 2) needs a length-doubling PRG
+``G(x) = G0(x) || G1(x)``.  The paper evaluates three instantiations (Figure 6):
+a software AES, SHA-256, and hardware AES (AES-NI) and picks AES-NI.  We expose
+the same menu:
+
+* ``sha256``   — ``G_b(x) = SHA256(b || x)``
+* ``blake2``   — ``G_b(x) = BLAKE2b(b || x)`` (fast software hash)
+* ``aes``      — ``G_b(x) = AES_x(b)`` using the pure-Python block cipher
+* ``aes-ni``   — same construction but backed by the ``cryptography`` package's
+  native AES when it is importable (our stand-in for hardware AES)
+* ``hmac-sha256`` — an HMAC-based PRF, used where a keyed PRF (rather than a
+  PRG) is the natural primitive (e.g. deriving AEAD keys from HEAC keys).
+
+All PRGs operate on λ = 16-byte (128-bit) seeds and produce 16-byte children,
+matching the paper's 128-bit security level.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from abc import ABC, abstractmethod
+from typing import Dict, Tuple, Type
+
+from repro.exceptions import ConfigurationError
+
+SEED_BYTES = 16
+
+try:  # pragma: no cover - depends on environment
+    from cryptography.hazmat.primitives.ciphers import Cipher, algorithms, modes
+
+    _HAVE_FAST_AES = True
+except Exception:  # pragma: no cover
+    _HAVE_FAST_AES = False
+
+
+class PRG(ABC):
+    """A length-doubling pseudorandom generator over 128-bit seeds."""
+
+    name = "abstract"
+
+    @abstractmethod
+    def expand(self, seed: bytes) -> Tuple[bytes, bytes]:
+        """Return the two 16-byte children ``(G0(seed), G1(seed))``."""
+
+    def left(self, seed: bytes) -> bytes:
+        return self.expand(seed)[0]
+
+    def right(self, seed: bytes) -> bytes:
+        return self.expand(seed)[1]
+
+    def child(self, seed: bytes, bit: int) -> bytes:
+        """Return ``G_bit(seed)`` for ``bit`` in {0, 1}."""
+        if bit not in (0, 1):
+            raise ValueError("child bit must be 0 or 1")
+        return self.expand(seed)[bit]
+
+    @staticmethod
+    def _check_seed(seed: bytes) -> None:
+        if len(seed) != SEED_BYTES:
+            raise ValueError(f"seed must be {SEED_BYTES} bytes, got {len(seed)}")
+
+
+class Sha256PRG(PRG):
+    """``G_b(x) = SHA256(bytes([b]) || x)`` truncated to 128 bits."""
+
+    name = "sha256"
+
+    def expand(self, seed: bytes) -> Tuple[bytes, bytes]:
+        self._check_seed(seed)
+        left = hashlib.sha256(b"\x00" + seed).digest()[:SEED_BYTES]
+        right = hashlib.sha256(b"\x01" + seed).digest()[:SEED_BYTES]
+        return left, right
+
+
+class Blake2PRG(PRG):
+    """``G(x) = BLAKE2b(x)`` producing 32 bytes split into two children."""
+
+    name = "blake2"
+
+    def expand(self, seed: bytes) -> Tuple[bytes, bytes]:
+        self._check_seed(seed)
+        digest = hashlib.blake2b(seed, digest_size=32, person=b"timecryptPRG0000").digest()
+        return digest[:SEED_BYTES], digest[SEED_BYTES:]
+
+
+class AesPRG(PRG):
+    """``G_b(x) = AES_x(block(b))`` with the seed as the AES key.
+
+    Uses the pure-Python AES implementation in :mod:`repro.crypto.aes`, which
+    mirrors the paper's "AES (software)" data point in Figure 6.
+    """
+
+    name = "aes"
+
+    def __init__(self) -> None:
+        from repro.crypto.aes import AES  # local import to avoid cycles
+
+        self._aes_cls = AES
+        self._block0 = b"\x00" * 16
+        self._block1 = b"\x01" + b"\x00" * 15
+
+    def expand(self, seed: bytes) -> Tuple[bytes, bytes]:
+        self._check_seed(seed)
+        cipher = self._aes_cls(seed)
+        return cipher.encrypt_block(self._block0), cipher.encrypt_block(self._block1)
+
+
+class AesNiPRG(PRG):
+    """AES-based PRG using the ``cryptography`` native backend (AES-NI stand-in)."""
+
+    name = "aes-ni"
+
+    def __init__(self) -> None:
+        if not _HAVE_FAST_AES:  # pragma: no cover - environment dependent
+            raise ConfigurationError(
+                "the 'cryptography' package is required for the aes-ni PRG"
+            )
+        self._plain = b"\x00" * 16 + b"\x01" + b"\x00" * 15
+
+    def expand(self, seed: bytes) -> Tuple[bytes, bytes]:
+        self._check_seed(seed)
+        cipher = Cipher(algorithms.AES(seed), modes.ECB())
+        encryptor = cipher.encryptor()
+        out = encryptor.update(self._plain) + encryptor.finalize()
+        return out[:16], out[16:]
+
+
+_PRG_REGISTRY: Dict[str, Type[PRG]] = {
+    Sha256PRG.name: Sha256PRG,
+    Blake2PRG.name: Blake2PRG,
+    AesPRG.name: AesPRG,
+}
+if _HAVE_FAST_AES:
+    _PRG_REGISTRY[AesNiPRG.name] = AesNiPRG
+
+DEFAULT_PRG = "aes-ni" if _HAVE_FAST_AES else "blake2"
+
+
+def available_prgs() -> Tuple[str, ...]:
+    """Names of the PRG constructions usable in this environment."""
+    return tuple(sorted(_PRG_REGISTRY))
+
+
+def get_prg(name: str = DEFAULT_PRG) -> PRG:
+    """Instantiate a PRG by name (``sha256``, ``blake2``, ``aes``, ``aes-ni``)."""
+    try:
+        return _PRG_REGISTRY[name]()
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown PRG '{name}'; available: {', '.join(available_prgs())}"
+        ) from None
+
+
+def prf(key: bytes, message: bytes, out_len: int = SEED_BYTES) -> bytes:
+    """HMAC-SHA256 based PRF, truncated or expanded (counter mode) to ``out_len``."""
+    if out_len <= 0:
+        raise ValueError("output length must be positive")
+    blocks = []
+    counter = 0
+    while sum(len(b) for b in blocks) < out_len:
+        blocks.append(
+            hmac.new(key, counter.to_bytes(4, "big") + message, hashlib.sha256).digest()
+        )
+        counter += 1
+    return b"".join(blocks)[:out_len]
+
+
+def prf_int(key: bytes, message: bytes, modulus: int) -> int:
+    """Derive a pseudorandom integer in ``[0, modulus)`` from the PRF."""
+    if modulus <= 0:
+        raise ValueError("modulus must be positive")
+    # Draw 16 extra bytes to make the modulo bias negligible.
+    nbytes = (modulus.bit_length() + 7) // 8 + 16
+    return int.from_bytes(prf(key, message, nbytes), "big") % modulus
+
+
+def kdf(key: bytes, label: str, out_len: int = SEED_BYTES) -> bytes:
+    """Domain-separated key derivation: ``PRF(key, label)``."""
+    return prf(key, label.encode("utf-8"), out_len)

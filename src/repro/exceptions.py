@@ -1,0 +1,89 @@
+"""Exception hierarchy for the TimeCrypt reproduction.
+
+Every subsystem raises exceptions derived from :class:`TimeCryptError` so that
+callers can catch all library errors with a single handler while still being
+able to discriminate between, say, an authorization failure and a corrupted
+ciphertext.
+"""
+
+from __future__ import annotations
+
+
+class TimeCryptError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(TimeCryptError):
+    """A stream or system configuration value is invalid."""
+
+
+class CryptoError(TimeCryptError):
+    """Base class for cryptographic failures."""
+
+
+class DecryptionError(CryptoError):
+    """A ciphertext could not be decrypted (wrong key, tampered data, ...)."""
+
+
+class IntegrityError(DecryptionError):
+    """An authenticated ciphertext failed its integrity check."""
+
+
+class KeyDerivationError(CryptoError):
+    """A key could not be derived (out-of-range index, bad token, ...)."""
+
+
+class AccessDeniedError(TimeCryptError):
+    """A principal attempted an operation outside its granted scope."""
+
+
+class RevokedAccessError(AccessDeniedError):
+    """The principal's access to the requested range has been revoked."""
+
+
+class StreamNotFoundError(TimeCryptError):
+    """The requested stream UUID does not exist."""
+
+
+class StreamExistsError(TimeCryptError):
+    """Attempted to create a stream whose UUID already exists."""
+
+
+class ChunkError(TimeCryptError):
+    """A chunk is malformed, out of order, or violates stream configuration."""
+
+
+class OutOfOrderError(ChunkError):
+    """A record or chunk arrived with a timestamp before the stream head."""
+
+
+class IndexError_(TimeCryptError):
+    """The aggregation index is inconsistent or a node is missing.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`IndexError`.
+    """
+
+
+class StorageError(TimeCryptError):
+    """The backing key-value store failed an operation."""
+
+
+class PartitionError(StorageError):
+    """No healthy replica could serve the requested partition."""
+
+
+class TransportError(TimeCryptError):
+    """The client/server transport failed (framing, connection, timeout)."""
+
+
+class ProtocolError(TransportError):
+    """A malformed or unexpected message was received."""
+
+
+class QueryError(TimeCryptError):
+    """A statistical or range query is malformed or unsupported."""
+
+
+class UnsupportedOperatorError(QueryError):
+    """The requested statistical operator is not in the stream's digest config."""

@@ -1,0 +1,8 @@
+"""The encrypted time-partitioned aggregation index (paper §4.5, Fig. 4)."""
+
+from repro.index.cache import NodeCache
+from repro.index.node import IndexNode
+from repro.index.query import RangePlan, plan_range
+from repro.index.tree import AggregationIndex
+
+__all__ = ["IndexNode", "AggregationIndex", "NodeCache", "RangePlan", "plan_range"]

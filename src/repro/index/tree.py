@@ -1,0 +1,273 @@
+"""The k-ary time-partitioned aggregation index (paper §4.5, Fig. 4).
+
+The index is an append-only k-ary tree built bottom-up over chunk digests:
+leaf node ``i`` holds the digest of chunk window ``i``; an inner node at
+level ``L`` and position ``P`` aggregates the windows ``[P·k^L, (P+1)·k^L)``.
+Because time series ingest is in-order append-only, updating the tree on
+ingest touches exactly one node per level (the right-most "spine"), so an
+append costs one combine and one store write per level — constant work.
+
+The tree persists every node in the backing key-value store and serves reads
+through the byte-budgeted :class:`~repro.index.cache.NodeCache`, mirroring
+the paper's "only relevant segments of the tree are loaded into memory".
+
+The tree is cipher-agnostic: cells are combined via a
+:class:`~repro.index.node.DigestCombiner` and (de)serialized via caller
+supplied functions, so the same code serves HEAC, Paillier, EC-ElGamal, and
+the plaintext baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generic, List, Optional, Sequence, TypeVar
+
+from repro.exceptions import IndexError_, QueryError
+from repro.index.cache import NodeCache
+from repro.index.node import DigestCombiner, IndexNode
+from repro.index.query import RangePlan, plan_range
+from repro.storage.kv import KeyValueStore
+from repro.timeseries.serialization import index_node_storage_key
+from repro.util.encoding import decode_varint, encode_varint
+
+Cell = TypeVar("Cell")
+
+#: Default bound on stream length used to size the tree depth: enough for
+#: 2^40 chunk windows (≈ 350 years of 10 ms chunks), giving 7 levels at k=64.
+DEFAULT_MAX_WINDOWS = 1 << 40
+
+
+def levels_for(fanout: int, max_windows: int) -> int:
+    """Number of inner levels needed so one node can cover ``max_windows`` leaves."""
+    levels = 0
+    capacity = 1
+    while capacity < max_windows:
+        capacity *= fanout
+        levels += 1
+    return max(1, levels)
+
+
+class AggregationIndex(Generic[Cell]):
+    """Append-only k-ary aggregation tree over one stream's chunk digests."""
+
+    def __init__(
+        self,
+        stream_uuid: str,
+        store: KeyValueStore,
+        combiner: DigestCombiner[Cell],
+        encode_cells: Callable[[Sequence[Cell]], bytes],
+        decode_cells: Callable[[bytes], List[Cell]],
+        fanout: int = 64,
+        cache: Optional[NodeCache] = None,
+        max_windows: int = DEFAULT_MAX_WINDOWS,
+    ) -> None:
+        if fanout < 2:
+            raise IndexError_("index fanout must be at least 2")
+        if max_windows < 1:
+            raise IndexError_("max_windows must be positive")
+        self._stream_uuid = stream_uuid
+        self._store = store
+        self._combiner = combiner
+        self._encode_cells = encode_cells
+        self._decode_cells = decode_cells
+        self._fanout = fanout
+        self._max_level = levels_for(fanout, max_windows)
+        # Note: `cache or NodeCache()` would discard an *empty* caller-provided
+        # cache (NodeCache defines __len__), so compare against None explicitly.
+        self._cache = cache if cache is not None else NodeCache()
+        self._num_windows = self._load_window_count()
+
+    # -- properties -------------------------------------------------------------
+
+    @property
+    def fanout(self) -> int:
+        return self._fanout
+
+    @property
+    def num_windows(self) -> int:
+        """Number of leaf windows ingested so far."""
+        return self._num_windows
+
+    @property
+    def cache(self) -> NodeCache:
+        return self._cache
+
+    @property
+    def max_level(self) -> int:
+        """Highest inner level maintained by the tree."""
+        return self._max_level
+
+    # -- persistence -------------------------------------------------------------
+
+    def _meta_key(self) -> bytes:
+        return f"index/{self._stream_uuid}/meta".encode("ascii")
+
+    def _load_window_count(self) -> int:
+        blob = self._store.get(self._meta_key())
+        if blob is None:
+            return 0
+        count, _pos = decode_varint(blob, 0)
+        return count
+
+    def _save_window_count(self) -> None:
+        self._store.put(self._meta_key(), encode_varint(self._num_windows))
+
+    def _node_key(self, level: int, position: int) -> bytes:
+        return index_node_storage_key(self._stream_uuid, level, position)
+
+    def _store_node(self, node: IndexNode) -> None:
+        blob = (
+            encode_varint(node.window_start)
+            + encode_varint(node.window_end)
+            + self._encode_cells(node.cells)
+        )
+        self._store.put(self._node_key(node.level, node.position), blob)
+        self._cache.put((self._stream_uuid, node.level, node.position), node)
+
+    def _load_node(self, level: int, position: int) -> Optional[IndexNode]:
+        cache_key = (self._stream_uuid, level, position)
+
+        def loader() -> Optional[IndexNode]:
+            blob = self._store.get(self._node_key(level, position))
+            if blob is None:
+                return None
+            window_start, pos = decode_varint(blob, 0)
+            window_end, pos = decode_varint(blob, pos)
+            cells = self._decode_cells(blob[pos:])
+            return IndexNode(
+                level=level,
+                position=position,
+                window_start=window_start,
+                window_end=window_end,
+                cells=tuple(cells),
+            )
+
+        return self._cache.get_or_load(cache_key, loader)
+
+    # -- ingest -------------------------------------------------------------------
+
+    def append(self, cells: Sequence[Cell]) -> int:
+        """Append the digest of the next chunk window; returns its window index.
+
+        The leaf is written and every ancestor on the right-most spine is
+        updated (or created), which costs one combine and one write per level.
+        """
+        window_index = self._num_windows
+        leaf = IndexNode(
+            level=0,
+            position=window_index,
+            window_start=window_index,
+            window_end=window_index + 1,
+            cells=tuple(cells),
+        )
+        self._store_node(leaf)
+        self._num_windows += 1
+        self._update_ancestors(leaf)
+        self._save_window_count()
+        return window_index
+
+    def _update_ancestors(self, leaf: IndexNode) -> None:
+        """Fold the new leaf into its ancestor node at every inner level.
+
+        Leaves arrive strictly in window order, so the first leaf of any
+        ancestor block is always the block's left-most window; ancestor nodes
+        are therefore created with ``window_start`` aligned to their block and
+        grow by one window per ingest until full.
+        """
+        for level in range(1, self._max_level + 1):
+            block = self._fanout ** level
+            position = leaf.position // block
+            existing = self._load_node(level, position)
+            if existing is None:
+                node = IndexNode(
+                    level=level,
+                    position=position,
+                    window_start=leaf.position,
+                    window_end=leaf.position + 1,
+                    cells=leaf.cells,
+                )
+            else:
+                if existing.window_end != leaf.position:
+                    raise IndexError_(
+                        f"index spine out of sync at level {level}: node ends at "
+                        f"{existing.window_end}, leaf is {leaf.position}"
+                    )
+                node = IndexNode(
+                    level=level,
+                    position=position,
+                    window_start=existing.window_start,
+                    window_end=leaf.position + 1,
+                    cells=tuple(self._combiner.combine_vectors(existing.cells, leaf.cells)),
+                )
+            self._store_node(node)
+
+    # -- queries ---------------------------------------------------------------------
+
+    def query_range(self, window_start: int, window_end: int) -> List[Cell]:
+        """Aggregate digest cells over the window interval ``[start, end)``."""
+        if window_end <= window_start:
+            raise QueryError(f"empty window range [{window_start}, {window_end})")
+        if window_start < 0 or window_end > self._num_windows:
+            raise QueryError(
+                f"window range [{window_start}, {window_end}) outside ingested "
+                f"range [0, {self._num_windows})"
+            )
+        plan = self.plan(window_start, window_end)
+        total: Optional[List[Cell]] = None
+        for ref in plan.nodes:
+            node = self._load_node(ref.level, ref.position)
+            if node is None:
+                raise IndexError_(
+                    f"missing index node level={ref.level} position={ref.position}"
+                )
+            if node.window_start != ref.window_start or node.window_end < ref.window_end:
+                raise IndexError_(
+                    f"index node level={ref.level} position={ref.position} covers "
+                    f"[{node.window_start}, {node.window_end}), plan expected "
+                    f"[{ref.window_start}, {ref.window_end})"
+                )
+            total = (
+                list(node.cells)
+                if total is None
+                else self._combiner.combine_vectors(total, node.cells)
+            )
+        assert total is not None
+        return total
+
+    def plan(self, window_start: int, window_end: int) -> RangePlan:
+        """The node cover used to answer a range query (exposed for benchmarks)."""
+        return plan_range(window_start, window_end, self._fanout, self._max_level)
+
+    def node(self, level: int, position: int) -> Optional[IndexNode]:
+        """Fetch a single node (used by rollup and inspection tooling)."""
+        return self._load_node(level, position)
+
+    # -- maintenance -------------------------------------------------------------------
+
+    def prune_below(self, level: int, before_window: int) -> int:
+        """Data decay: drop nodes below ``level`` that end at or before ``before_window``.
+
+        Models the paper's "archiving at lower resolutions": fine-grained
+        nodes for aged-out data are removed while coarser aggregates remain
+        queryable.  Returns the number of nodes deleted.
+        """
+        if level <= 0:
+            return 0
+        deleted = 0
+        for target_level in range(0, min(level, self._max_level + 1)):
+            block = self._fanout ** target_level
+            full_blocks = before_window // block
+            for position in range(full_blocks):
+                if self._store.delete(self._node_key(target_level, position)):
+                    self._cache.invalidate((self._stream_uuid, target_level, position))
+                    deleted += 1
+        return deleted
+
+    def size_bytes(self) -> int:
+        """Serialized size of all stored index nodes (Table 2's index size)."""
+        prefix = f"index/{self._stream_uuid}/".encode("ascii")
+        return sum(len(key) + len(value) for key, value in self._store.scan_prefix(prefix))
+
+    def node_count(self) -> int:
+        """Number of stored index nodes (excluding the window-count record)."""
+        prefix = f"index/{self._stream_uuid}/".encode("ascii")
+        return sum(1 for key, _ in self._store.scan_prefix(prefix) if not key.endswith(b"/meta"))

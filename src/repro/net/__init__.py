@@ -1,0 +1,23 @@
+"""Client/server transport: the Netty + protobuf stand-in.
+
+The original prototype exposes the TimeCrypt API over Netty with protobuf
+messages.  Here the wire format is a hand-rolled length-prefixed binary
+protocol (:mod:`repro.net.messages`, :mod:`repro.net.framing`) carried either
+over real TCP sockets (:mod:`repro.net.server`, :mod:`repro.net.client`) or
+over a zero-copy in-process transport used by benchmarks so that socket
+overhead does not mask the cryptography being measured.
+"""
+
+from repro.net.client import RemoteServerClient
+from repro.net.framing import read_frame, write_frame
+from repro.net.messages import Request, Response
+from repro.net.server import TimeCryptTCPServer
+
+__all__ = [
+    "Request",
+    "Response",
+    "read_frame",
+    "write_frame",
+    "TimeCryptTCPServer",
+    "RemoteServerClient",
+]

@@ -1,0 +1,253 @@
+"""The network client: a remote ServerEngine proxy.
+
+:class:`RemoteServerClient` speaks the framed wire protocol to a
+:class:`~repro.net.server.TimeCryptTCPServer` and exposes the same method
+surface as :class:`~repro.server.engine.ServerEngine`, so the
+:class:`~repro.core.timecrypt.TimeCrypt` facade and the consumer client work
+unchanged whether the server is in-process or across the network.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.access.keystore import TokenStore
+from repro.crypto.heac import HEACCiphertext
+from repro.exceptions import ProtocolError, TimeCryptError, TransportError
+from repro.net.framing import read_frame, write_frame
+from repro.net.messages import Request, Response
+from repro.server.engine import _metadata_from_json, _metadata_to_json
+from repro.server.query_executor import MultiStreamAggregate, StatQueryResult
+from repro.timeseries.serialization import (
+    EncryptedChunk,
+    decode_encrypted_chunk,
+    encode_encrypted_chunk,
+)
+from repro.timeseries.stream import StreamMetadata
+from repro.util.timeutil import TimeRange
+
+#: Exception classes re-raised by name when the server reports them.
+_ERROR_TYPES: Dict[str, type] = {
+    cls.__name__: cls
+    for cls in TimeCryptError.__subclasses__() + [TimeCryptError]
+}
+
+
+def _raise_remote(response: Response) -> None:
+    error_cls = _ERROR_TYPES.get(response.error_type or "", TimeCryptError)
+    raise error_cls(response.error or "remote error")
+
+
+class _RemoteTokenStore:
+    """Token-store facade forwarding grant/envelope traffic over the wire."""
+
+    def __init__(self, client: "RemoteServerClient") -> None:
+        self._client = client
+
+    def put_grant(self, stream_uuid: str, principal_id: str, sealed_token: bytes) -> int:
+        response = self._client._call(
+            Request(
+                "put_grant",
+                {"uuid": stream_uuid, "principal_id": principal_id},
+                [sealed_token],
+            )
+        )
+        return int(response.result["grant_id"])
+
+    def grants_for(self, stream_uuid: str, principal_id: str) -> List[bytes]:
+        response = self._client._call(
+            Request("fetch_grants", {"uuid": stream_uuid, "principal_id": principal_id})
+        )
+        return list(response.attachments)
+
+    def put_envelopes(
+        self, stream_uuid: str, resolution_chunks: int, envelopes: Dict[int, bytes]
+    ) -> None:
+        windows = sorted(envelopes)
+        self._client._call(
+            Request(
+                "put_envelopes",
+                {
+                    "uuid": stream_uuid,
+                    "resolution_chunks": resolution_chunks,
+                    "windows": windows,
+                },
+                [envelopes[window] for window in windows],
+            )
+        )
+
+    def envelopes_for_range(
+        self, stream_uuid: str, resolution_chunks: int, window_start: int, window_end: int
+    ) -> Dict[int, bytes]:
+        response = self._client._call(
+            Request(
+                "fetch_envelopes",
+                {
+                    "uuid": stream_uuid,
+                    "resolution_chunks": resolution_chunks,
+                    "window_start": window_start,
+                    "window_end": window_end,
+                },
+            )
+        )
+        windows = response.result["windows"]
+        return dict(zip(windows, response.attachments))
+
+
+class RemoteServerClient:
+    """A ServerEngine-compatible proxy over a TCP connection."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+        self._address = (host, port)
+        self._socket = socket.create_connection(self._address, timeout=timeout)
+        self._lock = threading.Lock()
+        self.token_store = _RemoteTokenStore(self)
+
+    # -- plumbing ----------------------------------------------------------------
+
+    def _call(self, request: Request) -> Response:
+        with self._lock:
+            try:
+                write_frame(self._socket, request.encode())
+                response = Response.decode(read_frame(self._socket))
+            except OSError as exc:
+                raise TransportError(f"connection to {self._address} failed: {exc}") from exc
+        if not response.ok:
+            _raise_remote(response)
+        return response
+
+    def close(self) -> None:
+        try:
+            self._socket.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "RemoteServerClient":
+        return self
+
+    def __exit__(self, *_exc_info: object) -> None:
+        self.close()
+
+    def ping(self) -> bool:
+        return bool(self._call(Request("ping")).result.get("pong"))
+
+    # -- ServerEngine-compatible surface ----------------------------------------------
+
+    def create_stream(self, metadata: StreamMetadata) -> None:
+        self._call(Request("create_stream", {}, [_metadata_to_json(metadata)]))
+
+    def delete_stream(self, stream_uuid: str) -> None:
+        self._call(Request("delete_stream", {"uuid": stream_uuid}))
+
+    def stream_metadata(self, stream_uuid: str) -> StreamMetadata:
+        response = self._call(Request("stream_metadata", {"uuid": stream_uuid}))
+        if not response.attachments:
+            raise ProtocolError("stream_metadata response missing attachment")
+        return _metadata_from_json(response.attachments[0])
+
+    def stream_head(self, stream_uuid: str) -> int:
+        return int(self._call(Request("stream_head", {"uuid": stream_uuid})).result["head"])
+
+    def rollup_stream(
+        self, stream_uuid: str, resolution_windows: int, before_time: Optional[int] = None
+    ) -> int:
+        response = self._call(
+            Request(
+                "rollup_stream",
+                {
+                    "uuid": stream_uuid,
+                    "resolution_windows": resolution_windows,
+                    "before_time": before_time,
+                },
+            )
+        )
+        return int(response.result["deleted"])
+
+    def insert_chunk(self, chunk: EncryptedChunk) -> int:
+        response = self._call(Request("insert_chunk", {}, [encode_encrypted_chunk(chunk)]))
+        return int(response.result["window_index"])
+
+    def get_range(self, stream_uuid: str, time_range: TimeRange) -> List[EncryptedChunk]:
+        response = self._call(
+            Request("get_range", {"uuid": stream_uuid, "start": time_range.start, "end": time_range.end})
+        )
+        return [decode_encrypted_chunk(blob) for blob in response.attachments]
+
+    def delete_range(self, stream_uuid: str, time_range: TimeRange) -> int:
+        response = self._call(
+            Request(
+                "delete_range",
+                {"uuid": stream_uuid, "start": time_range.start, "end": time_range.end},
+            )
+        )
+        return int(response.result["deleted"])
+
+    @staticmethod
+    def _stat_from_json(payload: Dict) -> StatQueryResult:
+        return StatQueryResult(
+            stream_uuid=payload["stream_uuid"],
+            window_start=payload["window_start"],
+            window_end=payload["window_end"],
+            cells=tuple(
+                HEACCiphertext(value=cell["value"], window_start=cell["start"], window_end=cell["end"])
+                for cell in payload["cells"]
+            ),
+            component_names=tuple(payload["component_names"]),
+            num_index_nodes=payload["num_index_nodes"],
+        )
+
+    def stat_range(self, stream_uuid: str, time_range: TimeRange) -> StatQueryResult:
+        response = self._call(
+            Request("stat_range", {"uuid": stream_uuid, "start": time_range.start, "end": time_range.end})
+        )
+        return self._stat_from_json(response.result["stat"])
+
+    def stat_series(
+        self, stream_uuid: str, time_range: TimeRange, granularity_windows: int
+    ) -> List[StatQueryResult]:
+        response = self._call(
+            Request(
+                "stat_series",
+                {
+                    "uuid": stream_uuid,
+                    "start": time_range.start,
+                    "end": time_range.end,
+                    "granularity_windows": granularity_windows,
+                },
+            )
+        )
+        return [self._stat_from_json(item) for item in response.result["series"]]
+
+    def stat_range_multi(
+        self, stream_uuids: Sequence[str], time_range: TimeRange
+    ) -> MultiStreamAggregate:
+        response = self._call(
+            Request(
+                "stat_range_multi",
+                {"uuids": list(stream_uuids), "start": time_range.start, "end": time_range.end},
+            )
+        )
+        return MultiStreamAggregate(
+            values=tuple(response.result["values"]),
+            component_names=tuple(response.result["component_names"]),
+            per_stream_intervals=tuple(
+                (item[0], item[1], item[2]) for item in response.result["per_stream_intervals"]
+            ),
+        )
+
+    # -- grant / envelope passthrough (ServerEngine-compatible) -----------------------------
+
+    def put_grant(self, stream_uuid: str, principal_id: str, sealed_token: bytes) -> int:
+        return self.token_store.put_grant(stream_uuid, principal_id, sealed_token)
+
+    def fetch_grants(self, stream_uuid: str, principal_id: str) -> List[bytes]:
+        return self.token_store.grants_for(stream_uuid, principal_id)
+
+    def fetch_envelopes(
+        self, stream_uuid: str, resolution_chunks: int, window_start: int, window_end: int
+    ) -> Dict[int, bytes]:
+        return self.token_store.envelopes_for_range(
+            stream_uuid, resolution_chunks, window_start, window_end
+        )

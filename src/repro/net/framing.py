@@ -1,0 +1,61 @@
+"""Length-prefixed framing over byte streams.
+
+Every message on the wire is ``magic (2B) || length (4B, big-endian) ||
+payload``.  The magic bytes catch protocol confusion early; the length prefix
+bounds reads.  Frames are capped at 64 MiB — far above any legitimate
+TimeCrypt message — to stop a malformed or malicious peer from forcing huge
+allocations.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+from typing import BinaryIO, Union
+
+from repro.exceptions import ProtocolError, TransportError
+
+MAGIC = b"TC"
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+_HEADER = struct.Struct(">2sI")
+
+Readable = Union[BinaryIO, socket.socket]
+
+
+def _read_exact(source: Readable, length: int) -> bytes:
+    """Read exactly ``length`` bytes from a socket or file-like object."""
+    chunks = []
+    remaining = length
+    while remaining > 0:
+        if isinstance(source, socket.socket):
+            chunk = source.recv(remaining)
+        else:
+            chunk = source.read(remaining)
+        if not chunk:
+            raise TransportError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def write_frame(sink: Readable, payload: bytes) -> None:
+    """Write one framed message."""
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {len(payload)} bytes exceeds the {MAX_FRAME_BYTES} cap")
+    data = _HEADER.pack(MAGIC, len(payload)) + payload
+    if isinstance(sink, socket.socket):
+        sink.sendall(data)
+    else:
+        sink.write(data)
+        sink.flush()
+
+
+def read_frame(source: Readable) -> bytes:
+    """Read one framed message; raises on EOF, bad magic, or oversized frames."""
+    header = _read_exact(source, _HEADER.size)
+    magic, length = _HEADER.unpack(header)
+    if magic != MAGIC:
+        raise ProtocolError(f"bad frame magic {magic!r}")
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {length} bytes exceeds the {MAX_FRAME_BYTES} cap")
+    return _read_exact(source, length)

@@ -1,0 +1,130 @@
+"""Request/response messages of the TimeCrypt wire protocol.
+
+The protocol mirrors the server engine's API surface: stream lifecycle,
+chunk ingest, raw range retrieval, statistical queries (single and
+multi-stream), grant/envelope pickup, and rollup.  Messages are encoded as a
+JSON header plus optional binary attachments:
+
+``frame = varint(header_len) || header_json || attachments``
+
+Binary payloads (encrypted chunks, sealed tokens) travel as attachments so
+they are never base64-inflated; the header references them by index and
+length.  This keeps the format debuggable (the header is readable JSON, as a
+protobuf text dump would be) while staying compact where it matters.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.exceptions import ProtocolError
+from repro.util.encoding import decode_varint, encode_varint
+
+#: Operation names accepted by the server dispatcher.
+OPERATIONS = (
+    "create_stream",
+    "delete_stream",
+    "insert_chunk",
+    "get_range",
+    "delete_range",
+    "stat_range",
+    "stat_range_multi",
+    "stat_series",
+    "rollup_stream",
+    "stream_head",
+    "stream_metadata",
+    "put_grant",
+    "fetch_grants",
+    "fetch_envelopes",
+    "put_envelopes",
+    "ping",
+)
+
+
+def _encode_message(header: Dict[str, Any], attachments: List[bytes]) -> bytes:
+    header = dict(header)
+    header["attachment_lengths"] = [len(blob) for blob in attachments]
+    header_bytes = json.dumps(header, sort_keys=True).encode("utf-8")
+    out = bytearray(encode_varint(len(header_bytes)))
+    out += header_bytes
+    for blob in attachments:
+        out += blob
+    return bytes(out)
+
+
+def _decode_message(payload: bytes) -> tuple[Dict[str, Any], List[bytes]]:
+    try:
+        header_len, pos = decode_varint(payload, 0)
+        header = json.loads(payload[pos : pos + header_len].decode("utf-8"))
+        pos += header_len
+        attachments: List[bytes] = []
+        for length in header.get("attachment_lengths", []):
+            attachments.append(payload[pos : pos + length])
+            if len(attachments[-1]) != length:
+                raise ProtocolError("truncated attachment")
+            pos += length
+        return header, attachments
+    except (ValueError, KeyError, UnicodeDecodeError) as exc:
+        raise ProtocolError("malformed protocol message") from exc
+
+
+@dataclass
+class Request:
+    """A client request: operation name, JSON-safe arguments, binary attachments."""
+
+    operation: str
+    args: Dict[str, Any] = field(default_factory=dict)
+    attachments: List[bytes] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.operation not in OPERATIONS:
+            raise ProtocolError(f"unknown operation '{self.operation}'")
+
+    def encode(self) -> bytes:
+        return _encode_message({"op": self.operation, "args": self.args}, self.attachments)
+
+    @staticmethod
+    def decode(payload: bytes) -> "Request":
+        header, attachments = _decode_message(payload)
+        if "op" not in header:
+            raise ProtocolError("request missing operation")
+        return Request(operation=header["op"], args=header.get("args", {}), attachments=attachments)
+
+
+@dataclass
+class Response:
+    """A server response: success flag, JSON-safe result, binary attachments."""
+
+    ok: bool
+    result: Dict[str, Any] = field(default_factory=dict)
+    attachments: List[bytes] = field(default_factory=list)
+    error: Optional[str] = None
+    error_type: Optional[str] = None
+
+    def encode(self) -> bytes:
+        header: Dict[str, Any] = {"ok": self.ok, "result": self.result}
+        if self.error is not None:
+            header["error"] = self.error
+            header["error_type"] = self.error_type or "TimeCryptError"
+        return _encode_message(header, self.attachments)
+
+    @staticmethod
+    def decode(payload: bytes) -> "Response":
+        header, attachments = _decode_message(payload)
+        return Response(
+            ok=bool(header.get("ok", False)),
+            result=header.get("result", {}),
+            attachments=attachments,
+            error=header.get("error"),
+            error_type=header.get("error_type"),
+        )
+
+    @staticmethod
+    def success(result: Optional[Dict[str, Any]] = None, attachments: Optional[List[bytes]] = None) -> "Response":
+        return Response(ok=True, result=result or {}, attachments=attachments or [])
+
+    @staticmethod
+    def failure(error: Exception) -> "Response":
+        return Response(ok=False, error=str(error), error_type=type(error).__name__)

@@ -1,0 +1,233 @@
+"""The TCP server exposing a :class:`~repro.server.engine.ServerEngine`.
+
+A thread-per-connection TCP server (the Netty stand-in): each connection
+exchanges framed request/response messages (see :mod:`repro.net.messages`)
+and is dispatched against the in-process server engine.  The dispatcher is
+also usable without sockets through :class:`RequestDispatcher`, which the
+in-process transport and the tests reuse directly.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import socketserver
+import threading
+from typing import Dict, List, Optional, Tuple
+
+from repro.exceptions import ProtocolError, TimeCryptError
+from repro.net.framing import read_frame, write_frame
+from repro.net.messages import Request, Response
+from repro.server.engine import ServerEngine, _metadata_from_json, _metadata_to_json
+from repro.timeseries.serialization import decode_encrypted_chunk, encode_encrypted_chunk
+from repro.util.timeutil import TimeRange
+
+
+class RequestDispatcher:
+    """Maps protocol requests onto server-engine calls."""
+
+    def __init__(self, engine: ServerEngine) -> None:
+        self._engine = engine
+
+    def dispatch(self, request: Request) -> Response:
+        """Execute one request, translating library errors into error responses."""
+        handler = getattr(self, f"_op_{request.operation}", None)
+        if handler is None:
+            return Response.failure(ProtocolError(f"unsupported operation '{request.operation}'"))
+        try:
+            return handler(request)
+        except TimeCryptError as exc:
+            return Response.failure(exc)
+
+    # -- stream lifecycle ----------------------------------------------------------
+
+    def _op_ping(self, _request: Request) -> Response:
+        return Response.success({"pong": True})
+
+    def _op_create_stream(self, request: Request) -> Response:
+        if not request.attachments:
+            raise ProtocolError("create_stream requires a metadata attachment")
+        metadata = _metadata_from_json(request.attachments[0])
+        self._engine.create_stream(metadata)
+        return Response.success({"uuid": metadata.uuid})
+
+    def _op_delete_stream(self, request: Request) -> Response:
+        self._engine.delete_stream(request.args["uuid"])
+        return Response.success()
+
+    def _op_stream_head(self, request: Request) -> Response:
+        return Response.success({"head": self._engine.stream_head(request.args["uuid"])})
+
+    def _op_stream_metadata(self, request: Request) -> Response:
+        metadata = self._engine.stream_metadata(request.args["uuid"])
+        return Response.success(attachments=[_metadata_to_json(metadata)])
+
+    def _op_rollup_stream(self, request: Request) -> Response:
+        deleted = self._engine.rollup_stream(
+            request.args["uuid"],
+            request.args["resolution_windows"],
+            request.args.get("before_time"),
+        )
+        return Response.success({"deleted": deleted})
+
+    # -- ingest / raw data ------------------------------------------------------------
+
+    def _op_insert_chunk(self, request: Request) -> Response:
+        if not request.attachments:
+            raise ProtocolError("insert_chunk requires a chunk attachment")
+        chunk = decode_encrypted_chunk(request.attachments[0])
+        window_index = self._engine.insert_chunk(chunk)
+        return Response.success({"window_index": window_index})
+
+    def _op_get_range(self, request: Request) -> Response:
+        chunks = self._engine.get_range(
+            request.args["uuid"], TimeRange(request.args["start"], request.args["end"])
+        )
+        return Response.success(
+            {"num_chunks": len(chunks)},
+            attachments=[encode_encrypted_chunk(chunk) for chunk in chunks],
+        )
+
+    def _op_delete_range(self, request: Request) -> Response:
+        deleted = self._engine.delete_range(
+            request.args["uuid"], TimeRange(request.args["start"], request.args["end"])
+        )
+        return Response.success({"deleted": deleted})
+
+    # -- statistical queries ----------------------------------------------------------------
+
+    @staticmethod
+    def _result_to_json(result) -> Dict:
+        return {
+            "stream_uuid": result.stream_uuid,
+            "window_start": result.window_start,
+            "window_end": result.window_end,
+            "cells": [
+                {"value": cell.value, "start": cell.window_start, "end": cell.window_end}
+                for cell in result.cells
+            ],
+            "component_names": list(result.component_names),
+            "num_index_nodes": result.num_index_nodes,
+        }
+
+    def _op_stat_range(self, request: Request) -> Response:
+        result = self._engine.stat_range(
+            request.args["uuid"], TimeRange(request.args["start"], request.args["end"])
+        )
+        return Response.success({"stat": self._result_to_json(result)})
+
+    def _op_stat_series(self, request: Request) -> Response:
+        results = self._engine.stat_series(
+            request.args["uuid"],
+            TimeRange(request.args["start"], request.args["end"]),
+            request.args["granularity_windows"],
+        )
+        return Response.success({"series": [self._result_to_json(result) for result in results]})
+
+    def _op_stat_range_multi(self, request: Request) -> Response:
+        aggregate = self._engine.stat_range_multi(
+            request.args["uuids"], TimeRange(request.args["start"], request.args["end"])
+        )
+        return Response.success(
+            {
+                "values": list(aggregate.values),
+                "component_names": list(aggregate.component_names),
+                "per_stream_intervals": [list(item) for item in aggregate.per_stream_intervals],
+            }
+        )
+
+    # -- grants / envelopes --------------------------------------------------------------------
+
+    def _op_put_grant(self, request: Request) -> Response:
+        if not request.attachments:
+            raise ProtocolError("put_grant requires a sealed token attachment")
+        grant_id = self._engine.put_grant(
+            request.args["uuid"], request.args["principal_id"], request.attachments[0]
+        )
+        return Response.success({"grant_id": grant_id})
+
+    def _op_fetch_grants(self, request: Request) -> Response:
+        grants = self._engine.fetch_grants(request.args["uuid"], request.args["principal_id"])
+        return Response.success({"num_grants": len(grants)}, attachments=list(grants))
+
+    def _op_put_envelopes(self, request: Request) -> Response:
+        windows: List[int] = request.args["windows"]
+        if len(windows) != len(request.attachments):
+            raise ProtocolError("envelope windows and attachments must align")
+        for window_index, envelope in zip(windows, request.attachments):
+            self._engine.token_store.put_envelope(
+                request.args["uuid"], request.args["resolution_chunks"], window_index, envelope
+            )
+        return Response.success({"stored": len(windows)})
+
+    def _op_fetch_envelopes(self, request: Request) -> Response:
+        envelopes = self._engine.fetch_envelopes(
+            request.args["uuid"],
+            request.args["resolution_chunks"],
+            request.args["window_start"],
+            request.args["window_end"],
+        )
+        windows = sorted(envelopes)
+        return Response.success(
+            {"windows": windows}, attachments=[envelopes[window] for window in windows]
+        )
+
+
+class _ConnectionHandler(socketserver.BaseRequestHandler):
+    """One thread per connection; loops over framed requests until EOF."""
+
+    def handle(self) -> None:  # pragma: no cover - exercised via integration tests
+        dispatcher: RequestDispatcher = self.server.dispatcher  # type: ignore[attr-defined]
+        while True:
+            try:
+                payload = read_frame(self.request)
+            except TimeCryptError:
+                return
+            try:
+                request = Request.decode(payload)
+                response = dispatcher.dispatch(request)
+            except TimeCryptError as exc:
+                response = Response.failure(exc)
+            write_frame(self.request, response.encode())
+
+
+class _ThreadedTCPServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+
+class TimeCryptTCPServer:
+    """A background-thread TCP server wrapping a server engine."""
+
+    def __init__(self, engine: ServerEngine, host: str = "127.0.0.1", port: int = 0) -> None:
+        self._engine = engine
+        self._dispatcher = RequestDispatcher(engine)
+        self._server = _ThreadedTCPServer((host, port), _ConnectionHandler)
+        self._server.dispatcher = self._dispatcher  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self._server.server_address  # type: ignore[return-value]
+
+    @property
+    def dispatcher(self) -> RequestDispatcher:
+        return self._dispatcher
+
+    def start(self) -> "TimeCryptTCPServer":
+        self._thread = threading.Thread(target=self._server.serve_forever, daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self) -> "TimeCryptTCPServer":
+        return self.start()
+
+    def __exit__(self, *_exc_info: object) -> None:
+        self.stop()

@@ -1,0 +1,6 @@
+"""The untrusted server engine: encrypted storage, index maintenance, query execution."""
+
+from repro.server.engine import ServerEngine, StreamState
+from repro.server.query_executor import MultiStreamAggregate, StatQueryResult
+
+__all__ = ["ServerEngine", "StreamState", "StatQueryResult", "MultiStreamAggregate"]

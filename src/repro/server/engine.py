@@ -1,0 +1,378 @@
+"""The server engine: the untrusted half of TimeCrypt (paper §3.2, §4.5, §4.6).
+
+The server engine owns the backing key-value store, maintains one encrypted
+aggregation index per stream, stores sealed access tokens and key envelopes,
+and answers three kinds of requests:
+
+* **ingest** — append an encrypted chunk (payload + HEAC digest) to a stream,
+* **statistical range queries** — aggregate encrypted digests over a window
+  interval using the index,
+* **raw range retrieval** — return the encrypted chunk payloads overlapping a
+  time interval.
+
+Everything the engine touches is ciphertext or public metadata; it never
+holds a decryption key.  Engines are stateless apart from the storage they
+wrap (the paper's horizontal-scalability argument), so several engines can
+share one storage cluster.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.access.keystore import TokenStore
+from repro.crypto.heac import HEACCiphertext
+from repro.exceptions import (
+    QueryError,
+    StreamExistsError,
+    StreamNotFoundError,
+)
+from repro.index.cache import NodeCache
+from repro.index.node import heac_combiner
+from repro.index.tree import AggregationIndex
+from repro.server.query_executor import (
+    MultiStreamAggregate,
+    QueryStatistics,
+    StatQueryResult,
+)
+from repro.storage.kv import KeyValueStore
+from repro.storage.memory import MemoryStore
+from repro.timeseries.digest import DigestConfig, HistogramConfig
+from repro.timeseries.serialization import (
+    EncryptedChunk,
+    chunk_storage_key,
+    decode_digest_vector,
+    decode_encrypted_chunk,
+    encode_digest_vector,
+    encode_encrypted_chunk,
+    metadata_storage_key,
+)
+from repro.timeseries.stream import StreamConfig, StreamMetadata
+from repro.util.timeutil import TimeRange
+
+
+def _metadata_to_json(metadata: StreamMetadata) -> bytes:
+    config = metadata.config
+    payload = {
+        "uuid": metadata.uuid,
+        "owner_id": metadata.owner_id,
+        "metric": metadata.metric,
+        "source": metadata.source,
+        "unit": metadata.unit,
+        "tags": metadata.tags,
+        "config": {
+            "chunk_interval": config.chunk_interval,
+            "start_time": config.start_time,
+            "compression": config.compression,
+            "value_scale": config.value_scale,
+            "key_tree_height": config.key_tree_height,
+            "prg": config.prg,
+            "index_fanout": config.index_fanout,
+            "digest": {
+                "include_sum": config.digest.include_sum,
+                "include_count": config.digest.include_count,
+                "include_sum_of_squares": config.digest.include_sum_of_squares,
+                "histogram_boundaries": list(config.digest.histogram.boundaries),
+            },
+        },
+    }
+    return json.dumps(payload, sort_keys=True).encode("utf-8")
+
+
+def _metadata_from_json(blob: bytes) -> StreamMetadata:
+    payload = json.loads(blob.decode("utf-8"))
+    config_payload = payload["config"]
+    digest_payload = config_payload["digest"]
+    config = StreamConfig(
+        chunk_interval=config_payload["chunk_interval"],
+        start_time=config_payload["start_time"],
+        compression=config_payload["compression"],
+        value_scale=config_payload["value_scale"],
+        key_tree_height=config_payload["key_tree_height"],
+        prg=config_payload["prg"],
+        index_fanout=config_payload["index_fanout"],
+        digest=DigestConfig(
+            include_sum=digest_payload["include_sum"],
+            include_count=digest_payload["include_count"],
+            include_sum_of_squares=digest_payload["include_sum_of_squares"],
+            histogram=HistogramConfig(boundaries=tuple(digest_payload["histogram_boundaries"])),
+        ),
+    )
+    return StreamMetadata(
+        uuid=payload["uuid"],
+        owner_id=payload["owner_id"],
+        metric=payload["metric"],
+        source=payload["source"],
+        unit=payload["unit"],
+        tags=dict(payload["tags"]),
+        config=config,
+    )
+
+
+@dataclass
+class StreamState:
+    """Per-stream server-side state: metadata plus the encrypted index."""
+
+    metadata: StreamMetadata
+    index: AggregationIndex
+    num_chunks: int = 0
+    num_records: int = 0
+
+
+@dataclass
+class ServerEngine:
+    """The untrusted TimeCrypt server."""
+
+    store: KeyValueStore = field(default_factory=MemoryStore)
+    token_store: TokenStore = field(default_factory=TokenStore)
+    index_cache_bytes: int = 64 * 1024 * 1024
+    _streams: Dict[str, StreamState] = field(default_factory=dict, init=False)
+    _cache: NodeCache = field(init=False)
+    query_stats: QueryStatistics = field(default_factory=QueryStatistics, init=False)
+
+    def __post_init__(self) -> None:
+        self._cache = NodeCache(capacity_bytes=self.index_cache_bytes)
+        self._recover_streams()
+
+    # -- recovery -------------------------------------------------------------
+
+    def _recover_streams(self) -> None:
+        """Reload stream metadata (and index head positions) from storage."""
+        for _key, blob in self.store.scan_prefix(b"meta/"):
+            metadata = _metadata_from_json(blob)
+            state = self._make_state(metadata)
+            state.num_chunks = state.index.num_windows
+            self._streams[metadata.uuid] = state
+
+    def _make_state(self, metadata: StreamMetadata) -> StreamState:
+        index = AggregationIndex(
+            stream_uuid=metadata.uuid,
+            store=self.store,
+            combiner=heac_combiner(),
+            encode_cells=encode_digest_vector,
+            decode_cells=decode_digest_vector,
+            fanout=metadata.config.index_fanout,
+            cache=self._cache,
+            max_windows=metadata.config.max_chunks,
+        )
+        return StreamState(metadata=metadata, index=index)
+
+    # -- stream management -------------------------------------------------------
+
+    def create_stream(self, metadata: StreamMetadata) -> None:
+        """Register a new stream (CreateStream)."""
+        if metadata.uuid in self._streams:
+            raise StreamExistsError(f"stream '{metadata.uuid}' already exists")
+        self.store.put(metadata_storage_key(metadata.uuid), _metadata_to_json(metadata))
+        self._streams[metadata.uuid] = self._make_state(metadata)
+
+    def delete_stream(self, stream_uuid: str) -> None:
+        """Drop a stream with all chunks, index nodes, grants and envelopes."""
+        state = self._state(stream_uuid)
+        for prefix in (
+            f"chunk/{stream_uuid}/".encode("ascii"),
+            f"index/{stream_uuid}/".encode("ascii"),
+        ):
+            for key in self.store.keys_with_prefix(prefix):
+                self.store.delete(key)
+        self.store.delete(metadata_storage_key(stream_uuid))
+        self.token_store.delete_grants(stream_uuid)
+        state.index.cache.clear()
+        del self._streams[stream_uuid]
+
+    def stream_metadata(self, stream_uuid: str) -> StreamMetadata:
+        return self._state(stream_uuid).metadata
+
+    def list_streams(self) -> List[str]:
+        return sorted(self._streams)
+
+    def stream_head(self, stream_uuid: str) -> int:
+        """Number of chunk windows ingested so far."""
+        return self._state(stream_uuid).index.num_windows
+
+    def _state(self, stream_uuid: str) -> StreamState:
+        state = self._streams.get(stream_uuid)
+        if state is None:
+            raise StreamNotFoundError(f"unknown stream '{stream_uuid}'")
+        return state
+
+    # -- ingest --------------------------------------------------------------------
+
+    def insert_chunk(self, chunk: EncryptedChunk) -> int:
+        """Append an encrypted chunk; updates the index and returns the window index."""
+        state = self._state(chunk.stream_uuid)
+        expected_window = state.index.num_windows
+        if chunk.window_index != expected_window:
+            raise QueryError(
+                f"chunk for window {chunk.window_index} arrived, expected window "
+                f"{expected_window} (ingest is in-order append-only)"
+            )
+        self.store.put(
+            chunk_storage_key(chunk.stream_uuid, chunk.window_index),
+            encode_encrypted_chunk(chunk),
+        )
+        state.index.append(list(chunk.digest))
+        state.num_chunks += 1
+        state.num_records += chunk.num_points
+        return chunk.window_index
+
+    # -- raw range retrieval ----------------------------------------------------------
+
+    def get_chunk(self, stream_uuid: str, window_index: int) -> Optional[EncryptedChunk]:
+        blob = self.store.get(chunk_storage_key(stream_uuid, window_index))
+        return decode_encrypted_chunk(blob) if blob is not None else None
+
+    def get_range(self, stream_uuid: str, time_range: TimeRange) -> List[EncryptedChunk]:
+        """Encrypted chunks overlapping ``time_range`` (GetRange)."""
+        state = self._state(stream_uuid)
+        window_start, window_end = self._clip_windows(state, time_range)
+        chunks: List[EncryptedChunk] = []
+        for window_index in range(window_start, window_end):
+            chunk = self.get_chunk(stream_uuid, window_index)
+            if chunk is not None:
+                chunks.append(chunk)
+        self.query_stats.record_range_read(len(chunks))
+        return chunks
+
+    def delete_range(self, stream_uuid: str, time_range: TimeRange) -> int:
+        """Delete raw chunk payloads in a range while keeping digests (DeleteRange)."""
+        state = self._state(stream_uuid)
+        window_start, window_end = self._clip_windows(state, time_range)
+        deleted = 0
+        for window_index in range(window_start, window_end):
+            if self.store.delete(chunk_storage_key(stream_uuid, window_index)):
+                deleted += 1
+        return deleted
+
+    # -- statistical queries ---------------------------------------------------------------
+
+    def stat_range_windows(
+        self, stream_uuid: str, window_start: int, window_end: int
+    ) -> StatQueryResult:
+        """Aggregate encrypted digests over an explicit window interval."""
+        state = self._state(stream_uuid)
+        if window_end <= window_start:
+            raise QueryError(f"empty window range [{window_start}, {window_end})")
+        plan = state.index.plan(window_start, window_end)
+        cells = state.index.query_range(window_start, window_end)
+        self.query_stats.record_stat_query(plan.num_nodes)
+        return StatQueryResult(
+            stream_uuid=stream_uuid,
+            window_start=window_start,
+            window_end=window_end,
+            cells=tuple(cells),
+            component_names=state.metadata.config.digest.component_names,
+            num_index_nodes=plan.num_nodes,
+        )
+
+    def stat_range(self, stream_uuid: str, time_range: TimeRange) -> StatQueryResult:
+        """Aggregate encrypted digests over a time interval (GetStatRange)."""
+        state = self._state(stream_uuid)
+        window_start, window_end = self._clip_windows(state, time_range)
+        if window_end <= window_start:
+            raise QueryError(f"no ingested data in {time_range}")
+        return self.stat_range_windows(stream_uuid, window_start, window_end)
+
+    def stat_range_multi(
+        self, stream_uuids: Sequence[str], time_range: TimeRange
+    ) -> MultiStreamAggregate:
+        """Inter-stream statistical query (component-wise sum across streams)."""
+        if not stream_uuids:
+            raise QueryError("an inter-stream query needs at least one stream")
+        results = [self.stat_range(stream_uuid, time_range) for stream_uuid in stream_uuids]
+        return MultiStreamAggregate.combine(results)
+
+    def stat_series(
+        self, stream_uuid: str, time_range: TimeRange, granularity_windows: int
+    ) -> List[StatQueryResult]:
+        """A series of adjacent aggregates at a fixed granularity (for dashboards).
+
+        Used by the mHealth views experiment (Fig. 8): one result per
+        ``granularity_windows`` consecutive chunk windows.
+        """
+        if granularity_windows < 1:
+            raise QueryError("granularity must be at least one window")
+        state = self._state(stream_uuid)
+        window_start, window_end = self._clip_windows(state, time_range)
+        results: List[StatQueryResult] = []
+        position = window_start
+        while position < window_end:
+            segment_end = min(position + granularity_windows, window_end)
+            results.append(self.stat_range_windows(stream_uuid, position, segment_end))
+            position = segment_end
+        return results
+
+    # -- data decay / rollup -------------------------------------------------------------------
+
+    def rollup_stream(self, stream_uuid: str, resolution_windows: int, before_time: Optional[int] = None) -> int:
+        """Age out fine-grained data older than ``before_time`` (RollupStream).
+
+        Raw chunk payloads and leaf index detail below ``resolution_windows``
+        are removed; aggregate statistics at and above that resolution remain
+        queryable through the surviving index levels.  Returns the number of
+        deleted storage records.
+        """
+        state = self._state(stream_uuid)
+        config = state.metadata.config
+        if resolution_windows < 1:
+            raise QueryError("rollup resolution must be at least one window")
+        head_windows = state.index.num_windows
+        if before_time is None:
+            before_window = head_windows
+        else:
+            before_window = min(
+                head_windows, max(0, (before_time - config.start_time) // config.chunk_interval)
+            )
+        deleted = 0
+        for window_index in range(before_window):
+            if self.store.delete(chunk_storage_key(stream_uuid, window_index)):
+                deleted += 1
+        # Prune index levels finer than the retained resolution.
+        level = 0
+        fanout = state.metadata.config.index_fanout
+        while fanout ** level < resolution_windows:
+            level += 1
+        deleted += state.index.prune_below(level, before_window)
+        return deleted
+
+    # -- token / envelope passthrough ---------------------------------------------------------------
+
+    def put_grant(self, stream_uuid: str, principal_id: str, sealed_token: bytes) -> int:
+        return self.token_store.put_grant(stream_uuid, principal_id, sealed_token)
+
+    def fetch_grants(self, stream_uuid: str, principal_id: str) -> List[bytes]:
+        return self.token_store.grants_for(stream_uuid, principal_id)
+
+    def fetch_envelopes(
+        self, stream_uuid: str, resolution_chunks: int, window_start: int, window_end: int
+    ) -> Dict[int, bytes]:
+        return self.token_store.envelopes_for_range(
+            stream_uuid, resolution_chunks, window_start, window_end
+        )
+
+    # -- accounting ------------------------------------------------------------------------------
+
+    def index_size_bytes(self, stream_uuid: str) -> int:
+        return self._state(stream_uuid).index.size_bytes()
+
+    def storage_size_bytes(self) -> int:
+        return self.store.size_bytes()
+
+    def cache_stats(self):
+        return self._cache.stats
+
+    # -- helpers ------------------------------------------------------------------------------------
+
+    def _clip_windows(self, state: StreamState, time_range: TimeRange) -> Tuple[int, int]:
+        """Map a time range to the ingested chunk-window interval it overlaps."""
+        config = state.metadata.config
+        head = state.index.num_windows
+        if time_range.end <= config.start_time or head == 0:
+            return 0, 0
+        start_offset = max(0, time_range.start - config.start_time)
+        window_start = start_offset // config.chunk_interval
+        end_offset = max(0, time_range.end - config.start_time)
+        window_end = (end_offset + config.chunk_interval - 1) // config.chunk_interval
+        return min(window_start, head), min(window_end, head)

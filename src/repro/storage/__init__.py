@@ -1,0 +1,30 @@
+"""Key-value storage substrate (the Cassandra stand-in).
+
+TimeCrypt persists encrypted chunks and index nodes in a distributed
+key-value store (Cassandra in the paper's prototype).  This package provides
+an embedded substitute with the same contract:
+
+* :class:`~repro.storage.kv.KeyValueStore` — the abstract interface the
+  server engine writes against.
+* :class:`~repro.storage.memory.MemoryStore` — an in-memory store for tests
+  and benchmarks.
+* :class:`~repro.storage.disk.AppendLogStore` — a persistent append-only-log
+  store with an in-memory index (a miniature LSM level).
+* :class:`~repro.storage.cluster.StorageCluster` — consistent-hash
+  partitioning over several virtual nodes with N-way replication, modelling
+  the distributed deployment.
+"""
+
+from repro.storage.cluster import StorageCluster
+from repro.storage.disk import AppendLogStore
+from repro.storage.kv import KeyValueStore
+from repro.storage.memory import MemoryStore
+from repro.storage.partitioner import ConsistentHashRing
+
+__all__ = [
+    "KeyValueStore",
+    "MemoryStore",
+    "AppendLogStore",
+    "ConsistentHashRing",
+    "StorageCluster",
+]

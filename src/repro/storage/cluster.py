@@ -1,0 +1,136 @@
+"""A replicated storage cluster built from per-node stores and the token ring.
+
+This is the "distributed" half of the Cassandra substitution: a
+:class:`StorageCluster` owns one :class:`~repro.storage.kv.KeyValueStore`
+per virtual node, places every key with consistent hashing, writes to all
+replicas, and reads from the first healthy one.  Nodes can be marked down to
+exercise replica failover in tests.
+
+The cluster itself implements :class:`~repro.storage.kv.KeyValueStore`, so
+the server engine does not care whether it talks to a single in-memory store
+or a replicated cluster.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.exceptions import PartitionError
+from repro.storage.kv import KeyValueStore
+from repro.storage.memory import MemoryStore
+from repro.storage.partitioner import ConsistentHashRing
+
+
+class StorageCluster(KeyValueStore):
+    """N-way replicated key-value store over multiple node-local stores."""
+
+    def __init__(
+        self,
+        num_nodes: int = 3,
+        replication_factor: int = 2,
+        store_factory: Optional[Callable[[str], KeyValueStore]] = None,
+        virtual_tokens: int = 64,
+    ) -> None:
+        if num_nodes <= 0:
+            raise ValueError("the cluster needs at least one node")
+        if replication_factor <= 0:
+            raise ValueError("replication_factor must be positive")
+        self._replication_factor = min(replication_factor, num_nodes)
+        factory = store_factory or (lambda _name: MemoryStore())
+        self._node_names = [f"node-{index}" for index in range(num_nodes)]
+        self._stores: Dict[str, KeyValueStore] = {name: factory(name) for name in self._node_names}
+        self._down: Set[str] = set()
+        self._ring = ConsistentHashRing(self._node_names, virtual_tokens=virtual_tokens)
+
+    # -- cluster management ---------------------------------------------------
+
+    @property
+    def node_names(self) -> List[str]:
+        return list(self._node_names)
+
+    @property
+    def replication_factor(self) -> int:
+        return self._replication_factor
+
+    def node_store(self, name: str) -> KeyValueStore:
+        """Direct access to one node's local store (tests and inspection)."""
+        return self._stores[name]
+
+    def mark_down(self, name: str) -> None:
+        """Simulate a node failure."""
+        if name not in self._stores:
+            raise ValueError(f"unknown node '{name}'")
+        self._down.add(name)
+
+    def mark_up(self, name: str) -> None:
+        """Bring a failed node back (it may hold stale data until repaired)."""
+        self._down.discard(name)
+
+    def healthy_replicas(self, key: bytes) -> List[str]:
+        return [node for node in self._ring.replicas(key, self._replication_factor) if node not in self._down]
+
+    # -- KeyValueStore interface -------------------------------------------------
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        replicas = self.healthy_replicas(key)
+        if not replicas:
+            raise PartitionError(f"no healthy replica for key {key!r}")
+        for node in replicas:
+            value = self._stores[node].get(key)
+            if value is not None:
+                return value
+        return None
+
+    def put(self, key: bytes, value: bytes) -> None:
+        replicas = self.healthy_replicas(key)
+        if not replicas:
+            raise PartitionError(f"no healthy replica for key {key!r}")
+        for node in replicas:
+            self._stores[node].put(key, value)
+
+    def delete(self, key: bytes) -> bool:
+        replicas = self.healthy_replicas(key)
+        if not replicas:
+            raise PartitionError(f"no healthy replica for key {key!r}")
+        existed = False
+        for node in replicas:
+            existed = self._stores[node].delete(key) or existed
+        return existed
+
+    def scan_prefix(self, prefix: bytes) -> Iterator[Tuple[bytes, bytes]]:
+        """Merge prefix scans across nodes, deduplicating replicated keys."""
+        seen: Set[bytes] = set()
+        merged: List[Tuple[bytes, bytes]] = []
+        for name, store in self._stores.items():
+            if name in self._down:
+                continue
+            for key, value in store.scan_prefix(prefix):
+                if key not in seen:
+                    seen.add(key)
+                    merged.append((key, value))
+        merged.sort(key=lambda item: item[0])
+        return iter(merged)
+
+    def size_bytes(self) -> int:
+        """Logical size (deduplicated across replicas)."""
+        return sum(len(key) + len(value) for key, value in self.scan_prefix(b""))
+
+    def physical_size_bytes(self) -> int:
+        """Raw size including replication overhead."""
+        return sum(store.size_bytes() for store in self._stores.values())
+
+    def repair_node(self, name: str) -> int:
+        """Copy any keys a recovered node is missing from its peers; returns count."""
+        if name not in self._stores:
+            raise ValueError(f"unknown node '{name}'")
+        repaired = 0
+        target = self._stores[name]
+        for key, value in self.scan_prefix(b""):
+            if name in self._ring.replicas(key, self._replication_factor) and target.get(key) is None:
+                target.put(key, value)
+                repaired += 1
+        return repaired
+
+    def close(self) -> None:
+        for store in self._stores.values():
+            store.close()

@@ -1,0 +1,139 @@
+"""A persistent append-only-log key-value store.
+
+This is the on-disk backend of the Cassandra stand-in: every ``put`` appends
+a length-prefixed record to a log file, an in-memory hash index maps keys to
+their latest log offset, and ``compact()`` rewrites the log dropping stale
+versions and tombstones — a single-level, miniature LSM design that captures
+the write path (sequential appends) and read path (index lookup + one random
+read) of a log-structured store.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from pathlib import Path
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.exceptions import StorageError
+from repro.storage.kv import KeyValueStore
+
+_RECORD_HEADER = struct.Struct(">IIB")  # key length, value length, tombstone flag
+
+
+class AppendLogStore(KeyValueStore):
+    """Log-structured persistent store with an in-memory key index."""
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self._path = Path(path)
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+        self._index: Dict[bytes, Tuple[int, int]] = {}  # key -> (value offset, length)
+        self._file = open(self._path, "a+b")
+        self._rebuild_index()
+
+    # -- recovery -------------------------------------------------------------
+
+    def _rebuild_index(self) -> None:
+        """Replay the log to rebuild the key index after a restart."""
+        self._index.clear()
+        self._file.seek(0)
+        offset = 0
+        while True:
+            header = self._file.read(_RECORD_HEADER.size)
+            if not header:
+                break
+            if len(header) < _RECORD_HEADER.size:
+                # Torn final record (crash mid-write): truncate it away.
+                self._file.truncate(offset)
+                break
+            key_len, value_len, tombstone = _RECORD_HEADER.unpack(header)
+            key = self._file.read(key_len)
+            value_offset = offset + _RECORD_HEADER.size + key_len
+            payload = self._file.read(value_len)
+            if len(key) < key_len or len(payload) < value_len:
+                self._file.truncate(offset)
+                break
+            if tombstone:
+                self._index.pop(key, None)
+            else:
+                self._index[key] = (value_offset, value_len)
+            offset = value_offset + value_len
+        self._file.seek(0, os.SEEK_END)
+
+    # -- KeyValueStore interface -------------------------------------------------
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        entry = self._index.get(key)
+        if entry is None:
+            return None
+        offset, length = entry
+        position = self._file.tell()
+        try:
+            self._file.seek(offset)
+            value = self._file.read(length)
+        finally:
+            self._file.seek(position)
+        if len(value) != length:
+            raise StorageError(f"truncated value for key {key!r}")
+        return value
+
+    def put(self, key: bytes, value: bytes) -> None:
+        self._append(key, value, tombstone=False)
+        offset = self._file.tell() - len(value)
+        self._index[key] = (offset, len(value))
+
+    def delete(self, key: bytes) -> bool:
+        existed = key in self._index
+        if existed:
+            self._append(key, b"", tombstone=True)
+            self._index.pop(key, None)
+        return existed
+
+    def scan_prefix(self, prefix: bytes) -> Iterator[Tuple[bytes, bytes]]:
+        for key in sorted(self._index):
+            if key.startswith(prefix):
+                value = self.get(key)
+                if value is not None:
+                    yield key, value
+
+    def size_bytes(self) -> int:
+        return sum(len(key) + length for key, (_offset, length) in self._index.items())
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    # -- maintenance ----------------------------------------------------------------
+
+    def _append(self, key: bytes, value: bytes, tombstone: bool) -> None:
+        record = _RECORD_HEADER.pack(len(key), len(value), int(tombstone)) + key + value
+        self._file.seek(0, os.SEEK_END)
+        self._file.write(record)
+        self._file.flush()
+
+    def compact(self) -> None:
+        """Rewrite the log keeping only the live version of each key."""
+        compact_path = self._path.with_suffix(self._path.suffix + ".compact")
+        live = [(key, self.get(key)) for key in sorted(self._index)]
+        with open(compact_path, "wb") as target:
+            new_index: Dict[bytes, Tuple[int, int]] = {}
+            offset = 0
+            for key, value in live:
+                assert value is not None
+                record = _RECORD_HEADER.pack(len(key), len(value), 0) + key + value
+                target.write(record)
+                new_index[key] = (offset + _RECORD_HEADER.size + len(key), len(value))
+                offset += len(record)
+        self._file.close()
+        os.replace(compact_path, self._path)
+        self._file = open(self._path, "a+b")
+        self._index = new_index
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.close()
+
+    def __enter__(self) -> "AppendLogStore":
+        return self
+
+    def __exit__(self, *_exc_info: object) -> None:
+        self.close()

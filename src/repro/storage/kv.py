@@ -1,0 +1,60 @@
+"""The key-value store interface the server engine writes against.
+
+Keys and values are opaque byte strings.  The interface is intentionally the
+lowest common denominator of wide-column / KV stores (get, put, delete,
+multi-get, prefix scan) so that the rest of the system stays portable across
+backends — the paper makes the same argument for building on a standard
+distributed KV store.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+
+class KeyValueStore(ABC):
+    """Abstract key-value store."""
+
+    @abstractmethod
+    def get(self, key: bytes) -> Optional[bytes]:
+        """Return the value stored under ``key`` or ``None``."""
+
+    @abstractmethod
+    def put(self, key: bytes, value: bytes) -> None:
+        """Store ``value`` under ``key``, replacing any previous value."""
+
+    @abstractmethod
+    def delete(self, key: bytes) -> bool:
+        """Remove ``key``; returns True when it existed."""
+
+    @abstractmethod
+    def scan_prefix(self, prefix: bytes) -> Iterator[Tuple[bytes, bytes]]:
+        """Yield ``(key, value)`` pairs whose key starts with ``prefix``, in key order."""
+
+    # -- conveniences with default implementations --------------------------------
+
+    def multi_get(self, keys: Iterable[bytes]) -> Dict[bytes, Optional[bytes]]:
+        """Batched get; backends with real batching should override."""
+        return {key: self.get(key) for key in keys}
+
+    def multi_put(self, items: Iterable[Tuple[bytes, bytes]]) -> None:
+        """Batched put; backends with real batching should override."""
+        for key, value in items:
+            self.put(key, value)
+
+    def contains(self, key: bytes) -> bool:
+        return self.get(key) is not None
+
+    def keys_with_prefix(self, prefix: bytes) -> List[bytes]:
+        return [key for key, _value in self.scan_prefix(prefix)]
+
+    def count_prefix(self, prefix: bytes) -> int:
+        return sum(1 for _ in self.scan_prefix(prefix))
+
+    def size_bytes(self) -> int:
+        """Total stored bytes (keys + values); used for index-size reporting."""
+        return sum(len(key) + len(value) for key, value in self.scan_prefix(b""))
+
+    def close(self) -> None:  # pragma: no cover - default is a no-op
+        """Release any resources held by the backend."""

@@ -1,0 +1,64 @@
+"""In-memory key-value store.
+
+The default backend for tests and micro-benchmarks: a sorted-key dict with
+the same interface as the persistent stores.  It also tracks simple
+operation counters so benchmarks can report read/write amplification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.storage.kv import KeyValueStore
+
+
+@dataclass
+class StoreStats:
+    """Operation counters for a store instance."""
+
+    gets: int = 0
+    puts: int = 0
+    deletes: int = 0
+    scans: int = 0
+
+    def reset(self) -> None:
+        self.gets = 0
+        self.puts = 0
+        self.deletes = 0
+        self.scans = 0
+
+
+class MemoryStore(KeyValueStore):
+    """A dict-backed store with ordered prefix scans."""
+
+    def __init__(self) -> None:
+        self._data: Dict[bytes, bytes] = {}
+        self.stats = StoreStats()
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        self.stats.gets += 1
+        return self._data.get(key)
+
+    def put(self, key: bytes, value: bytes) -> None:
+        self.stats.puts += 1
+        self._data[key] = value
+
+    def delete(self, key: bytes) -> bool:
+        self.stats.deletes += 1
+        return self._data.pop(key, None) is not None
+
+    def scan_prefix(self, prefix: bytes) -> Iterator[Tuple[bytes, bytes]]:
+        self.stats.scans += 1
+        for key in sorted(self._data):
+            if key.startswith(prefix):
+                yield key, self._data[key]
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def size_bytes(self) -> int:
+        return sum(len(key) + len(value) for key, value in self._data.items())
+
+    def clear(self) -> None:
+        self._data.clear()

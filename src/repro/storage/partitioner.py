@@ -1,0 +1,87 @@
+"""Consistent-hash partitioning (how the Cassandra stand-in places data).
+
+Keys are hashed onto a ring; each physical node owns several virtual tokens
+so that adding or removing a node only moves a small fraction of the keys.
+Replica sets are the N distinct nodes encountered walking clockwise from the
+key's position — the same token-ring design Cassandra and Dynamo use.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, List, Sequence, Tuple
+
+from repro.exceptions import PartitionError
+
+
+def _hash_to_ring(data: bytes) -> int:
+    """Position of ``data`` on the 128-bit ring."""
+    return int.from_bytes(hashlib.blake2b(data, digest_size=16).digest(), "big")
+
+
+class ConsistentHashRing:
+    """A token ring mapping keys to replica sets of node names."""
+
+    def __init__(self, nodes: Sequence[str] = (), virtual_tokens: int = 64) -> None:
+        if virtual_tokens <= 0:
+            raise ValueError("virtual_tokens must be positive")
+        self._virtual_tokens = virtual_tokens
+        self._tokens: List[Tuple[int, str]] = []
+        self._nodes: Dict[str, bool] = {}
+        for node in nodes:
+            self.add_node(node)
+
+    # -- membership -----------------------------------------------------------
+
+    @property
+    def nodes(self) -> List[str]:
+        return sorted(self._nodes)
+
+    def add_node(self, node: str) -> None:
+        """Add a node and its virtual tokens to the ring."""
+        if node in self._nodes:
+            raise ValueError(f"node '{node}' already in the ring")
+        self._nodes[node] = True
+        for token_index in range(self._virtual_tokens):
+            position = _hash_to_ring(f"{node}#{token_index}".encode("utf-8"))
+            bisect.insort(self._tokens, (position, node))
+
+    def remove_node(self, node: str) -> None:
+        """Remove a node (e.g. on failure); its ranges fall to the successors."""
+        if node not in self._nodes:
+            raise ValueError(f"node '{node}' not in the ring")
+        del self._nodes[node]
+        self._tokens = [(pos, name) for pos, name in self._tokens if name != node]
+
+    # -- placement ----------------------------------------------------------------
+
+    def primary(self, key: bytes) -> str:
+        """The first replica responsible for ``key``."""
+        return self.replicas(key, 1)[0]
+
+    def replicas(self, key: bytes, replication_factor: int) -> List[str]:
+        """The ``replication_factor`` distinct nodes responsible for ``key``."""
+        if not self._tokens:
+            raise PartitionError("the ring has no nodes")
+        if replication_factor <= 0:
+            raise ValueError("replication_factor must be positive")
+        available = len(self._nodes)
+        wanted = min(replication_factor, available)
+        position = _hash_to_ring(key)
+        start = bisect.bisect_right(self._tokens, (position, "￿"))
+        replicas: List[str] = []
+        for step in range(len(self._tokens)):
+            _token, node = self._tokens[(start + step) % len(self._tokens)]
+            if node not in replicas:
+                replicas.append(node)
+                if len(replicas) == wanted:
+                    break
+        return replicas
+
+    def ownership_fractions(self, sample_keys: int = 4096) -> Dict[str, float]:
+        """Approximate fraction of keys owned by each node (for balance checks)."""
+        counts: Dict[str, int] = {node: 0 for node in self._nodes}
+        for sample in range(sample_keys):
+            counts[self.primary(sample.to_bytes(8, "big"))] += 1
+        return {node: count / sample_keys for node, count in counts.items()}

@@ -1,0 +1,17 @@
+"""Time-series data model: points, streams, chunks, digests, compression."""
+
+from repro.timeseries.chunk import Chunk, ChunkBuilder
+from repro.timeseries.digest import Digest, DigestConfig, HistogramConfig
+from repro.timeseries.point import DataPoint
+from repro.timeseries.stream import StreamConfig, StreamMetadata
+
+__all__ = [
+    "DataPoint",
+    "StreamConfig",
+    "StreamMetadata",
+    "Digest",
+    "DigestConfig",
+    "HistogramConfig",
+    "Chunk",
+    "ChunkBuilder",
+]

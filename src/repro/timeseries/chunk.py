@@ -1,0 +1,137 @@
+"""Chunks: time-ordered batches of points plus their digest (paper §4.1).
+
+The client serializes points into fixed time-interval chunks.  Each chunk
+carries:
+
+* the raw point payload (compressed, then AEAD-encrypted on the write path),
+* a digest vector (encrypted with HEAC so the server can aggregate it),
+* its window index — the position in the keystream / aggregation index.
+
+:class:`ChunkBuilder` implements the client-side batching: points are
+appended in order and a chunk is emitted whenever the next point crosses the
+current window boundary (or on explicit flush).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Optional
+
+from repro.exceptions import ChunkError, OutOfOrderError
+from repro.timeseries.digest import Digest, DigestConfig
+from repro.timeseries.point import DataPoint
+from repro.timeseries.stream import StreamConfig
+from repro.util.timeutil import TimeRange
+
+
+@dataclass
+class Chunk:
+    """A plaintext chunk: one window's points and their digest."""
+
+    window_index: int
+    time_range: TimeRange
+    points: List[DataPoint]
+    digest: Digest
+
+    def __post_init__(self) -> None:
+        for point in self.points:
+            if not self.time_range.contains(point.timestamp):
+                raise ChunkError(
+                    f"point at {point.timestamp} outside chunk window {self.time_range}"
+                )
+
+    @property
+    def num_points(self) -> int:
+        return len(self.points)
+
+    @classmethod
+    def of_points(
+        cls,
+        window_index: int,
+        time_range: TimeRange,
+        points: Iterable[DataPoint],
+        digest_config: DigestConfig,
+    ) -> "Chunk":
+        materialised = sorted(points, key=lambda p: p.timestamp)
+        return cls(
+            window_index=window_index,
+            time_range=time_range,
+            points=materialised,
+            digest=Digest.of_points(digest_config, materialised),
+        )
+
+
+@dataclass
+class ChunkBuilder:
+    """Client-side batching of an append-only point stream into chunks.
+
+    Points must arrive with non-decreasing timestamps (time series ingest is
+    in-order append-only, §4.5); an out-of-order point raises
+    :class:`OutOfOrderError`.  Chunks are emitted strictly in window order;
+    empty windows between points are emitted as empty chunks so the keystream
+    position always equals the window index.
+    """
+
+    config: StreamConfig
+    emit_empty_chunks: bool = True
+    _current_window: Optional[int] = field(default=None, init=False)
+    _points: List[DataPoint] = field(default_factory=list, init=False)
+    _last_timestamp: Optional[int] = field(default=None, init=False)
+
+    def append(self, point: DataPoint) -> List[Chunk]:
+        """Add a point; returns the chunks completed by this append (possibly none)."""
+        if self._last_timestamp is not None and point.timestamp < self._last_timestamp:
+            raise OutOfOrderError(
+                f"point at {point.timestamp} arrived after {self._last_timestamp}"
+            )
+        self._last_timestamp = point.timestamp
+        window = self.config.window_of(point.timestamp)
+        completed: List[Chunk] = []
+        if self._current_window is None:
+            self._current_window = window
+        elif window != self._current_window:
+            completed.extend(self._emit_through(window))
+        self._points.append(point)
+        return completed
+
+    def extend(self, points: Iterable[DataPoint]) -> List[Chunk]:
+        """Append many points; returns all chunks completed along the way."""
+        completed: List[Chunk] = []
+        for point in points:
+            completed.extend(self.append(point))
+        return completed
+
+    def flush(self) -> List[Chunk]:
+        """Emit the current partial chunk (ends the stream segment)."""
+        if self._current_window is None:
+            return []
+        chunk = self._build_chunk(self._current_window, self._points)
+        self._current_window = None
+        self._points = []
+        return [chunk]
+
+    def _emit_through(self, next_window: int) -> Iterator[Chunk]:
+        """Emit the finished window and any empty windows before ``next_window``."""
+        assert self._current_window is not None
+        chunks = [self._build_chunk(self._current_window, self._points)]
+        if self.emit_empty_chunks:
+            for empty_window in range(self._current_window + 1, next_window):
+                chunks.append(self._build_chunk(empty_window, []))
+        self._current_window = next_window
+        self._points = []
+        return iter(chunks)
+
+    def _build_chunk(self, window_index: int, points: List[DataPoint]) -> Chunk:
+        start = self.config.window_start(window_index)
+        time_range = TimeRange(start, start + self.config.chunk_interval)
+        return Chunk.of_points(window_index, time_range, points, self.config.digest)
+
+
+def chunks_from_points(
+    config: StreamConfig, points: Iterable[DataPoint], emit_empty_chunks: bool = True
+) -> List[Chunk]:
+    """Batch a complete point sequence into chunks (builder + flush)."""
+    builder = ChunkBuilder(config=config, emit_empty_chunks=emit_empty_chunks)
+    chunks = builder.extend(points)
+    chunks.extend(builder.flush())
+    return chunks

@@ -1,0 +1,72 @@
+"""Data points: the atoms of a time series stream.
+
+A point is a ``(timestamp, value)`` pair (paper §2).  TimeCrypt's encrypted
+digests operate over integers modulo 2^64, so float-valued metrics (heart
+rate in bpm, CPU utilisation in percent, ...) are stored as fixed-point
+integers with a per-stream scale factor; the helpers here perform that
+conversion consistently on the write and read paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Union
+
+Number = Union[int, float]
+
+
+@dataclass(frozen=True, order=True)
+class DataPoint:
+    """A single measurement: integer timestamp plus fixed-point integer value."""
+
+    timestamp: int
+    value: int
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.timestamp, int):
+            raise TypeError("timestamps must be integers")
+        if not isinstance(self.value, int):
+            raise TypeError(
+                "DataPoint values are fixed-point integers; use encode_value() "
+                "to convert floats"
+            )
+
+
+def encode_value(value: Number, scale: int = 1) -> int:
+    """Convert a measurement to its fixed-point integer representation.
+
+    ``scale`` is the number of integer units per 1.0 of the raw measurement
+    (e.g. ``scale=100`` stores two decimal places).
+    """
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    return round(value * scale)
+
+
+def decode_value(value: int, scale: int = 1) -> float:
+    """Convert a fixed-point integer back into the measurement's unit."""
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    return value / scale
+
+
+def make_points(
+    timestamps: Iterable[int], values: Iterable[Number], scale: int = 1
+) -> List[DataPoint]:
+    """Build a list of points from parallel timestamp/value sequences."""
+    points = [
+        DataPoint(timestamp=ts, value=encode_value(val, scale))
+        for ts, val in zip(timestamps, values)
+    ]
+    return points
+
+
+def validate_sorted(points: Iterable[DataPoint]) -> List[DataPoint]:
+    """Return the points as a list, requiring non-decreasing timestamps."""
+    materialised = list(points)
+    for earlier, later in zip(materialised, materialised[1:]):
+        if later.timestamp < earlier.timestamp:
+            raise ValueError(
+                f"points out of order: {later.timestamp} after {earlier.timestamp}"
+            )
+    return materialised

@@ -1,0 +1,128 @@
+"""Binary serialization of encrypted chunks and digests (the storage format).
+
+What the server stores per chunk window (paper §4.1, §4.6):
+
+* an **encrypted chunk blob** — compressed points sealed with AES-GCM under a
+  key derived from the HEAC keystream; opaque to the server,
+* an **encrypted digest vector** — one HEAC ciphertext per digest component,
+  which the server *can* aggregate (but not decrypt).
+
+Records are keyed by ``stream-id || window-encoding`` (see
+:func:`chunk_storage_key`), mirroring the paper's "identifier computed
+on-the-fly from the temporal range boundaries" design.
+
+The formats below are deliberately simple length-prefixed structures; they
+stand in for the protobuf messages of the original prototype.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.crypto.heac import HEACCiphertext
+from repro.exceptions import ChunkError
+from repro.util.encoding import decode_varint, encode_varint
+
+_MAGIC_CHUNK = b"TCC1"
+_MAGIC_DIGEST = b"TCD1"
+
+
+@dataclass(frozen=True)
+class EncryptedChunk:
+    """An encrypted chunk as stored by the server."""
+
+    stream_uuid: str
+    window_index: int
+    payload: bytes  # AEAD blob over the compressed points
+    digest: List[HEACCiphertext]
+    num_points: int
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self.payload) + 8 * len(self.digest)
+
+
+def encode_digest_vector(digest: Sequence[HEACCiphertext]) -> bytes:
+    """Serialize a vector of HEAC ciphertexts."""
+    out = bytearray(_MAGIC_DIGEST)
+    out += encode_varint(len(digest))
+    for ciphertext in digest:
+        out += ciphertext.value.to_bytes(8, "big")
+        out += encode_varint(ciphertext.window_start)
+        out += encode_varint(ciphertext.window_end)
+    return bytes(out)
+
+
+def decode_digest_vector(blob: bytes) -> List[HEACCiphertext]:
+    """Inverse of :func:`encode_digest_vector`."""
+    if blob[:4] != _MAGIC_DIGEST:
+        raise ChunkError("not a digest vector blob")
+    count, pos = decode_varint(blob, 4)
+    digest: List[HEACCiphertext] = []
+    for _ in range(count):
+        if pos + 8 > len(blob):
+            raise ChunkError("truncated digest vector")
+        value = int.from_bytes(blob[pos : pos + 8], "big")
+        pos += 8
+        window_start, pos = decode_varint(blob, pos)
+        window_end, pos = decode_varint(blob, pos)
+        digest.append(HEACCiphertext(value=value, window_start=window_start, window_end=window_end))
+    return digest
+
+
+def encode_encrypted_chunk(chunk: EncryptedChunk) -> bytes:
+    """Serialize an :class:`EncryptedChunk` for storage or the wire."""
+    uuid_bytes = chunk.stream_uuid.encode("utf-8")
+    digest_blob = encode_digest_vector(chunk.digest)
+    out = bytearray(_MAGIC_CHUNK)
+    out += encode_varint(len(uuid_bytes))
+    out += uuid_bytes
+    out += encode_varint(chunk.window_index)
+    out += encode_varint(chunk.num_points)
+    out += encode_varint(len(digest_blob))
+    out += digest_blob
+    out += encode_varint(len(chunk.payload))
+    out += chunk.payload
+    return bytes(out)
+
+
+def decode_encrypted_chunk(blob: bytes) -> EncryptedChunk:
+    """Inverse of :func:`encode_encrypted_chunk`."""
+    if blob[:4] != _MAGIC_CHUNK:
+        raise ChunkError("not an encrypted chunk blob")
+    pos = 4
+    uuid_len, pos = decode_varint(blob, pos)
+    stream_uuid = blob[pos : pos + uuid_len].decode("utf-8")
+    pos += uuid_len
+    window_index, pos = decode_varint(blob, pos)
+    num_points, pos = decode_varint(blob, pos)
+    digest_len, pos = decode_varint(blob, pos)
+    digest = decode_digest_vector(blob[pos : pos + digest_len])
+    pos += digest_len
+    payload_len, pos = decode_varint(blob, pos)
+    payload = blob[pos : pos + payload_len]
+    if len(payload) != payload_len:
+        raise ChunkError("truncated chunk payload")
+    return EncryptedChunk(
+        stream_uuid=stream_uuid,
+        window_index=window_index,
+        payload=payload,
+        digest=digest,
+        num_points=num_points,
+    )
+
+
+def chunk_storage_key(stream_uuid: str, window_index: int) -> bytes:
+    """Storage key of a chunk: stream id plus the window encoding."""
+    return f"chunk/{stream_uuid}/{window_index:016x}".encode("ascii")
+
+
+def index_node_storage_key(stream_uuid: str, level: int, position: int) -> bytes:
+    """Storage key of an index node, derived from its temporal coordinates."""
+    return f"index/{stream_uuid}/{level:02d}/{position:016x}".encode("ascii")
+
+
+def metadata_storage_key(stream_uuid: str) -> bytes:
+    """Storage key of a stream's metadata record."""
+    return f"meta/{stream_uuid}".encode("ascii")

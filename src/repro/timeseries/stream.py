@@ -1,0 +1,118 @@
+"""Stream configuration and metadata.
+
+A stream is a sequence of points from one producer (paper §2).  The
+:class:`StreamConfig` captures the knobs Table 1's ``CreateStream`` accepts:
+the chunk interval Δ, the compression codec, the digest layout (which
+statistical operators the server should be able to answer), the fixed-point
+scale, and the key-derivation parameters.
+"""
+
+from __future__ import annotations
+
+import uuid as uuid_module
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.exceptions import ConfigurationError
+from repro.timeseries.digest import DigestConfig
+
+
+@dataclass(frozen=True)
+class StreamConfig:
+    """Per-stream parameters fixed at creation time.
+
+    Attributes
+    ----------
+    chunk_interval:
+        Δ — the fixed time window (in the stream's timestamp unit, typically
+        milliseconds) covered by one chunk.  It is the finest granularity at
+        which the server can aggregate and at which access can be granted.
+    start_time:
+        The stream epoch ``t0``; window ``i`` covers
+        ``[t0 + i·Δ, t0 + (i+1)·Δ)``.
+    digest:
+        Which statistical summaries each chunk digest carries.
+    compression:
+        Codec name for raw chunk payloads (see
+        :mod:`repro.timeseries.compression`).
+    value_scale:
+        Fixed-point scale for float metrics.
+    key_tree_height:
+        Height of the key-derivation tree; bounds the number of chunks the
+        stream can ever hold at ``2**height``.
+    prg:
+        PRG construction used by the key tree.
+    index_fanout:
+        k of the k-ary aggregation index built over this stream.
+    """
+
+    chunk_interval: int = 10_000
+    start_time: int = 0
+    digest: DigestConfig = field(default_factory=DigestConfig)
+    compression: str = "zlib"
+    value_scale: int = 1
+    key_tree_height: int = 30
+    prg: str = "auto"
+    index_fanout: int = 64
+
+    def __post_init__(self) -> None:
+        if self.chunk_interval <= 0:
+            raise ConfigurationError("chunk_interval must be positive")
+        if self.value_scale <= 0:
+            raise ConfigurationError("value_scale must be positive")
+        if not 1 <= self.key_tree_height <= 62:
+            raise ConfigurationError("key_tree_height must be between 1 and 62")
+        if self.index_fanout < 2:
+            raise ConfigurationError("index_fanout must be at least 2")
+
+    @property
+    def max_chunks(self) -> int:
+        return 1 << self.key_tree_height
+
+    def window_start(self, window_index: int) -> int:
+        return self.start_time + window_index * self.chunk_interval
+
+    def window_of(self, timestamp: int) -> int:
+        if timestamp < self.start_time:
+            raise ConfigurationError(
+                f"timestamp {timestamp} precedes stream start {self.start_time}"
+            )
+        return (timestamp - self.start_time) // self.chunk_interval
+
+
+@dataclass
+class StreamMetadata:
+    """Descriptive metadata stored alongside a stream (never secret).
+
+    The paper's examples: metric name ("heart rate"), source device, host,
+    location.  The server can read this; only values and digests are
+    encrypted.
+    """
+
+    uuid: str
+    owner_id: str
+    metric: str = ""
+    source: str = ""
+    unit: str = ""
+    tags: Dict[str, str] = field(default_factory=dict)
+    config: StreamConfig = field(default_factory=StreamConfig)
+
+    @staticmethod
+    def new(
+        owner_id: str,
+        metric: str = "",
+        source: str = "",
+        unit: str = "",
+        config: Optional[StreamConfig] = None,
+        tags: Optional[Dict[str, str]] = None,
+    ) -> "StreamMetadata":
+        """Create metadata with a fresh UUID."""
+        return StreamMetadata(
+            uuid=str(uuid_module.uuid4()),
+            owner_id=owner_id,
+            metric=metric,
+            source=source,
+            unit=unit,
+            tags=dict(tags or {}),
+            config=config or StreamConfig(),
+        )

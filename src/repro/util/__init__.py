@@ -1,0 +1,27 @@
+"""Shared utilities: encodings, time interval math, caches, serialization."""
+
+from repro.util.cache import LRUCache, CacheStats
+from repro.util.encoding import (
+    decode_varint,
+    decode_zigzag,
+    encode_varint,
+    encode_zigzag,
+    int_from_bytes,
+    int_to_bytes,
+)
+from repro.util.timeutil import TimeRange, align_down, align_up, iter_windows
+
+__all__ = [
+    "LRUCache",
+    "CacheStats",
+    "encode_varint",
+    "decode_varint",
+    "encode_zigzag",
+    "decode_zigzag",
+    "int_to_bytes",
+    "int_from_bytes",
+    "TimeRange",
+    "align_down",
+    "align_up",
+    "iter_windows",
+]

@@ -1,0 +1,117 @@
+"""Time-interval arithmetic.
+
+TimeCrypt maps every chunk to a fixed-width time window of length ``delta``
+starting at the stream epoch ``t0``.  All index and key-stream positions are
+derived from that mapping, so the window math lives in one place.
+
+Timestamps are integers (milliseconds since the Unix epoch by convention,
+although nothing in the library depends on the unit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+
+@dataclass(frozen=True, order=True)
+class TimeRange:
+    """A half-open interval ``[start, end)`` over integer timestamps."""
+
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(f"invalid time range [{self.start}, {self.end})")
+
+    @property
+    def duration(self) -> int:
+        return self.end - self.start
+
+    def is_empty(self) -> bool:
+        return self.end == self.start
+
+    def contains(self, ts: int) -> bool:
+        return self.start <= ts < self.end
+
+    def contains_range(self, other: "TimeRange") -> bool:
+        return self.start <= other.start and other.end <= self.end
+
+    def overlaps(self, other: "TimeRange") -> bool:
+        return self.start < other.end and other.start < self.end
+
+    def intersect(self, other: "TimeRange") -> "TimeRange":
+        start = max(self.start, other.start)
+        end = min(self.end, other.end)
+        if end < start:
+            return TimeRange(start, start)
+        return TimeRange(start, end)
+
+    def union_span(self, other: "TimeRange") -> "TimeRange":
+        """Smallest range covering both (may include a gap)."""
+        return TimeRange(min(self.start, other.start), max(self.end, other.end))
+
+    def shift(self, offset: int) -> "TimeRange":
+        return TimeRange(self.start + offset, self.end + offset)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.start}, {self.end})"
+
+
+def align_down(ts: int, delta: int, epoch: int = 0) -> int:
+    """Largest window boundary <= ``ts`` for windows of width ``delta``."""
+    if delta <= 0:
+        raise ValueError("delta must be positive")
+    return epoch + ((ts - epoch) // delta) * delta
+
+
+def align_up(ts: int, delta: int, epoch: int = 0) -> int:
+    """Smallest window boundary >= ``ts`` for windows of width ``delta``."""
+    if delta <= 0:
+        raise ValueError("delta must be positive")
+    offset = ts - epoch
+    return epoch + ((offset + delta - 1) // delta) * delta
+
+
+def window_index(ts: int, delta: int, epoch: int = 0) -> int:
+    """Index of the chunk window containing ``ts``."""
+    if delta <= 0:
+        raise ValueError("delta must be positive")
+    if ts < epoch:
+        raise ValueError(f"timestamp {ts} precedes stream epoch {epoch}")
+    return (ts - epoch) // delta
+
+
+def window_range(index: int, delta: int, epoch: int = 0) -> TimeRange:
+    """The time range covered by chunk window ``index``."""
+    if index < 0:
+        raise ValueError("window index must be non-negative")
+    start = epoch + index * delta
+    return TimeRange(start, start + delta)
+
+
+def range_to_windows(time_range: TimeRange, delta: int, epoch: int = 0) -> Tuple[int, int]:
+    """Smallest window-index interval ``[lo, hi)`` covering ``time_range``.
+
+    The returned interval covers every window that overlaps the time range;
+    callers that need exact alignment should validate alignment separately.
+    """
+    if time_range.is_empty():
+        lo = window_index(max(time_range.start, epoch), delta, epoch)
+        return lo, lo
+    lo = window_index(max(time_range.start, epoch), delta, epoch)
+    hi = window_index(max(time_range.end - 1, epoch), delta, epoch) + 1
+    return lo, hi
+
+
+def iter_windows(time_range: TimeRange, delta: int, epoch: int = 0) -> Iterator[TimeRange]:
+    """Yield the chunk windows overlapping ``time_range`` in order."""
+    lo, hi = range_to_windows(time_range, delta, epoch)
+    for index in range(lo, hi):
+        yield window_range(index, delta, epoch)
+
+
+def is_aligned(ts: int, delta: int, epoch: int = 0) -> bool:
+    """True when ``ts`` falls exactly on a window boundary."""
+    return (ts - epoch) % delta == 0

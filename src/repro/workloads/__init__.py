@@ -1,0 +1,7 @@
+"""Workload generators for the paper's evaluation scenarios."""
+
+from repro.workloads.devops import DevOpsWorkload
+from repro.workloads.generator import LoadGenerator, LoadReport
+from repro.workloads.mhealth import MHealthWorkload
+
+__all__ = ["MHealthWorkload", "DevOpsWorkload", "LoadGenerator", "LoadReport"]

@@ -1,0 +1,115 @@
+"""The DevOps workload: data-center CPU monitoring (paper §6.3).
+
+The evaluation uses a synthetic CPU-monitoring workload in the style of the
+Time Series Benchmark Suite's ``cpu-only`` use case: 10 CPU metrics per host,
+100 hosts, one sample every 10 seconds, with a one-minute chunk interval Δ
+(six records per chunk).  The queries of interest are average CPU utilisation
+and the fraction of hosts above 50 % utilisation, which maps onto the digest's
+sum/count components and a histogram bin boundary at 50.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Tuple
+
+from repro.timeseries.digest import DigestConfig, HistogramConfig
+from repro.timeseries.point import DataPoint
+from repro.timeseries.stream import StreamConfig
+
+#: The 10 CPU metrics of the TSBS cpu-only use case.
+CPU_METRICS = (
+    "usage_user",
+    "usage_system",
+    "usage_idle",
+    "usage_nice",
+    "usage_iowait",
+    "usage_irq",
+    "usage_softirq",
+    "usage_steal",
+    "usage_guest",
+    "usage_guest_nice",
+)
+
+#: Paper settings: 10 s data rate, 60 s chunk interval.
+SAMPLE_INTERVAL_MS = 10_000
+CHUNK_INTERVAL_MS = 60_000
+
+
+@dataclass
+class DevOpsWorkload:
+    """Deterministic generator of per-host CPU utilisation streams."""
+
+    num_hosts: int = 100
+    seed: int = 11
+    start_time: int = 0
+    sample_interval_ms: int = SAMPLE_INTERVAL_MS
+    _rng: random.Random = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+        # Each host gets a stable baseline load and burstiness level.
+        self._host_profiles: Dict[int, Tuple[float, float]] = {
+            host: (self._rng.uniform(5.0, 70.0), self._rng.uniform(2.0, 25.0))
+            for host in range(self.num_hosts)
+        }
+
+    # -- stream configuration -------------------------------------------------------
+
+    @staticmethod
+    def stream_config(chunk_interval_ms: int = CHUNK_INTERVAL_MS) -> StreamConfig:
+        """CPU utilisation stream config with the 50 % histogram boundary."""
+        return StreamConfig(
+            chunk_interval=chunk_interval_ms,
+            value_scale=100,  # store utilisation with two decimal places
+            compression="delta-zlib",
+            digest=DigestConfig(
+                histogram=HistogramConfig(boundaries=(2500, 5000, 7500))
+            ),
+        )
+
+    def host_names(self) -> List[str]:
+        return [f"host_{index:04d}" for index in range(self.num_hosts)]
+
+    def stream_names(self, metrics: Tuple[str, ...] = CPU_METRICS) -> List[Tuple[str, str]]:
+        """(host, metric) pairs — one stream each (10 × num_hosts streams)."""
+        return [(host, metric) for host in self.host_names() for metric in metrics]
+
+    # -- sample generation ------------------------------------------------------------
+
+    def records(self, host_index: int, duration_seconds: int) -> Iterator[Tuple[int, float]]:
+        """CPU utilisation records (percent) for one host."""
+        if not 0 <= host_index < self.num_hosts:
+            raise KeyError(f"host index {host_index} out of range")
+        baseline, burst = self._host_profiles[host_index]
+        rng = random.Random((self.seed << 16) ^ host_index)
+        utilisation = baseline
+        num_samples = duration_seconds * 1000 // self.sample_interval_ms
+        for index in range(num_samples):
+            # A mean-reverting random walk with occasional bursts.
+            utilisation += rng.gauss(0, burst * 0.2) + 0.1 * (baseline - utilisation)
+            if rng.random() < 0.02:
+                utilisation += rng.uniform(10.0, 30.0)
+            utilisation = min(100.0, max(0.0, utilisation))
+            yield self.start_time + index * self.sample_interval_ms, utilisation
+
+    def points(self, host_index: int, duration_seconds: int, scale: int = 100) -> List[DataPoint]:
+        return [
+            DataPoint(timestamp=timestamp, value=round(value * scale))
+            for timestamp, value in self.records(host_index, duration_seconds)
+        ]
+
+    # -- fleet-level helpers -----------------------------------------------------------
+
+    def fleet_records(
+        self, duration_seconds: int, num_hosts: int | None = None
+    ) -> Dict[str, List[Tuple[int, float]]]:
+        """Records for the first ``num_hosts`` hosts (default: all)."""
+        hosts = range(num_hosts if num_hosts is not None else self.num_hosts)
+        return {
+            f"host_{host:04d}": list(self.records(host, duration_seconds)) for host in hosts
+        }
+
+    def records_per_chunk(self, chunk_interval_ms: int = CHUNK_INTERVAL_MS) -> int:
+        return chunk_interval_ms // self.sample_interval_ms

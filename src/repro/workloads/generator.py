@@ -1,0 +1,198 @@
+"""The load generator driving the end-to-end experiments (Fig. 7, §6.3).
+
+The paper's end-to-end benchmark runs many client threads, each performing a
+mix of chunk ingests and statistical queries against its streams (a 4:1
+read:write ratio in the heavy-load experiment).  This module provides a
+single-process equivalent: it prepares per-stream record batches, replays
+them through any store exposing the TimeCrypt-shaped API (TimeCrypt itself,
+the plaintext baseline, or a strawman), interleaves statistical queries at a
+configurable ratio, and reports throughput and latency percentiles.
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Protocol, Sequence, Tuple
+
+
+class TimeSeriesStoreLike(Protocol):
+    """The minimal store surface the load generator drives."""
+
+    def insert_record(self, uuid: str, timestamp: int, value: float) -> None:  # pragma: no cover
+        ...
+
+    def flush(self, uuid: str) -> None:  # pragma: no cover
+        ...
+
+    def get_stat_range(
+        self, uuid: str, start: int, end: int, operators: Sequence[str] = ...
+    ) -> Dict[str, object]:  # pragma: no cover
+        ...
+
+
+@dataclass
+class LatencySummary:
+    """Latency statistics over one operation class (milliseconds)."""
+
+    count: int
+    mean_ms: float
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    max_ms: float
+
+    @staticmethod
+    def of(samples_seconds: Sequence[float]) -> "LatencySummary":
+        if not samples_seconds:
+            return LatencySummary(0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        ms = sorted(sample * 1000.0 for sample in samples_seconds)
+
+        def percentile(fraction: float) -> float:
+            index = min(len(ms) - 1, int(round(fraction * (len(ms) - 1))))
+            return ms[index]
+
+        return LatencySummary(
+            count=len(ms),
+            mean_ms=statistics.fmean(ms),
+            p50_ms=percentile(0.50),
+            p95_ms=percentile(0.95),
+            p99_ms=percentile(0.99),
+            max_ms=ms[-1],
+        )
+
+
+@dataclass
+class LoadReport:
+    """The outcome of one load-generator run."""
+
+    label: str
+    duration_seconds: float
+    records_written: int
+    chunks_flushed: int
+    queries_executed: int
+    ingest_latency: LatencySummary
+    query_latency: LatencySummary
+
+    @property
+    def ingest_throughput(self) -> float:
+        """Records ingested per second of wall-clock run time."""
+        return self.records_written / self.duration_seconds if self.duration_seconds else 0.0
+
+    @property
+    def query_throughput(self) -> float:
+        """Statistical queries per second of wall-clock run time."""
+        return self.queries_executed / self.duration_seconds if self.duration_seconds else 0.0
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "label": self.label,
+            "ingest_records_per_s": round(self.ingest_throughput, 1),
+            "query_ops_per_s": round(self.query_throughput, 1),
+            "ingest_p50_ms": round(self.ingest_latency.p50_ms, 3),
+            "ingest_p95_ms": round(self.ingest_latency.p95_ms, 3),
+            "query_p50_ms": round(self.query_latency.p50_ms, 3),
+            "query_p95_ms": round(self.query_latency.p95_ms, 3),
+        }
+
+
+@dataclass
+class LoadGenerator:
+    """Replays a read/write mix against a TimeCrypt-shaped store.
+
+    Parameters
+    ----------
+    store:
+        Any object with ``insert_record`` / ``flush`` / ``get_stat_range``.
+    stream_records:
+        Per-stream record batches (timestamp-ordered).
+    read_write_ratio:
+        Statistical queries issued per chunk ingest (the paper uses 4).
+    chunk_interval:
+        The streams' Δ, used to batch ingest latency measurements per chunk
+        and to pick query ranges.
+    query_operators:
+        Operators evaluated by each statistical query.
+    seed:
+        RNG seed for query-range selection.
+    """
+
+    store: TimeSeriesStoreLike
+    stream_records: Dict[str, List[Tuple[int, float]]]
+    read_write_ratio: int = 4
+    chunk_interval: int = 10_000
+    query_operators: Sequence[str] = ("sum", "count", "mean")
+    seed: int = 3
+    on_query_error: Optional[Callable[[Exception], None]] = None
+    _rng: random.Random = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+
+    def run(self, label: str = "run") -> LoadReport:
+        """Replay every stream's records, issuing queries after each chunk."""
+        ingest_latencies: List[float] = []
+        query_latencies: List[float] = []
+        records_written = 0
+        chunks_flushed = 0
+        queries = 0
+        run_start = time.perf_counter()
+        for uuid, records in self.stream_records.items():
+            if not records:
+                continue
+            first_ts = records[0][0]
+            chunk_boundary = first_ts + self.chunk_interval
+            chunk_started = time.perf_counter()
+            for timestamp, value in records:
+                # Inserting the first record past the boundary seals the previous
+                # chunk on the server, so queries are issued after that insert.
+                crossed_boundary = timestamp >= chunk_boundary
+                self.store.insert_record(uuid, timestamp, value)
+                records_written += 1
+                if crossed_boundary:
+                    ingest_latencies.append(time.perf_counter() - chunk_started)
+                    chunks_flushed += 1
+                    queries += self._issue_queries(uuid, first_ts, timestamp, query_latencies)
+                    while chunk_boundary <= timestamp:
+                        chunk_boundary += self.chunk_interval
+                    chunk_started = time.perf_counter()
+            self.store.flush(uuid)
+            ingest_latencies.append(time.perf_counter() - chunk_started)
+            chunks_flushed += 1
+            queries += self._issue_queries(uuid, first_ts, records[-1][0] + 1, query_latencies)
+        duration = time.perf_counter() - run_start
+        return LoadReport(
+            label=label,
+            duration_seconds=duration,
+            records_written=records_written,
+            chunks_flushed=chunks_flushed,
+            queries_executed=queries,
+            ingest_latency=LatencySummary.of(ingest_latencies),
+            query_latency=LatencySummary.of(query_latencies),
+        )
+
+    def _issue_queries(
+        self, uuid: str, first_ts: int, current_ts: int, query_latencies: List[float]
+    ) -> int:
+        """Issue the configured number of statistical queries over ingested data."""
+        issued = 0
+        available = current_ts - first_ts
+        if available < self.chunk_interval:
+            return 0
+        for _ in range(self.read_write_ratio):
+            span_chunks = self._rng.randint(1, max(1, available // self.chunk_interval))
+            start = first_ts
+            end = min(current_ts, start + span_chunks * self.chunk_interval)
+            began = time.perf_counter()
+            try:
+                self.store.get_stat_range(uuid, start, end, operators=self.query_operators)
+            except Exception as exc:  # pragma: no cover - depends on store wiring
+                if self.on_query_error is not None:
+                    self.on_query_error(exc)
+                else:
+                    raise
+            query_latencies.append(time.perf_counter() - began)
+            issued += 1
+        return issued

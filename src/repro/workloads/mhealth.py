@@ -1,0 +1,125 @@
+"""The mHealth workload: a medical-grade health-monitoring wearable (paper §6).
+
+The evaluation models a Biovotion-class wearable that reports 12 different
+metrics at 50 Hz with a 10-second chunk interval (≈500 points per chunk).
+The generator produces deterministic, physiologically plausible synthetic
+series (heart rate, SpO₂, skin temperature, activity counts, ...) so that
+benchmark runs are repeatable and statistics have a meaningful spread.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Tuple
+
+from repro.timeseries.digest import DigestConfig, HistogramConfig
+from repro.timeseries.point import DataPoint
+from repro.timeseries.stream import StreamConfig
+
+#: The 12 metrics the wearable reports, with (baseline, amplitude, noise, scale).
+METRICS: Dict[str, Tuple[float, float, float, int]] = {
+    "heart_rate": (72.0, 18.0, 2.5, 10),
+    "heart_rate_variability": (55.0, 20.0, 5.0, 10),
+    "spo2": (97.0, 1.5, 0.4, 10),
+    "respiration_rate": (15.0, 4.0, 0.8, 10),
+    "skin_temperature": (33.5, 1.2, 0.15, 100),
+    "core_temperature": (36.8, 0.5, 0.05, 100),
+    "blood_pulse_wave": (1.1, 0.4, 0.08, 1000),
+    "activity_steps": (0.0, 40.0, 8.0, 1),
+    "energy_expenditure": (1.3, 0.9, 0.2, 100),
+    "galvanic_skin_response": (2.2, 1.4, 0.3, 100),
+    "perfusion_index": (3.5, 1.8, 0.5, 100),
+    "ambient_light": (250.0, 240.0, 60.0, 1),
+}
+
+#: Sampling rate of the wearable.
+SAMPLE_HZ = 50
+#: Chunk interval used in the paper's mHealth experiments (10 s).
+CHUNK_INTERVAL_MS = 10_000
+
+
+@dataclass
+class MHealthWorkload:
+    """Deterministic generator of wearable metric streams.
+
+    Parameters
+    ----------
+    seed:
+        RNG seed; identical seeds produce identical workloads.
+    sample_hz:
+        Measurements per second per metric (50 Hz in the paper).
+    start_time:
+        Epoch (ms) of the first sample.
+    """
+
+    seed: int = 7
+    sample_hz: int = SAMPLE_HZ
+    start_time: int = 0
+    _rng: random.Random = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+
+    # -- stream configuration ------------------------------------------------------
+
+    @staticmethod
+    def stream_config(metric: str, chunk_interval_ms: int = CHUNK_INTERVAL_MS) -> StreamConfig:
+        """The per-metric stream configuration used by examples and benchmarks."""
+        baseline, amplitude, _noise, scale = METRICS[metric]
+        low = (baseline - 2.5 * amplitude) * scale
+        high = (baseline + 2.5 * amplitude) * scale
+        step = max(1.0, (high - low) / 8)
+        boundaries = tuple(int(low + i * step) for i in range(1, 8))
+        return StreamConfig(
+            chunk_interval=chunk_interval_ms,
+            value_scale=scale,
+            compression="delta-zlib",
+            digest=DigestConfig(histogram=HistogramConfig(boundaries=boundaries)),
+        )
+
+    @classmethod
+    def metric_names(cls) -> List[str]:
+        return list(METRICS)
+
+    # -- sample generation -------------------------------------------------------------
+
+    def _metric_value(self, metric: str, t_seconds: float, phase: float) -> float:
+        baseline, amplitude, noise, _scale = METRICS[metric]
+        # A slow circadian-style component plus a faster activity component.
+        circadian = amplitude * 0.6 * math.sin(2 * math.pi * t_seconds / 3600.0 + phase)
+        activity = amplitude * 0.4 * math.sin(2 * math.pi * t_seconds / 90.0 + 2 * phase)
+        value = baseline + circadian + activity + self._rng.gauss(0.0, noise)
+        return max(0.0, value)
+
+    def records(self, metric: str, duration_seconds: int) -> Iterator[Tuple[int, float]]:
+        """Yield ``(timestamp_ms, value)`` records for one metric."""
+        if metric not in METRICS:
+            raise KeyError(f"unknown mHealth metric '{metric}'")
+        phase = self._rng.uniform(0, 2 * math.pi)
+        interval_ms = 1000 // self.sample_hz
+        num_samples = duration_seconds * self.sample_hz
+        for index in range(num_samples):
+            timestamp = self.start_time + index * interval_ms
+            yield timestamp, self._metric_value(metric, index / self.sample_hz, phase)
+
+    def points(self, metric: str, duration_seconds: int) -> List[DataPoint]:
+        """Pre-encoded fixed-point data points for one metric."""
+        scale = METRICS[metric][3]
+        return [
+            DataPoint(timestamp=timestamp, value=round(value * scale))
+            for timestamp, value in self.records(metric, duration_seconds)
+        ]
+
+    def all_metrics(self, duration_seconds: int) -> Dict[str, List[Tuple[int, float]]]:
+        """Records for every metric (the full 12-metric wearable)."""
+        return {metric: list(self.records(metric, duration_seconds)) for metric in METRICS}
+
+    # -- sizing helpers -----------------------------------------------------------------
+
+    def records_per_chunk(self, chunk_interval_ms: int = CHUNK_INTERVAL_MS) -> int:
+        return self.sample_hz * chunk_interval_ms // 1000
+
+    def chunks_for_duration(self, duration_seconds: int, chunk_interval_ms: int = CHUNK_INTERVAL_MS) -> int:
+        return (duration_seconds * 1000 + chunk_interval_ms - 1) // chunk_interval_ms

@@ -1,0 +1,73 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import (
+    DigestConfig,
+    HistogramConfig,
+    Principal,
+    ServerEngine,
+    StreamConfig,
+    TimeCrypt,
+)
+from repro.crypto.keytree import KeyDerivationTree
+from repro.storage.memory import MemoryStore
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministic RNG for value generation in tests."""
+    return random.Random(1234)
+
+
+@pytest.fixture
+def small_config() -> StreamConfig:
+    """A small, fast stream configuration: 1 s chunks, tiny key tree, 4-ary index."""
+    return StreamConfig(
+        chunk_interval=1_000,
+        key_tree_height=16,
+        index_fanout=4,
+        digest=DigestConfig(histogram=HistogramConfig(boundaries=(25, 50, 75))),
+    )
+
+
+@pytest.fixture
+def key_tree() -> KeyDerivationTree:
+    """A deterministic key-derivation tree for crypto tests."""
+    return KeyDerivationTree(seed=bytes(range(16)), height=16, prg="blake2")
+
+
+@pytest.fixture
+def memory_store() -> MemoryStore:
+    return MemoryStore()
+
+
+@pytest.fixture
+def server() -> ServerEngine:
+    return ServerEngine()
+
+
+@pytest.fixture
+def owner(server: ServerEngine) -> TimeCrypt:
+    return TimeCrypt(server=server, owner_id="alice")
+
+
+@pytest.fixture
+def populated_stream(owner: TimeCrypt, small_config: StreamConfig):
+    """A stream with 60 s of one-per-100ms data; returns (owner, uuid, records)."""
+    uuid = owner.create_stream(metric="heart-rate", config=small_config)
+    records = [(t, 50 + (t // 1_000) % 40) for t in range(0, 60_000, 100)]
+    owner.insert_records(uuid, records)
+    owner.flush(uuid)
+    return owner, uuid, records
+
+
+def make_principal(owner: TimeCrypt, name: str) -> Principal:
+    """Create and register a principal with the owner's identity provider."""
+    principal = Principal.create(name)
+    owner.register_principal(principal)
+    return principal

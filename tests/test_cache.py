@@ -1,0 +1,154 @@
+"""Tests for the LRU cache and the index-node cache."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.index.cache import NodeCache
+from repro.index.node import IndexNode
+from repro.util.cache import LRUCache
+
+
+class TestLRUCache:
+    def test_basic_put_get(self):
+        cache = LRUCache(capacity=3)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.get("missing") is None
+        assert cache.get("missing", default=42) == 42
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            LRUCache(capacity=0)
+
+    def test_eviction_order_is_lru(self):
+        cache = LRUCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh a
+        cache.put("c", 3)  # evicts b
+        assert "a" in cache
+        assert "b" not in cache
+        assert "c" in cache
+
+    def test_replace_updates_weight(self):
+        cache = LRUCache(capacity=10, weigher=len)
+        cache.put("a", "xxxx")
+        cache.put("a", "xx")
+        assert cache.weight == 2
+
+    def test_weigher_evicts_by_bytes(self):
+        cache = LRUCache(capacity=10, weigher=len)
+        cache.put("a", "aaaa")
+        cache.put("b", "bbbb")
+        cache.put("c", "cccccc")  # 6 bytes: evicts the LRU entry "a" to fit
+        assert "c" in cache
+        assert "a" not in cache
+        assert "b" in cache
+        assert cache.weight <= cache.capacity
+        cache.put("d", "dddddddddd")  # 10 bytes: evicts everything else
+        assert "d" in cache
+        assert "b" not in cache and "c" not in cache
+        assert cache.weight <= cache.capacity
+
+    def test_peek_does_not_update_recency_or_stats(self):
+        cache = LRUCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        hits_before = cache.stats.hits
+        cache.peek("a")
+        assert cache.stats.hits == hits_before
+        cache.put("c", 3)  # evicts a (peek did not refresh it)
+        assert "a" not in cache
+
+    def test_get_or_load(self):
+        cache = LRUCache(capacity=2)
+        calls = []
+        value = cache.get_or_load("k", lambda: calls.append(1) or "v")
+        assert value == "v" and len(calls) == 1
+        value = cache.get_or_load("k", lambda: calls.append(1) or "v2")
+        assert value == "v" and len(calls) == 1
+
+    def test_invalidate(self):
+        cache = LRUCache(capacity=2)
+        cache.put("a", 1)
+        assert cache.invalidate("a") is True
+        assert cache.invalidate("a") is False
+        assert cache.weight == 0
+
+    def test_clear(self):
+        cache = LRUCache(capacity=2)
+        cache.put("a", 1)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.weight == 0
+
+    def test_stats_counting(self):
+        cache = LRUCache(capacity=1)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("b")
+        cache.put("b", 2)
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.evictions == 1
+        assert cache.stats.insertions == 2
+        assert cache.stats.hit_rate == 0.5
+
+    def test_items_order(self):
+        cache = LRUCache(capacity=3)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")
+        assert [key for key, _ in cache.items()] == ["b", "a"]
+
+    @given(st.lists(st.tuples(st.integers(0, 20), st.integers(0, 100)), max_size=200))
+    def test_weight_never_exceeds_capacity(self, operations):
+        cache = LRUCache(capacity=16)
+        for key, value in operations:
+            cache.put(key, value)
+            assert cache.weight <= cache.capacity
+            assert cache.get(key) == value
+
+
+class TestNodeCache:
+    @staticmethod
+    def _node(level: int, position: int, width: int = 2) -> IndexNode:
+        return IndexNode(
+            level=level,
+            position=position,
+            window_start=position,
+            window_end=position + 1,
+            cells=tuple(range(width)),
+        )
+
+    def test_put_and_get(self):
+        cache = NodeCache(capacity_bytes=4096)
+        key = ("s", 0, 0)
+        cache.put(key, self._node(0, 0))
+        assert cache.get(key) is not None
+
+    def test_byte_budget_evicts(self):
+        cache = NodeCache(capacity_bytes=200, cell_size=8)
+        for position in range(20):
+            cache.put(("s", 0, position), self._node(0, position))
+        assert cache.used_bytes <= cache.capacity_bytes
+        assert len(cache) < 20
+
+    def test_get_or_load_skips_missing(self):
+        cache = NodeCache(capacity_bytes=4096)
+        assert cache.get_or_load(("s", 0, 1), lambda: None) is None
+        # A later successful load is cached.
+        node = self._node(0, 1)
+        assert cache.get_or_load(("s", 0, 1), lambda: node) is node
+        assert cache.get(("s", 0, 1)) is node
+
+    def test_invalidate_and_clear(self):
+        cache = NodeCache(capacity_bytes=4096)
+        cache.put(("s", 0, 0), self._node(0, 0))
+        assert cache.invalidate(("s", 0, 0)) is True
+        cache.put(("s", 0, 1), self._node(0, 1))
+        cache.clear()
+        assert len(cache) == 0

@@ -1,0 +1,98 @@
+"""Tests for the low-level binary encodings."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.encoding import (
+    decode_signed_varint,
+    decode_varint,
+    decode_zigzag,
+    encode_signed_varint,
+    encode_varint,
+    encode_zigzag,
+    from_u64_signed,
+    int_from_bytes,
+    int_to_bytes,
+    pack_varint_list,
+    to_u64,
+    unpack_varint_list,
+)
+
+
+class TestVarint:
+    def test_zero(self):
+        assert encode_varint(0) == b"\x00"
+        assert decode_varint(b"\x00") == (0, 1)
+
+    def test_single_byte_boundary(self):
+        assert encode_varint(127) == b"\x7f"
+        assert len(encode_varint(128)) == 2
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            encode_varint(-1)
+
+    def test_truncated_input(self):
+        with pytest.raises(ValueError):
+            decode_varint(b"\x80")
+
+    def test_overlong_rejected(self):
+        with pytest.raises(ValueError):
+            decode_varint(b"\xff" * 11)
+
+    def test_decode_with_offset(self):
+        blob = b"\x05" + encode_varint(300)
+        value, pos = decode_varint(blob, 1)
+        assert value == 300
+        assert pos == len(blob)
+
+    @given(st.integers(min_value=0, max_value=2**63 - 1))
+    def test_roundtrip(self, value):
+        assert decode_varint(encode_varint(value))[0] == value
+
+
+class TestZigzag:
+    @pytest.mark.parametrize(
+        "signed,unsigned", [(0, 0), (-1, 1), (1, 2), (-2, 3), (2, 4), (2147483647, 4294967294)]
+    )
+    def test_known_mappings(self, signed, unsigned):
+        assert encode_zigzag(signed) == unsigned
+        assert decode_zigzag(unsigned) == signed
+
+    @given(st.integers(min_value=-(2**62), max_value=2**62))
+    def test_roundtrip(self, value):
+        assert decode_zigzag(encode_zigzag(value)) == value
+
+    @given(st.integers(min_value=-(2**62), max_value=2**62))
+    def test_signed_varint_roundtrip(self, value):
+        assert decode_signed_varint(encode_signed_varint(value))[0] == value
+
+    def test_small_magnitudes_stay_small(self):
+        assert len(encode_signed_varint(-3)) == 1
+        assert len(encode_signed_varint(3)) == 1
+
+
+class TestVarintList:
+    def test_empty(self):
+        assert unpack_varint_list(pack_varint_list([]))[0] == []
+
+    @given(st.lists(st.integers(min_value=-(2**40), max_value=2**40), max_size=50))
+    def test_roundtrip(self, values):
+        assert unpack_varint_list(pack_varint_list(values))[0] == values
+
+
+class TestFixedWidth:
+    def test_int_bytes_roundtrip(self):
+        assert int_from_bytes(int_to_bytes(123456789, 8)) == 123456789
+
+    def test_u64_wrapping(self):
+        assert to_u64(2**64 + 5) == 5
+        assert to_u64(-1) == 2**64 - 1
+
+    def test_signed_reinterpretation(self):
+        assert from_u64_signed(2**64 - 1) == -1
+        assert from_u64_signed(5) == 5
+        assert from_u64_signed(2**63) == -(2**63)

@@ -1,0 +1,288 @@
+"""Integration tests: the full TimeCrypt pipeline against the plaintext oracle."""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from repro import (
+    DigestConfig,
+    HistogramConfig,
+    PlaintextTimeSeriesStore,
+    Principal,
+    ServerEngine,
+    StreamConfig,
+    TimeCrypt,
+    TimeCryptConsumer,
+)
+from repro.exceptions import (
+    AccessDeniedError,
+    QueryError,
+    StreamExistsError,
+    StreamNotFoundError,
+    TimeCryptError,
+)
+from tests.conftest import make_principal
+
+
+class TestOwnerPath:
+    def test_statistics_match_plaintext_oracle(self, populated_stream):
+        owner, uuid, records = populated_stream
+        values = [v for _, v in records]
+        stats = owner.get_stat_range(
+            uuid, 0, 60_000, operators=("sum", "count", "mean", "var", "stdev")
+        )
+        assert stats["count"] == len(values)
+        assert stats["sum"] == pytest.approx(sum(values))
+        assert stats["mean"] == pytest.approx(statistics.mean(values))
+        assert stats["var"] == pytest.approx(statistics.pvariance(values), abs=1e-6)
+        assert stats["stdev"] == pytest.approx(statistics.pstdev(values), abs=1e-6)
+
+    def test_sub_range_statistics(self, populated_stream):
+        owner, uuid, records = populated_stream
+        subset = [v for t, v in records if 10_000 <= t < 42_000]
+        stats = owner.get_stat_range(uuid, 10_000, 42_000, operators=("sum", "count"))
+        assert stats["count"] == len(subset)
+        assert stats["sum"] == pytest.approx(sum(subset))
+
+    def test_histogram_and_minmax(self, populated_stream):
+        owner, uuid, records = populated_stream
+        stats = owner.get_stat_range(uuid, 0, 60_000, operators=("freq", "min", "max"))
+        values = [v for _, v in records]
+        assert sum(stats["freq"]) == len(values)
+        min_lo, min_hi = stats["min"]
+        assert (min_lo is None or min_lo <= min(values)) and min(values) < min_hi
+        max_lo, max_hi = stats["max"]
+        assert max_lo <= max(values) and (max_hi is None or max(values) < max_hi)
+
+    def test_raw_range_roundtrip(self, populated_stream):
+        owner, uuid, records = populated_stream
+        points = owner.get_range(uuid, 5_000, 20_000)
+        expected = [(t, v) for t, v in records if 5_000 <= t < 20_000]
+        assert len(points) == len(expected)
+        assert [p.timestamp for p in points] == [t for t, _ in expected]
+
+    def test_matches_plaintext_system_exactly(self, small_config):
+        records = [(t, (t // 500) % 90) for t in range(0, 30_000, 250)]
+        encrypted_server = ServerEngine()
+        encrypted = TimeCrypt(server=encrypted_server, owner_id="o")
+        enc_uuid = encrypted.create_stream(config=small_config)
+        encrypted.insert_records(enc_uuid, records)
+        encrypted.flush(enc_uuid)
+
+        plaintext = PlaintextTimeSeriesStore()
+        plain_uuid = plaintext.create_stream(config=small_config)
+        plaintext.insert_records(plain_uuid, records)
+        plaintext.flush(plain_uuid)
+
+        for start, end in [(0, 30_000), (1_000, 17_000), (12_000, 13_000)]:
+            enc_stats = encrypted.get_stat_range(enc_uuid, start, end, operators=("sum", "count", "mean"))
+            plain_stats = plaintext.get_stat_range(plain_uuid, start, end, operators=("sum", "count", "mean"))
+            assert enc_stats["count"] == plain_stats["count"]
+            assert enc_stats["sum"] == pytest.approx(plain_stats["sum"])
+            assert enc_stats["mean"] == pytest.approx(plain_stats["mean"])
+
+    def test_delete_range_keeps_statistics(self, populated_stream):
+        owner, uuid, records = populated_stream
+        deleted = owner.delete_range(uuid, 0, 10_000)
+        assert deleted == 10
+        # Raw data is gone...
+        assert owner.get_range(uuid, 0, 10_000) == []
+        # ...but the digests (and hence statistics) survive.
+        stats = owner.get_stat_range(uuid, 0, 60_000, operators=("count",))
+        assert stats["count"] == len(records)
+
+    def test_rollup_stream(self, populated_stream):
+        owner, uuid, records = populated_stream
+        deleted = owner.rollup_stream(uuid, resolution_interval=4_000)
+        assert deleted > 0
+        stats = owner.get_stat_range(uuid, 0, 60_000, operators=("count",))
+        assert stats["count"] == len(records)
+
+    def test_stream_lifecycle_errors(self, owner, small_config):
+        uuid = owner.create_stream(config=small_config, uuid="fixed-uuid")
+        with pytest.raises(StreamExistsError):
+            owner.create_stream(config=small_config, uuid="fixed-uuid")
+        owner.delete_stream(uuid)
+        with pytest.raises(StreamNotFoundError):
+            owner.insert_record(uuid, 0, 1.0)
+
+    def test_query_before_any_data(self, owner, small_config):
+        uuid = owner.create_stream(config=small_config)
+        with pytest.raises(QueryError):
+            owner.get_stat_range(uuid, 0, 1_000)
+
+    def test_server_side_sees_only_ciphertext(self, populated_stream):
+        owner, uuid, records = populated_stream
+        server = owner.server
+        chunk = server.get_chunk(uuid, 0)
+        assert chunk is not None
+        window_values = [v for t, v in records if t < 1_000]
+        # The encrypted digest value does not equal the plaintext sum, and the
+        # payload does not contain the serialized plaintext points.
+        assert chunk.digest[0].value != sum(window_values)
+        from repro.timeseries.compression import serialize_points
+        from repro.timeseries.point import DataPoint
+
+        plain_payload = serialize_points(
+            [DataPoint(t, v) for t, v in records if t < 1_000]
+        )
+        assert plain_payload not in chunk.payload
+
+
+class TestConsumerPath:
+    def test_full_resolution_consumer_scope(self, populated_stream, small_config):
+        owner, uuid, records = populated_stream
+        bob = make_principal(owner, "bob")
+        owner.grant_access(uuid, "bob", 10_000, 30_000)
+        consumer = TimeCryptConsumer(server=owner.server, principal=bob)
+        consumer.fetch_access(uuid, small_config)
+
+        in_scope = [v for t, v in records if 10_000 <= t < 30_000]
+        stats = consumer.get_stat_range(uuid, 10_000, 30_000, operators=("sum", "count"))
+        assert stats["count"] == len(in_scope)
+        assert stats["sum"] == pytest.approx(sum(in_scope))
+
+        with pytest.raises(AccessDeniedError):
+            consumer.get_stat_range(uuid, 0, 30_000)
+        with pytest.raises(AccessDeniedError):
+            consumer.get_stat_range(uuid, 10_000, 31_000)
+
+    def test_consumer_raw_access_within_scope(self, populated_stream, small_config):
+        owner, uuid, records = populated_stream
+        bob = make_principal(owner, "bob")
+        owner.grant_access(uuid, "bob", 10_000, 30_000)
+        consumer = TimeCryptConsumer(server=owner.server, principal=bob)
+        consumer.fetch_access(uuid, small_config)
+        points = consumer.get_range(uuid, 10_000, 12_000)
+        assert len(points) == sum(1 for t, _ in records if 10_000 <= t < 12_000)
+
+    def test_consumer_without_grant(self, populated_stream, small_config):
+        owner, uuid, _records = populated_stream
+        eve = make_principal(owner, "eve")
+        consumer = TimeCryptConsumer(server=owner.server, principal=eve)
+        with pytest.raises(AccessDeniedError):
+            consumer.fetch_access(uuid, small_config)
+        with pytest.raises(AccessDeniedError):
+            consumer.get_stat_range(uuid, 0, 1_000)
+
+    def test_grant_envelope_not_openable_by_other_principal(self, populated_stream, small_config):
+        owner, uuid, _records = populated_stream
+        make_principal(owner, "bob")
+        mallory = make_principal(owner, "mallory")
+        owner.grant_access(uuid, "bob", 0, 10_000)
+        # Mallory cannot open Bob's sealed grant even if she fetches it directly.
+        sealed = owner.server.fetch_grants(uuid, "bob")[-1]
+        with pytest.raises(TimeCryptError):
+            mallory.decrypt_envelope(sealed, context=uuid.encode())
+
+    def test_resolution_restricted_consumer(self, populated_stream, small_config):
+        owner, uuid, records = populated_stream
+        coach = make_principal(owner, "coach")
+        owner.grant_access(uuid, "coach", 0, 60_000, resolution_interval=6_000)
+        consumer = TimeCryptConsumer(server=owner.server, principal=coach)
+        token = consumer.fetch_access(uuid, small_config)
+        assert token.resolution_chunks == 6
+
+        aligned = consumer.get_stat_range(uuid, 0, 12_000, operators=("count", "mean"))
+        expected = [v for t, v in records if t < 12_000]
+        assert aligned["count"] == len(expected)
+        assert aligned["mean"] == pytest.approx(statistics.mean(expected))
+
+        with pytest.raises(AccessDeniedError):
+            consumer.get_stat_range(uuid, 0, 3_000)
+        with pytest.raises(AccessDeniedError):
+            consumer.get_range(uuid, 0, 12_000)
+
+    def test_dashboard_series(self, populated_stream, small_config):
+        owner, uuid, records = populated_stream
+        doc = make_principal(owner, "doc")
+        owner.grant_access(uuid, "doc", 0, 60_000)
+        consumer = TimeCryptConsumer(server=owner.server, principal=doc)
+        consumer.fetch_access(uuid, small_config)
+        series = consumer.get_stat_series(uuid, 0, 60_000, granularity_interval=10_000, operators=("mean", "count"))
+        assert len(series) == 6
+        assert sum(entry["count"] for entry in series) == len(records)
+
+    def test_revocation_is_forward_secret(self, owner, small_config):
+        uuid = owner.create_stream(config=small_config)
+        first_half = [(t, float(t % 50)) for t in range(0, 30_000, 100)]
+        owner.insert_records(uuid, first_half)
+        owner.flush(uuid)
+
+        doc = make_principal(owner, "doc")
+        owner.grant_access(uuid, "doc", 0, 120_000)
+        consumer = TimeCryptConsumer(server=owner.server, principal=doc)
+        consumer.fetch_access(uuid, small_config)
+        assert consumer.get_stat_range(uuid, 0, 30_000, operators=("count",))["count"] == len(first_half)
+
+        # Revoke from t=30s; the re-issued grant stops there.
+        owner.revoke_access(uuid, "doc", 30_000)
+        second_half = [(t, float(t % 50)) for t in range(30_000, 60_000, 100)]
+        owner.insert_records(uuid, second_half)
+        owner.flush(uuid)
+
+        consumer.fetch_access(uuid, small_config)  # picks up the clipped grant
+        assert consumer.get_stat_range(uuid, 0, 30_000, operators=("count",))["count"] == len(first_half)
+        with pytest.raises(AccessDeniedError):
+            consumer.get_stat_range(uuid, 0, 60_000)
+
+
+class TestMultiStreamQueries:
+    def test_owner_inter_stream_aggregate(self, owner, small_config):
+        uuids = []
+        totals = []
+        counts = 0
+        for stream_index in range(3):
+            uuid = owner.create_stream(config=small_config, metric=f"m{stream_index}")
+            records = [(t, float(stream_index + 1)) for t in range(0, 10_000, 100)]
+            owner.insert_records(uuid, records)
+            owner.flush(uuid)
+            uuids.append(uuid)
+            totals.append(sum(v for _, v in records))
+            counts += len(records)
+        stats = owner.get_stat_range(uuids, 0, 10_000, operators=("sum", "count", "mean"))
+        assert stats["count"] == counts
+        assert stats["sum"] == pytest.approx(sum(totals))
+
+    def test_consumer_needs_all_streams(self, owner, small_config):
+        uuid_a = owner.create_stream(config=small_config)
+        uuid_b = owner.create_stream(config=small_config)
+        for uuid in (uuid_a, uuid_b):
+            owner.insert_records(uuid, [(t, 1.0) for t in range(0, 10_000, 100)])
+            owner.flush(uuid)
+        doc = make_principal(owner, "doc")
+        owner.grant_access(uuid_a, "doc", 0, 10_000)
+        consumer = TimeCryptConsumer(server=owner.server, principal=doc)
+        consumer.fetch_access(uuid_a, small_config)
+        with pytest.raises(AccessDeniedError):
+            consumer.get_stat_range_multi([uuid_a, uuid_b], 0, 10_000)
+        # After being granted the second stream too, the query succeeds.
+        owner.grant_access(uuid_b, "doc", 0, 10_000)
+        consumer.fetch_access(uuid_b, small_config)
+        stats = consumer.get_stat_range_multi([uuid_a, uuid_b], 0, 10_000)
+        assert stats["count"] == 200
+        assert stats["sum"] == 200
+
+
+class TestServerRecovery:
+    def test_server_restart_recovers_streams(self, small_config):
+        from repro.storage.memory import MemoryStore
+
+        store = MemoryStore()
+        server = ServerEngine(store=store)
+        owner = TimeCrypt(server=server, owner_id="o")
+        uuid = owner.create_stream(config=small_config)
+        records = [(t, float(t % 10)) for t in range(0, 20_000, 100)]
+        owner.insert_records(uuid, records)
+        owner.flush(uuid)
+
+        # A new engine over the same storage sees the stream and can serve the
+        # owner's statistical queries (the owner re-derives keys from its seed).
+        recovered = ServerEngine(store=store)
+        assert uuid in recovered.list_streams()
+        assert recovered.stream_head(uuid) == 20
+        owner.server = recovered
+        stats = owner.get_stat_range(uuid, 0, 20_000, operators=("count",))
+        assert stats["count"] == len(records)

@@ -1,0 +1,174 @@
+"""Tests for HEAC: homomorphism, key cancelling, and access enforcement."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.heac import (
+    HEACCipher,
+    HEACCiphertext,
+    MODULUS,
+    aggregate,
+    aggregate_componentwise,
+    key_to_int,
+)
+from repro.crypto.keytree import DerivedKeystream, KeyDerivationTree
+from repro.exceptions import DecryptionError
+
+SEED = b"\x42" * 16
+
+
+@pytest.fixture
+def tree() -> KeyDerivationTree:
+    return KeyDerivationTree(seed=SEED, height=16, prg="blake2")
+
+
+@pytest.fixture
+def cipher(tree) -> HEACCipher:
+    return HEACCipher(tree)
+
+
+class TestCiphertextAlgebra:
+    def test_value_range_enforced(self):
+        with pytest.raises(ValueError):
+            HEACCiphertext(value=MODULUS, window_start=0, window_end=1)
+        with pytest.raises(ValueError):
+            HEACCiphertext(value=-1, window_start=0, window_end=1)
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(ValueError):
+            HEACCiphertext(value=0, window_start=3, window_end=3)
+
+    def test_addition_requires_adjacency(self):
+        a = HEACCiphertext(value=1, window_start=0, window_end=1)
+        c = HEACCiphertext(value=1, window_start=2, window_end=3)
+        with pytest.raises(ValueError):
+            _ = a + c
+
+    def test_addition_is_order_insensitive(self):
+        a = HEACCiphertext(value=1, window_start=0, window_end=1)
+        b = HEACCiphertext(value=2, window_start=1, window_end=2)
+        assert (a + b) == (b + a)
+        assert (a + b).window_start == 0 and (a + b).window_end == 2
+
+    def test_add_scalar(self):
+        a = HEACCiphertext(value=5, window_start=0, window_end=1)
+        assert a.add_scalar(3).value == 8
+
+    def test_key_to_int_requires_full_key(self):
+        with pytest.raises(ValueError):
+            key_to_int(b"short")
+
+
+class TestEncryptDecrypt:
+    def test_single_value_roundtrip(self, cipher):
+        for window, value in [(0, 0), (1, 1), (5, 123456), (100, 2**63)]:
+            assert cipher.decrypt(cipher.encrypt(value, window)) == value % MODULUS
+
+    def test_ciphertext_hides_plaintext(self, cipher):
+        assert cipher.encrypt(7, 0).value != 7
+
+    def test_same_value_different_windows_differ(self, cipher):
+        assert cipher.encrypt(42, 0).value != cipher.encrypt(42, 1).value
+
+    def test_range_aggregation_needs_only_outer_keys(self, tree, cipher):
+        values = [10, 20, 30, 40, 50, 60]
+        ciphertexts = [cipher.encrypt(v, i) for i, v in enumerate(values)]
+        total = aggregate(ciphertexts)
+        assert cipher.decrypt(total) == sum(values)
+        # A keystream holding only the two outer keys can decrypt the aggregate.
+        outer_only = DerivedKeystream(
+            tree.tokens_for_range(0, 1) + tree.tokens_for_range(6, 7), prg="blake2"
+        )
+        assert HEACCipher(outer_only).decrypt(total) == sum(values)
+
+    def test_missing_outer_key_fails(self, tree, cipher):
+        ciphertexts = [cipher.encrypt(v, i) for i, v in enumerate([1, 2, 3, 4])]
+        total = aggregate(ciphertexts)
+        partial = DerivedKeystream(tree.tokens_for_range(0, 3), prg="blake2")
+        with pytest.raises(DecryptionError):
+            HEACCipher(partial).decrypt(total)
+
+    def test_aggregate_requires_contiguity(self, cipher):
+        a = cipher.encrypt(1, 0)
+        c = cipher.encrypt(3, 2)
+        with pytest.raises(ValueError):
+            aggregate([a, c])
+
+    def test_aggregate_empty_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate([])
+
+    def test_decrypt_signed(self, cipher):
+        negative = (-5) % MODULUS
+        ciphertext = cipher.encrypt(negative, 3)
+        assert cipher.decrypt_signed(ciphertext) == -5
+
+    @given(st.lists(st.integers(min_value=0, max_value=2**40), min_size=1, max_size=30))
+    @settings(max_examples=30, deadline=None)
+    def test_homomorphism_property(self, values):
+        cipher = HEACCipher(KeyDerivationTree(seed=SEED, height=16, prg="blake2"))
+        ciphertexts = [cipher.encrypt(v, i) for i, v in enumerate(values)]
+        assert cipher.decrypt(aggregate(ciphertexts)) == sum(values) % MODULUS
+
+    @given(st.integers(0, 1000), st.integers(0, 1000), st.integers(0, 200))
+    @settings(max_examples=30, deadline=None)
+    def test_partial_range_aggregation(self, a, b, offset):
+        cipher = HEACCipher(KeyDerivationTree(seed=SEED, height=16, prg="blake2"))
+        start, end = offset, offset + 5
+        values = [a, b, a + b, a, b]
+        ciphertexts = [cipher.encrypt(v, start + i) for i, v in enumerate(values)]
+        middle = aggregate(ciphertexts[1:4])
+        assert cipher.decrypt(middle) == sum(values[1:4]) % MODULUS
+
+
+class TestVectorEncryption:
+    def test_vector_roundtrip(self, cipher):
+        values = [100, 17, 100 * 100, 0, 3]
+        cells = cipher.encrypt_vector(values, 7)
+        assert cipher.decrypt_vector(cells) == values
+
+    def test_component_pads_are_independent(self, cipher):
+        cells = cipher.encrypt_vector([5, 5, 5], 2)
+        assert len({cell.value for cell in cells}) == 3
+
+    def test_componentwise_aggregation(self, cipher):
+        vectors = [[i, 1, i * i] for i in range(8)]
+        encrypted = [cipher.encrypt_vector(vector, window) for window, vector in enumerate(vectors)]
+        aggregated = aggregate_componentwise(encrypted)
+        sums = cipher.decrypt_vector(aggregated)
+        assert sums == [sum(v[0] for v in vectors), 8, sum(v[2] for v in vectors)]
+
+    def test_componentwise_aggregation_rejects_mismatched_widths(self, cipher):
+        a = cipher.encrypt_vector([1, 2], 0)
+        b = cipher.encrypt_vector([1, 2, 3], 1)
+        with pytest.raises(ValueError):
+            aggregate_componentwise([a, b])
+
+    def test_componentwise_aggregation_rejects_empty(self):
+        with pytest.raises(ValueError):
+            aggregate_componentwise([])
+
+    def test_outer_pad_matches_decryption(self, cipher):
+        values = [11, 22, 33]
+        cells = [cipher.encrypt(v, i) for i, v in enumerate(values)]
+        total = aggregate(cells)
+        pad = cipher.outer_pad(0, 3)
+        assert (total.value - pad) % MODULUS == sum(values)
+
+
+class TestPayloadKeys:
+    def test_payload_key_deterministic_and_per_window(self, cipher):
+        assert cipher.chunk_payload_key(0) == cipher.chunk_payload_key(0)
+        assert cipher.chunk_payload_key(0) != cipher.chunk_payload_key(1)
+
+    def test_payload_key_length(self, cipher):
+        assert len(cipher.chunk_payload_key(0)) == 16
+        assert len(cipher.chunk_payload_key(0, length=32)) == 32
+
+    def test_consumer_with_token_derives_same_payload_key(self, tree, cipher):
+        tokens = tree.tokens_for_range(4, 9)
+        consumer = HEACCipher(DerivedKeystream(tokens, prg="blake2"))
+        assert consumer.chunk_payload_key(5) == cipher.chunk_payload_key(5)

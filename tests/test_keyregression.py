@@ -1,0 +1,152 @@
+"""Tests for hash chains and single/dual key regression."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.hashchain import HashChain, expand, next_state, state_key, walk
+from repro.crypto.keyregression import (
+    DualKeyRegression,
+    DualKeyRegressionToken,
+    KeyRegression,
+)
+from repro.exceptions import KeyDerivationError
+
+SEED = b"\x07" * 16
+
+
+class TestHashChainPrimitives:
+    def test_expand_is_deterministic(self):
+        assert expand(SEED) == expand(SEED)
+
+    def test_expand_length(self):
+        assert len(expand(SEED)) == 32
+
+    def test_invalid_state_length(self):
+        with pytest.raises(ValueError):
+            expand(b"short")
+
+    def test_state_and_key_halves_differ(self):
+        assert next_state(SEED) != state_key(SEED)
+
+    def test_walk(self):
+        assert walk(SEED, 0) == SEED
+        assert walk(SEED, 3) == next_state(next_state(next_state(SEED)))
+
+    def test_walk_backwards_rejected(self):
+        with pytest.raises(KeyDerivationError):
+            walk(SEED, -1)
+
+
+class TestHashChain:
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            HashChain(b"short", 10)
+        with pytest.raises(ValueError):
+            HashChain(SEED, 0)
+        with pytest.raises(ValueError):
+            HashChain(SEED, 10, checkpoint_interval=0)
+
+    def test_adjacent_states_are_hash_linked(self):
+        chain = HashChain(SEED, 32, checkpoint_interval=4)
+        for index in range(1, 32):
+            assert chain.state(index - 1) == next_state(chain.state(index))
+
+    def test_checkpoint_interval_does_not_change_states(self):
+        dense = HashChain(SEED, 64, checkpoint_interval=1)
+        sparse = HashChain(SEED, 64, checkpoint_interval=17)
+        for index in (0, 1, 16, 17, 40, 63):
+            assert dense.state(index) == sparse.state(index)
+
+    def test_out_of_range_state(self):
+        chain = HashChain(SEED, 8)
+        with pytest.raises(KeyDerivationError):
+            chain.state(8)
+        with pytest.raises(KeyDerivationError):
+            chain.state(-1)
+
+    def test_keys_are_distinct(self):
+        chain = HashChain(SEED, 32)
+        keys = [chain.key(i) for i in range(32)]
+        assert len(set(keys)) == 32
+
+    def test_states_slice(self):
+        chain = HashChain(SEED, 16)
+        assert chain.states(3, 6) == [chain.state(i) for i in range(3, 6)]
+
+
+class TestSingleKeyRegression:
+    def test_state_grants_past_keys_only(self):
+        regression = KeyRegression(seed=SEED, length=64)
+        shared = regression.share_state(20)
+        for index in (0, 7, 20):
+            assert KeyRegression.derive_from_state(shared, 20, index) == regression.key(index)
+        with pytest.raises(KeyDerivationError):
+            KeyRegression.derive_from_state(shared, 20, 21)
+
+    def test_random_seed_instances_differ(self):
+        assert KeyRegression(length=8).key(0) != KeyRegression(length=8).key(0)
+
+
+class TestDualKeyRegression:
+    def test_token_bounds_validation(self):
+        with pytest.raises(ValueError):
+            DualKeyRegressionToken(
+                lower=5, upper=3, primary_state=SEED, secondary_state=SEED, length=16
+            )
+        with pytest.raises(ValueError):
+            DualKeyRegressionToken(
+                lower=0, upper=16, primary_state=SEED, secondary_state=SEED, length=16
+            )
+
+    def test_invalid_length(self):
+        with pytest.raises(ValueError):
+            DualKeyRegression(length=0)
+
+    def test_keys_are_deterministic_and_distinct(self):
+        regression = DualKeyRegression(primary_seed=SEED, secondary_seed=b"\x01" * 16, length=64)
+        keys = regression.keys(0, 64)
+        assert keys == regression.keys(0, 64)
+        assert len(set(keys)) == 64
+
+    def test_share_grants_exact_interval(self):
+        regression = DualKeyRegression(length=128)
+        token = regression.share(10, 30)
+        for position in (10, 17, 30):
+            assert DualKeyRegression.derive_from_token(token, position) == regression.key(position)
+        for position in (9, 31, 0, 127):
+            with pytest.raises(KeyDerivationError):
+                DualKeyRegression.derive_from_token(token, position)
+
+    def test_single_position_share(self):
+        regression = DualKeyRegression(length=32)
+        token = regression.share(5, 5)
+        assert DualKeyRegression.derive_from_token(token, 5) == regression.key(5)
+        with pytest.raises(KeyDerivationError):
+            DualKeyRegression.derive_from_token(token, 6)
+
+    def test_out_of_range_share_rejected(self):
+        regression = DualKeyRegression(length=16)
+        with pytest.raises(KeyDerivationError):
+            regression.share(0, 16)
+        with pytest.raises(KeyDerivationError):
+            regression.share(10, 5)
+
+    def test_out_of_range_key_rejected(self):
+        regression = DualKeyRegression(length=16)
+        with pytest.raises(KeyDerivationError):
+            regression.key(16)
+
+    @given(st.integers(0, 63), st.integers(0, 63), st.integers(0, 63))
+    @settings(max_examples=30, deadline=None)
+    def test_share_interval_property(self, a, b, probe):
+        lower, upper = min(a, b), max(a, b)
+        regression = DualKeyRegression(primary_seed=SEED, secondary_seed=b"\x02" * 16, length=64)
+        token = regression.share(lower, upper)
+        if lower <= probe <= upper:
+            assert DualKeyRegression.derive_from_token(token, probe) == regression.key(probe)
+        else:
+            with pytest.raises(KeyDerivationError):
+                DualKeyRegression.derive_from_token(token, probe)

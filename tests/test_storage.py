@@ -1,0 +1,257 @@
+"""Tests for the storage substrate: memory/disk stores, partitioning, replication."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import PartitionError
+from repro.storage.cluster import StorageCluster
+from repro.storage.disk import AppendLogStore
+from repro.storage.memory import MemoryStore
+from repro.storage.partitioner import ConsistentHashRing
+
+
+class TestMemoryStore:
+    def test_put_get_delete(self):
+        store = MemoryStore()
+        store.put(b"k", b"v")
+        assert store.get(b"k") == b"v"
+        assert store.delete(b"k") is True
+        assert store.get(b"k") is None
+        assert store.delete(b"k") is False
+
+    def test_overwrite(self):
+        store = MemoryStore()
+        store.put(b"k", b"v1")
+        store.put(b"k", b"v2")
+        assert store.get(b"k") == b"v2"
+        assert len(store) == 1
+
+    def test_scan_prefix_ordered(self):
+        store = MemoryStore()
+        for key in (b"a/2", b"a/1", b"b/1"):
+            store.put(key, key)
+        assert [key for key, _ in store.scan_prefix(b"a/")] == [b"a/1", b"a/2"]
+
+    def test_multi_get_and_put(self):
+        store = MemoryStore()
+        store.multi_put([(b"a", b"1"), (b"b", b"2")])
+        assert store.multi_get([b"a", b"b", b"c"]) == {b"a": b"1", b"b": b"2", b"c": None}
+
+    def test_contains_count_and_size(self):
+        store = MemoryStore()
+        store.put(b"pre/a", b"xx")
+        store.put(b"pre/b", b"yy")
+        assert store.contains(b"pre/a")
+        assert store.count_prefix(b"pre/") == 2
+        assert store.size_bytes() == len(b"pre/a") + len(b"pre/b") + 4
+
+    def test_stats_counters(self):
+        store = MemoryStore()
+        store.put(b"k", b"v")
+        store.get(b"k")
+        store.delete(b"k")
+        assert store.stats.puts == 1 and store.stats.gets == 1 and store.stats.deletes == 1
+
+    @given(st.dictionaries(st.binary(min_size=1, max_size=16), st.binary(max_size=64), max_size=40))
+    @settings(max_examples=30, deadline=None)
+    def test_store_behaves_like_dict(self, mapping):
+        store = MemoryStore()
+        for key, value in mapping.items():
+            store.put(key, value)
+        for key, value in mapping.items():
+            assert store.get(key) == value
+        assert len(store) == len(mapping)
+
+
+class TestAppendLogStore:
+    def test_put_get_roundtrip(self, tmp_path):
+        with AppendLogStore(tmp_path / "store.log") as store:
+            store.put(b"key", b"value")
+            assert store.get(b"key") == b"value"
+
+    def test_persistence_across_reopen(self, tmp_path):
+        path = tmp_path / "store.log"
+        with AppendLogStore(path) as store:
+            store.put(b"a", b"1")
+            store.put(b"b", b"2")
+            store.delete(b"a")
+        with AppendLogStore(path) as reopened:
+            assert reopened.get(b"a") is None
+            assert reopened.get(b"b") == b"2"
+            assert len(reopened) == 1
+
+    def test_latest_version_wins(self, tmp_path):
+        path = tmp_path / "store.log"
+        with AppendLogStore(path) as store:
+            store.put(b"k", b"old")
+            store.put(b"k", b"new")
+            assert store.get(b"k") == b"new"
+        with AppendLogStore(path) as reopened:
+            assert reopened.get(b"k") == b"new"
+
+    def test_scan_prefix(self, tmp_path):
+        with AppendLogStore(tmp_path / "store.log") as store:
+            store.put(b"x/1", b"a")
+            store.put(b"y/1", b"b")
+            store.put(b"x/2", b"c")
+            assert [key for key, _ in store.scan_prefix(b"x/")] == [b"x/1", b"x/2"]
+
+    def test_compaction_preserves_data_and_shrinks_log(self, tmp_path):
+        path = tmp_path / "store.log"
+        store = AppendLogStore(path)
+        for round_index in range(5):
+            for key_index in range(20):
+                store.put(f"k{key_index}".encode(), f"value-{round_index}".encode())
+        size_before = path.stat().st_size
+        store.compact()
+        assert path.stat().st_size < size_before
+        for key_index in range(20):
+            assert store.get(f"k{key_index}".encode()) == b"value-4"
+        store.close()
+
+    def test_torn_final_record_is_truncated(self, tmp_path):
+        path = tmp_path / "store.log"
+        with AppendLogStore(path) as store:
+            store.put(b"good", b"value")
+        with open(path, "ab") as log:
+            log.write(b"\x00\x00\x00\x04\x00\x00")  # half a record header + nothing
+        with AppendLogStore(path) as reopened:
+            assert reopened.get(b"good") == b"value"
+            assert len(reopened) == 1
+
+    def test_tombstone_then_reinsert(self, tmp_path):
+        with AppendLogStore(tmp_path / "store.log") as store:
+            store.put(b"k", b"v1")
+            store.delete(b"k")
+            store.put(b"k", b"v2")
+            assert store.get(b"k") == b"v2"
+
+
+class TestConsistentHashRing:
+    def test_requires_nodes(self):
+        ring = ConsistentHashRing()
+        with pytest.raises(PartitionError):
+            ring.primary(b"key")
+
+    def test_duplicate_node_rejected(self):
+        ring = ConsistentHashRing(["n1"])
+        with pytest.raises(ValueError):
+            ring.add_node("n1")
+
+    def test_replicas_are_distinct(self):
+        ring = ConsistentHashRing(["n1", "n2", "n3"])
+        replicas = ring.replicas(b"some-key", 3)
+        assert len(replicas) == 3
+        assert len(set(replicas)) == 3
+
+    def test_replication_capped_by_cluster_size(self):
+        ring = ConsistentHashRing(["n1", "n2"])
+        assert len(ring.replicas(b"k", 5)) == 2
+
+    def test_placement_is_deterministic(self):
+        ring = ConsistentHashRing(["n1", "n2", "n3"])
+        assert ring.primary(b"abc") == ring.primary(b"abc")
+
+    def test_remove_node_moves_only_its_keys(self):
+        ring = ConsistentHashRing(["n1", "n2", "n3"], virtual_tokens=128)
+        keys = [f"key-{i}".encode() for i in range(500)]
+        before = {key: ring.primary(key) for key in keys}
+        ring.remove_node("n2")
+        after = {key: ring.primary(key) for key in keys}
+        moved = [key for key in keys if before[key] != after[key]]
+        # Only keys previously owned by n2 may move.
+        assert all(before[key] == "n2" for key in moved)
+        assert all(after[key] != "n2" for key in keys)
+
+    def test_remove_unknown_node(self):
+        ring = ConsistentHashRing(["n1"])
+        with pytest.raises(ValueError):
+            ring.remove_node("n9")
+
+    def test_ownership_roughly_balanced(self):
+        ring = ConsistentHashRing(["n1", "n2", "n3", "n4"], virtual_tokens=256)
+        fractions = ring.ownership_fractions(sample_keys=2000)
+        assert all(0.10 < fraction < 0.45 for fraction in fractions.values())
+
+
+class TestStorageCluster:
+    def test_basic_roundtrip(self):
+        cluster = StorageCluster(num_nodes=3, replication_factor=2)
+        cluster.put(b"k", b"v")
+        assert cluster.get(b"k") == b"v"
+        assert cluster.delete(b"k") is True
+        assert cluster.get(b"k") is None
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            StorageCluster(num_nodes=0)
+        with pytest.raises(ValueError):
+            StorageCluster(num_nodes=2, replication_factor=0)
+
+    def test_data_is_replicated(self):
+        cluster = StorageCluster(num_nodes=3, replication_factor=2)
+        cluster.put(b"key", b"value")
+        holders = [
+            name for name in cluster.node_names if cluster.node_store(name).get(b"key") is not None
+        ]
+        assert len(holders) == 2
+
+    def test_survives_single_node_failure(self):
+        cluster = StorageCluster(num_nodes=3, replication_factor=2)
+        for i in range(50):
+            cluster.put(f"k{i}".encode(), f"v{i}".encode())
+        cluster.mark_down(cluster.node_names[0])
+        for i in range(50):
+            assert cluster.get(f"k{i}".encode()) == f"v{i}".encode()
+
+    def test_all_replicas_down_raises(self):
+        cluster = StorageCluster(num_nodes=2, replication_factor=2)
+        cluster.put(b"k", b"v")
+        cluster.mark_down("node-0")
+        cluster.mark_down("node-1")
+        with pytest.raises(PartitionError):
+            cluster.get(b"k")
+        cluster.mark_up("node-0")
+        assert cluster.get(b"k") == b"v"
+
+    def test_scan_prefix_deduplicates_replicas(self):
+        cluster = StorageCluster(num_nodes=3, replication_factor=3)
+        cluster.put(b"p/1", b"a")
+        cluster.put(b"p/2", b"b")
+        items = list(cluster.scan_prefix(b"p/"))
+        assert [key for key, _ in items] == [b"p/1", b"p/2"]
+
+    def test_logical_vs_physical_size(self):
+        cluster = StorageCluster(num_nodes=3, replication_factor=3)
+        cluster.put(b"k", b"vvvv")
+        assert cluster.physical_size_bytes() == 3 * cluster.size_bytes()
+
+    def test_repair_node(self):
+        cluster = StorageCluster(num_nodes=3, replication_factor=2)
+        cluster.mark_down("node-1")
+        for i in range(30):
+            cluster.put(f"k{i}".encode(), b"v")
+        cluster.mark_up("node-1")
+        repaired = cluster.repair_node("node-1")
+        assert repaired >= 0
+        # After repair every key it should own is present locally.
+        missing = [
+            key
+            for key, _ in cluster.scan_prefix(b"")
+            if "node-1" in cluster.healthy_replicas(key)
+            and cluster.node_store("node-1").get(key) is None
+        ]
+        assert missing == []
+
+    def test_cluster_with_disk_backend(self, tmp_path):
+        cluster = StorageCluster(
+            num_nodes=2,
+            replication_factor=2,
+            store_factory=lambda name: AppendLogStore(tmp_path / f"{name}.log"),
+        )
+        cluster.put(b"k", b"v")
+        assert cluster.get(b"k") == b"v"
+        cluster.close()

@@ -1,0 +1,123 @@
+"""Tests for time-interval arithmetic."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.timeutil import (
+    TimeRange,
+    align_down,
+    align_up,
+    is_aligned,
+    iter_windows,
+    range_to_windows,
+    window_index,
+    window_range,
+)
+
+
+class TestTimeRange:
+    def test_invalid_range_rejected(self):
+        with pytest.raises(ValueError):
+            TimeRange(10, 5)
+
+    def test_empty_range(self):
+        r = TimeRange(5, 5)
+        assert r.is_empty()
+        assert r.duration == 0
+        assert not r.contains(5)
+
+    def test_contains_is_half_open(self):
+        r = TimeRange(0, 10)
+        assert r.contains(0)
+        assert r.contains(9)
+        assert not r.contains(10)
+
+    def test_contains_range(self):
+        assert TimeRange(0, 100).contains_range(TimeRange(10, 50))
+        assert not TimeRange(0, 100).contains_range(TimeRange(10, 150))
+
+    def test_overlaps(self):
+        assert TimeRange(0, 10).overlaps(TimeRange(5, 15))
+        assert not TimeRange(0, 10).overlaps(TimeRange(10, 20))
+
+    def test_intersect(self):
+        assert TimeRange(0, 10).intersect(TimeRange(5, 15)) == TimeRange(5, 10)
+        assert TimeRange(0, 5).intersect(TimeRange(10, 20)).is_empty()
+
+    def test_union_span(self):
+        assert TimeRange(0, 5).union_span(TimeRange(10, 20)) == TimeRange(0, 20)
+
+    def test_shift(self):
+        assert TimeRange(0, 10).shift(5) == TimeRange(5, 15)
+
+    def test_ordering(self):
+        assert TimeRange(0, 10) < TimeRange(5, 6)
+
+
+class TestAlignment:
+    def test_align_down_basic(self):
+        assert align_down(25, 10) == 20
+        assert align_down(20, 10) == 20
+
+    def test_align_up_basic(self):
+        assert align_up(25, 10) == 30
+        assert align_up(20, 10) == 20
+
+    def test_alignment_with_epoch(self):
+        assert align_down(25, 10, epoch=3) == 23
+        assert align_up(25, 10, epoch=3) == 33
+
+    def test_zero_delta_rejected(self):
+        with pytest.raises(ValueError):
+            align_down(5, 0)
+        with pytest.raises(ValueError):
+            align_up(5, 0)
+
+    def test_is_aligned(self):
+        assert is_aligned(30, 10)
+        assert not is_aligned(31, 10)
+
+    @given(st.integers(min_value=0, max_value=10**12), st.integers(min_value=1, max_value=10**6))
+    def test_align_down_up_bracket(self, ts, delta):
+        assert align_down(ts, delta) <= ts <= align_up(ts, delta)
+        assert align_up(ts, delta) - align_down(ts, delta) in (0, delta)
+
+
+class TestWindows:
+    def test_window_index(self):
+        assert window_index(0, 10) == 0
+        assert window_index(9, 10) == 0
+        assert window_index(10, 10) == 1
+
+    def test_window_index_before_epoch(self):
+        with pytest.raises(ValueError):
+            window_index(5, 10, epoch=100)
+
+    def test_window_range(self):
+        assert window_range(3, 10) == TimeRange(30, 40)
+        assert window_range(3, 10, epoch=5) == TimeRange(35, 45)
+
+    def test_range_to_windows(self):
+        assert range_to_windows(TimeRange(0, 30), 10) == (0, 3)
+        assert range_to_windows(TimeRange(5, 31), 10) == (0, 4)
+
+    def test_iter_windows_covers_range(self):
+        windows = list(iter_windows(TimeRange(5, 35), 10))
+        assert windows[0] == TimeRange(0, 10)
+        assert windows[-1] == TimeRange(30, 40)
+        assert len(windows) == 4
+
+    @given(
+        st.integers(min_value=0, max_value=10**9),
+        st.integers(min_value=1, max_value=10**9),
+        st.integers(min_value=1, max_value=10**4),
+    )
+    def test_every_timestamp_covered_by_exactly_one_window(self, start, duration, delta):
+        time_range = TimeRange(start, start + duration)
+        lo, hi = range_to_windows(time_range, delta)
+        # The first and last timestamps fall into the computed window interval.
+        assert lo <= window_index(time_range.start, delta) < hi
+        assert lo <= window_index(time_range.end - 1, delta) < hi
