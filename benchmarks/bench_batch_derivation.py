@@ -1,0 +1,212 @@
+"""Batched GGM keystream derivation and bulk-ingest throughput.
+
+Tracks the two hot-path claims of the batch fast path introduced with
+``leaf_range`` / ``encrypt_windows`` / ``append_many``:
+
+1. **Key derivation** — deriving 2^14 sequential keystream keys from a
+   height-30 tree via ``KeyDerivationTree.leaf_range`` must be ≥ 5× faster
+   than the per-leaf loop (the per-leaf walk costs O(height) PRG calls per
+   key; the subtree cover amortizes to ~1).
+2. **Bulk ingest** — end-to-end ``TimeCrypt.insert_records`` (batch
+   encryption + ``ServerEngine.insert_chunks`` + ``append_many``) must give
+   ≥ 2× the ingest throughput of the per-record scalar pipeline.
+
+Run as a script to print the tables and refresh the ``BENCH_batch.json``
+baseline (written via :func:`repro.bench.reporting.write_json_report`):
+
+    PYTHONPATH=src python benchmarks/bench_batch_derivation.py
+
+Quick mode for CI-style trend tracking: ``BENCH_SCALE=0.05`` shrinks the
+ingest workload (the derivation workload is pinned at 2^14 keys so the
+headline ratio stays comparable across runs).  The assertions also run under
+plain pytest: ``pytest benchmarks/bench_batch_derivation.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+
+from repro import ServerEngine, TimeCrypt
+from repro.bench.harness import measure
+from repro.bench.reporting import ResultTable, format_duration, write_json_report
+from repro.crypto.keytree import KeyDerivationTree
+from repro.crypto.prf import DEFAULT_PRG, available_prgs
+from repro.timeseries.stream import StreamConfig
+
+from conftest import scaled
+
+#: The acceptance workload: 2^14 sequential keys from a height-30 tree.
+NUM_KEYS = 1 << 14
+TREE_HEIGHT = 30
+
+#: Bulk-ingest workload: small chunks so per-chunk overhead dominates,
+#: mirroring high-rate ingest with short windows.
+INGEST_CHUNKS = scaled(1024, minimum=64)
+POINTS_PER_CHUNK = 4
+CHUNK_INTERVAL_MS = 1_000
+
+_DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_batch.json"
+
+
+def measure_derivation(prg: str = DEFAULT_PRG, num_keys: int = NUM_KEYS):
+    """(scalar, batch) measurements for deriving ``num_keys`` sequential keys."""
+    seed = b"b" * 16
+    scalar_tree = KeyDerivationTree(seed=seed, height=TREE_HEIGHT, prg=prg)
+    batch_tree = KeyDerivationTree(seed=seed, height=TREE_HEIGHT, prg=prg)
+    scalar = measure(
+        f"{prg}-scalar", lambda: list(scalar_tree.keys(0, num_keys)), repetitions=3, warmup=1
+    )
+    batch = measure(
+        f"{prg}-batch", lambda: batch_tree.leaf_range(0, num_keys), repetitions=3, warmup=1
+    )
+    return scalar, batch
+
+
+def _ingest_records():
+    step = CHUNK_INTERVAL_MS // POINTS_PER_CHUNK
+    return [
+        (t, float((t // step) % 100))
+        for t in range(0, INGEST_CHUNKS * CHUNK_INTERVAL_MS, step)
+    ]
+
+
+def _ingest_stack(batch: bool):
+    server = ServerEngine()
+    owner = TimeCrypt(server=server, owner_id="bench")
+    config = StreamConfig(chunk_interval=CHUNK_INTERVAL_MS, key_tree_height=TREE_HEIGHT)
+    uuid = owner.create_stream(metric="batch-bench", config=config)
+    if not batch:
+        # The scalar baseline: per-chunk delivery and per-chunk index appends.
+        owner._streams[uuid].writer.batch_sink = None
+    return owner, uuid
+
+
+def measure_ingest(rounds: int = 3):
+    """Best-of-``rounds`` wall-clock seconds for (scalar, batch) bulk ingest."""
+    records = _ingest_records()
+    scalar_best = float("inf")
+    batch_best = float("inf")
+    for _ in range(rounds):
+        owner, uuid = _ingest_stack(batch=False)
+        begin = time.perf_counter()
+        for timestamp, value in records:
+            owner.insert_record(uuid, timestamp, value)
+        owner.flush(uuid)
+        scalar_best = min(scalar_best, time.perf_counter() - begin)
+
+        owner, uuid = _ingest_stack(batch=True)
+        begin = time.perf_counter()
+        owner.insert_records(uuid, records)
+        owner.flush(uuid)
+        batch_best = min(batch_best, time.perf_counter() - begin)
+    return scalar_best, batch_best, len(records)
+
+
+# ---------------------------------------------------------------------------
+# Assertions (collected by pytest, reused by the script)
+# ---------------------------------------------------------------------------
+
+
+def test_leaf_range_speedup():
+    """leaf_range derives 2^14 sequential keys ≥ 5× faster than the per-leaf loop."""
+    scalar, batch = measure_derivation()
+    speedup = scalar.mean_seconds / batch.mean_seconds
+    assert speedup >= 5.0, (
+        f"leaf_range speedup {speedup:.1f}x below the 5x target "
+        f"(scalar {scalar.mean_seconds:.3f}s, batch {batch.mean_seconds:.3f}s)"
+    )
+
+
+def test_batch_ingest_speedup():
+    """Bulk insert_records ingests ≥ 2× faster than the per-record pipeline."""
+    scalar_s, batch_s, _num_records = measure_ingest()
+    speedup = scalar_s / batch_s
+    assert speedup >= 2.0, (
+        f"bulk-ingest speedup {speedup:.1f}x below the 2x target "
+        f"(scalar {scalar_s:.3f}s, batch {batch_s:.3f}s)"
+    )
+
+
+def test_batch_ingest_equals_scalar_results():
+    """Sanity: both pipelines must answer queries identically (same plaintext data)."""
+    records = _ingest_records()[: 16 * POINTS_PER_CHUNK]
+    answers = []
+    for batch in (False, True):
+        owner, uuid = _ingest_stack(batch=batch)
+        if batch:
+            owner.insert_records(uuid, records)
+        else:
+            for timestamp, value in records:
+                owner.insert_record(uuid, timestamp, value)
+        owner.flush(uuid)
+        answers.append(
+            owner.get_stat_range(uuid, 0, records[-1][0] + 1, operators=("sum", "count", "mean"))
+        )
+    assert answers[0] == answers[1]
+
+
+# ---------------------------------------------------------------------------
+# Script entry point: tables + BENCH_batch.json baseline
+# ---------------------------------------------------------------------------
+
+
+def main() -> None:
+    results = {}
+
+    table = ResultTable(
+        title=f"Batched key derivation — {NUM_KEYS} sequential keys, height {TREE_HEIGHT}",
+        columns=["prg", "scalar total", "batch total", "per-key (batch)", "speedup"],
+    )
+    derivation_results = {}
+    for prg in available_prgs():
+        if prg == "aes":  # pure-python AES: minutes per run, not informative here
+            continue
+        scalar, batch = measure_derivation(prg)
+        speedup = scalar.mean_seconds / batch.mean_seconds
+        derivation_results[prg] = {
+            "num_keys": NUM_KEYS,
+            "tree_height": TREE_HEIGHT,
+            "scalar_seconds": scalar.mean_seconds,
+            "batch_seconds": batch.mean_seconds,
+            "speedup": round(speedup, 2),
+        }
+        table.add_row(
+            prg,
+            format_duration(scalar.mean_seconds),
+            format_duration(batch.mean_seconds),
+            format_duration(batch.mean_seconds / NUM_KEYS),
+            f"{speedup:.1f}x",
+        )
+    table.add_note("target: >= 5x for the default PRG")
+    table.print()
+    results["leaf_range_derivation"] = derivation_results
+
+    scalar_s, batch_s, num_records = measure_ingest()
+    speedup = scalar_s / batch_s
+    ingest_table = ResultTable(
+        title=f"Bulk ingest — {INGEST_CHUNKS} chunks x {POINTS_PER_CHUNK} points, height {TREE_HEIGHT}",
+        columns=["path", "total", "records/s", "speedup"],
+    )
+    ingest_table.add_row("per-record (scalar)", format_duration(scalar_s), f"{num_records / scalar_s:,.0f}", "1.0x")
+    ingest_table.add_row("insert_records (batch)", format_duration(batch_s), f"{num_records / batch_s:,.0f}", f"{speedup:.1f}x")
+    ingest_table.add_note("target: >= 2x via encrypt_chunks + insert_chunks + append_many")
+    ingest_table.print()
+    results["bulk_ingest"] = {
+        "chunks": INGEST_CHUNKS,
+        "points_per_chunk": POINTS_PER_CHUNK,
+        "records": num_records,
+        "scalar_seconds": scalar_s,
+        "batch_seconds": batch_s,
+        "scalar_records_per_s": round(num_records / scalar_s, 1),
+        "batch_records_per_s": round(num_records / batch_s, 1),
+        "speedup": round(speedup, 2),
+    }
+
+    output = os.environ.get("BENCH_OUTPUT", str(_DEFAULT_OUTPUT))
+    print(f"baseline written to {write_json_report(output, results)}")
+
+
+if __name__ == "__main__":
+    main()

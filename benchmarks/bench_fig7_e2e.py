@@ -103,6 +103,30 @@ def test_fig7_plaintext_load(benchmark):
     assert report.records_written == NUM_STREAMS * DURATION_SECONDS * 50
 
 
+def test_fig7_timecrypt_bulk_ingest(benchmark):
+    """Ingest-only throughput through the bulk path.
+
+    ``insert_records`` encrypts all completed chunks per call in one HEAC key
+    batch and folds them into the index via ``insert_chunks``/``append_many``
+    — the write side of Fig. 7 without the interleaved queries.  Compare with
+    the per-record ingest embedded in the mixed-load rows above.
+    """
+    benchmark.group = "fig7-e2e"
+    owner, mapping = _build_timecrypt()
+    stream_records = _mhealth_records(NUM_STREAMS, DURATION_SECONDS)
+
+    def run():
+        total = 0
+        for name, records in stream_records.items():
+            owner.insert_records(mapping[name], records)
+            owner.flush(mapping[name])
+            total += len(records)
+        return total
+
+    total = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert total == NUM_STREAMS * DURATION_SECONDS * 50
+
+
 def test_fig7_timecrypt_small_cache(benchmark):
     """The 1 MB index-cache variant of Fig. 7c."""
     benchmark.group = "fig7-e2e"

@@ -42,6 +42,9 @@ def main() -> None:
     print(f"created encrypted stream {stream}")
 
     # 3. Ingest ten minutes of heart-rate samples (one sample per second).
+    #    insert_records is the bulk-ingest fast path: all completed chunks are
+    #    encrypted in one HEAC key batch and folded into the server's index
+    #    with one write per touched node.
     records = [(t * 1000, 60 + 30 * ((t // 60) % 2) + (t % 7)) for t in range(600)]
     owner.insert_records(stream, records)
     owner.flush(stream)

@@ -8,6 +8,10 @@ benchmark output directly.
 
 from __future__ import annotations
 
+import json
+import os
+import platform
+import sys
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -75,3 +79,25 @@ class ResultTable:
 
     def as_dicts(self) -> List[Dict[str, str]]:
         return [dict(zip(self.columns, row)) for row in self.rows]
+
+
+def write_json_report(path: str, results: Dict[str, object]) -> str:
+    """Persist a machine-readable benchmark baseline (``BENCH_*.json``).
+
+    ``results`` is an arbitrary JSON-safe mapping of metric groups; an
+    ``environment`` block (python version, platform, ``BENCH_SCALE``) is added
+    so later runs can tell whether a trajectory change is a code change or a
+    different machine/scale.  Returns the path written, for log messages.
+    """
+    payload = {
+        "environment": {
+            "python": sys.version.split()[0],
+            "platform": platform.platform(),
+            "bench_scale": float(os.environ.get("BENCH_SCALE", "1.0")),
+        },
+        "results": results,
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

@@ -22,13 +22,8 @@ from repro.access.keystore import TokenStore
 from repro.access.principal import IdentityProvider
 from repro.crypto.heac import HEACCipher
 from repro.crypto.keytree import KeyDerivationTree
-from repro.crypto.prf import DEFAULT_PRG
+from repro.crypto.prf import resolve_prg
 from repro.timeseries.stream import StreamConfig
-
-
-def _resolve_prg(name: str) -> str:
-    """Map the config's ``auto`` PRG selection to the fastest available PRG."""
-    return DEFAULT_PRG if name == "auto" else name
 
 
 @dataclass
@@ -48,7 +43,7 @@ class OwnerKeyManager:
             self._key_tree = KeyDerivationTree(
                 seed=self.master_seed,
                 height=self.config.key_tree_height,
-                prg=_resolve_prg(self.config.prg),
+                prg=resolve_prg(self.config.prg),
             )
         return self._key_tree
 

@@ -145,22 +145,38 @@ class ConsumerReader:
         :class:`AccessDeniedError` when the result lies outside the granted
         scope or granularity — the failure modes that *are* the access control.
         """
-        if result.stream_uuid != self._stream_uuid:
-            raise QueryError("result belongs to a different stream")
-        self._check_scope(result.window_start, result.window_end)
-        values = self._cipher.decrypt_vector(list(result.cells))
-        digest = Digest(config=self._config.digest, values=[self._to_signed(v) for v in values])
-        return DecryptedStatistics(
-            stream_uuid=self._stream_uuid,
-            window_start=result.window_start,
-            window_end=result.window_end,
-            digest=digest,
-            value_scale=self._config.value_scale,
-        )
+        return self.decrypt_series([result])[0]
 
     def decrypt_series(self, results: Sequence[StatQueryResult]) -> List[DecryptedStatistics]:
-        """Decrypt a dashboard-style series of adjacent aggregates."""
-        return [self.decrypt_statistics(result) for result in results]
+        """Decrypt a dashboard-style series of adjacent aggregates.
+
+        Adjacent buckets share their boundary windows (and every bucket's
+        components share its two boundary keys), so the whole series is
+        decrypted through :meth:`~repro.crypto.heac.HEACCipher.decrypt_ranges`,
+        which derives each distinct boundary key once — instead of once per
+        bucket per component as the scalar path would.  Results are identical
+        to calling :meth:`decrypt_statistics` per result.
+        """
+        for result in results:
+            if result.stream_uuid != self._stream_uuid:
+                raise QueryError("result belongs to a different stream")
+            self._check_scope(result.window_start, result.window_end)
+        values_per_result = self._cipher.decrypt_ranges(
+            [list(result.cells) for result in results]
+        )
+        return [
+            DecryptedStatistics(
+                stream_uuid=self._stream_uuid,
+                window_start=result.window_start,
+                window_end=result.window_end,
+                digest=Digest(
+                    config=self._config.digest,
+                    values=[self._to_signed(value) for value in values],
+                ),
+                value_scale=self._config.value_scale,
+            )
+            for result, values in zip(results, values_per_result)
+        ]
 
     def _check_scope(self, window_start: int, window_end: int) -> None:
         if window_start < self._window_start or window_end > self._window_end:

@@ -11,13 +11,17 @@ The writer turns raw measurements into what the untrusted server stores:
    or over the network transport).
 
 The writer never buffers more than the currently open chunk, matching the
-paper's client-side batching model.
+paper's client-side batching model.  When an ingest completes several chunks
+at once (bulk inserts, catch-up after a gap), the chunks are encrypted
+through :meth:`StreamWriter.encrypt_chunks`, which derives the shared HEAC
+boundary keys for each consecutive window run once, and are delivered via the
+``batch_sink`` (when configured) so the server can use its bulk index path.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, List, Optional
+from typing import Callable, Iterable, List, Optional, Sequence
 
 from repro.crypto.gcm import aead_encrypt
 from repro.crypto.heac import HEACCipher
@@ -38,6 +42,10 @@ class StreamWriter:
     cipher: HEACCipher
     sink: Callable[[EncryptedChunk], None]
     use_pure_python_aead: bool = False
+    #: Optional bulk delivery path; when set, multi-chunk completions are
+    #: handed over in one call (e.g. ``ServerEngine.insert_chunks``) instead
+    #: of one ``sink`` call per chunk.
+    batch_sink: Optional[Callable[[Sequence[EncryptedChunk]], None]] = None
     _builder: ChunkBuilder = field(init=False)
     _codec: Codec = field(init=False)
     chunks_written: int = field(default=0, init=False)
@@ -67,9 +75,15 @@ class StreamWriter:
         return self._handle_completed(self._builder.flush())
 
     def _handle_completed(self, chunks: List[Chunk]) -> List[EncryptedChunk]:
-        encrypted = [self.encrypt_chunk(chunk) for chunk in chunks]
+        if not chunks:
+            return []
+        encrypted = self.encrypt_chunks(chunks)
+        if self.batch_sink is not None and len(encrypted) > 1:
+            self.batch_sink(encrypted)
+        else:
+            for item in encrypted:
+                self.sink(item)
         for item in encrypted:
-            self.sink(item)
             self.chunks_written += 1
             self.records_written += item.num_points
         return encrypted
@@ -78,25 +92,57 @@ class StreamWriter:
 
     def encrypt_chunk(self, chunk: Chunk) -> EncryptedChunk:
         """Encrypt one plaintext chunk (digest with HEAC, payload with AEAD)."""
-        if chunk.window_index >= self.config.max_chunks:
+        return self._encrypt_run([chunk])[0]
+
+    def encrypt_chunks(self, chunks: Sequence[Chunk]) -> List[EncryptedChunk]:
+        """Encrypt many chunks, sharing HEAC key material per consecutive window run.
+
+        Chunks with consecutive window indices (the normal case — the builder
+        emits windows in order, including empties) are encrypted from one
+        :class:`~repro.crypto.heac.HEACWindowBatch`, so each boundary key is
+        derived once for the whole run instead of twice per chunk.  Digest
+        ciphertexts are bit-identical to :meth:`encrypt_chunk`; payload blobs
+        differ only in their random AEAD nonce.
+        """
+        encrypted: List[EncryptedChunk] = []
+        run: List[Chunk] = []
+        for chunk in chunks:
+            if run and chunk.window_index != run[-1].window_index + 1:
+                encrypted.extend(self._encrypt_run(run))
+                run = []
+            run.append(chunk)
+        if run:
+            encrypted.extend(self._encrypt_run(run))
+        return encrypted
+
+    def _encrypt_run(self, run: Sequence[Chunk]) -> List[EncryptedChunk]:
+        """Encrypt a run of consecutive-window chunks from one window batch."""
+        last_window = run[-1].window_index
+        if last_window >= self.config.max_chunks:
             raise ChunkError(
-                f"window {chunk.window_index} exceeds the stream's keystream capacity "
+                f"window {last_window} exceeds the stream's keystream capacity "
                 f"({self.config.max_chunks} chunks)"
             )
-        digest_cells = self.cipher.encrypt_vector(chunk.digest.values, chunk.window_index)
-        payload_key = self.cipher.chunk_payload_key(chunk.window_index)
-        compressed = self._codec.compress(chunk.points)
-        aad = f"{self.stream_uuid}:{chunk.window_index}".encode("utf-8")
-        payload = aead_encrypt(
-            payload_key, compressed, aad, force_pure_python=self.use_pure_python_aead
-        )
-        return EncryptedChunk(
-            stream_uuid=self.stream_uuid,
-            window_index=chunk.window_index,
-            payload=payload,
-            digest=digest_cells,
-            num_points=chunk.num_points,
-        )
+        batch = self.cipher.window_batch(run[0].window_index, last_window + 1)
+        encrypted: List[EncryptedChunk] = []
+        for chunk in run:
+            digest_cells = batch.encrypt_vector(chunk.digest.values, chunk.window_index)
+            payload_key = batch.chunk_payload_key(chunk.window_index)
+            compressed = self._codec.compress(chunk.points)
+            aad = f"{self.stream_uuid}:{chunk.window_index}".encode("utf-8")
+            payload = aead_encrypt(
+                payload_key, compressed, aad, force_pure_python=self.use_pure_python_aead
+            )
+            encrypted.append(
+                EncryptedChunk(
+                    stream_uuid=self.stream_uuid,
+                    window_index=chunk.window_index,
+                    payload=payload,
+                    digest=digest_cells,
+                    num_points=chunk.num_points,
+                )
+            )
+        return encrypted
 
 
 def write_points(

@@ -27,19 +27,20 @@ decrypts exactly what its grant allows.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.access.policy import AccessPolicy, Resolution, open_ended
 from repro.access.principal import IdentityProvider, Principal
 from repro.access.tokens import AccessToken
 from repro.client.keymanager import OwnerKeyManager
+from repro.crypto.prf import resolve_prg
 from repro.client.reader import ConsumerReader, DecryptedStatistics
 from repro.client.writer import StreamWriter
 from repro.exceptions import AccessDeniedError, StreamNotFoundError
 from repro.server.engine import ServerEngine
 from repro.server.query_executor import MultiStreamAggregate, StatQueryResult
-from repro.timeseries.point import DataPoint
+from repro.timeseries.point import DataPoint, encode_value
 from repro.timeseries.stream import StreamConfig, StreamMetadata
 from repro.util.timeutil import TimeRange
 
@@ -84,6 +85,11 @@ class TimeCrypt:
         )
         if uuid is not None:
             metadata.uuid = uuid
+        if metadata.config.prg == "auto":
+            # Pin the resolved PRG into the persisted metadata: "auto" must
+            # not be re-resolved on a later open, where a different build's
+            # default would silently derive a different keystream.
+            metadata.config = replace(metadata.config, prg=resolve_prg("auto"))
         self.server.create_stream(metadata)
         keys = OwnerKeyManager(stream_uuid=metadata.uuid, config=metadata.config)
         writer = StreamWriter(
@@ -91,6 +97,10 @@ class TimeCrypt:
             config=metadata.config,
             cipher=keys.heac_cipher(),
             sink=self.server.insert_chunk,
+            # Server handles without a bulk-ingest entry point fall back to
+            # per-chunk delivery (RemoteServerClient additionally downgrades
+            # itself when the remote dispatcher rejects the wire op).
+            batch_sink=getattr(self.server, "insert_chunks", None),
         )
         self._streams[metadata.uuid] = _OwnedStream(metadata=metadata, keys=keys, writer=writer)
         return metadata.uuid
@@ -120,10 +130,18 @@ class TimeCrypt:
         self._owned(uuid).writer.append(timestamp, value)
 
     def insert_records(self, uuid: str, records: Iterable[Tuple[int, float]]) -> None:
-        """Append many measurements in timestamp order."""
-        writer = self._owned(uuid).writer
-        for timestamp, value in records:
-            writer.append(timestamp, value)
+        """Append many measurements in timestamp order (bulk-ingest fast path).
+
+        All chunks completed by the batch are encrypted together (sharing
+        HEAC boundary keys) and delivered to the server in one call, which
+        folds them into the index with one write per touched node.
+        """
+        owned = self._owned(uuid)
+        scale = owned.metadata.config.value_scale
+        owned.writer.extend(
+            DataPoint(timestamp=timestamp, value=encode_value(value, scale))
+            for timestamp, value in records
+        )
 
     def insert_points(self, uuid: str, points: Iterable[DataPoint]) -> None:
         """Append pre-encoded fixed-point data points."""
@@ -352,9 +370,10 @@ class TimeCryptConsumer:
         results = self.server.stat_series(
             stream_uuid, TimeRange(start, end), granularity_windows
         )
+        # Batch decryption: bucket-boundary keys shared between adjacent
+        # aggregates are derived once for the whole series.
         series = []
-        for result in results:
-            stats = reader.decrypt_statistics(result)
+        for result, stats in zip(results, reader.decrypt_series(results)):
             entry: Dict[str, object] = {
                 "window_start": result.window_start,
                 "window_end": result.window_end,

@@ -20,7 +20,7 @@ plug in directly.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Protocol, Sequence
+from typing import Dict, Iterable, List, Protocol, Sequence, Tuple
 
 from repro.crypto.prf import kdf
 from repro.exceptions import DecryptionError, KeyDerivationError
@@ -32,10 +32,44 @@ _MASK = MODULUS - 1
 
 
 class Keystream(Protocol):
-    """Anything that can produce the i-th 16-byte keystream key."""
+    """Anything that can produce the i-th 16-byte keystream key.
+
+    Implementations may additionally expose ``leaf_range(start, end)``
+    returning the keys of a half-open interval in one batch; the HEAC batch
+    paths use it when present and fall back to per-leaf derivation otherwise.
+    """
 
     def leaf(self, leaf_index: int) -> bytes:  # pragma: no cover - protocol
         ...
+
+
+def _fetch_leaves(keystream: Keystream, indices: Sequence[int]) -> Dict[int, bytes]:
+    """Fetch keystream keys for sorted unique ``indices``, batching where possible.
+
+    Contiguous index runs go through the keystream's ``leaf_range`` when it
+    has one (amortized O(1) PRG calls per key); isolated indices and
+    keystreams without batch support use ``leaf``.  Either way each index is
+    derived exactly once.
+    """
+    leaf_range = getattr(keystream, "leaf_range", None)
+    leaves: Dict[int, bytes] = {}
+    if leaf_range is None:
+        for index in indices:
+            leaves[index] = keystream.leaf(index)
+        return leaves
+    run_start = 0
+    while run_start < len(indices):
+        run_end = run_start + 1
+        while run_end < len(indices) and indices[run_end] == indices[run_end - 1] + 1:
+            run_end += 1
+        if run_end - run_start > 1:
+            first = indices[run_start]
+            for offset, key in enumerate(leaf_range(first, indices[run_end - 1] + 1)):
+                leaves[first + offset] = key
+        else:
+            leaves[indices[run_start]] = keystream.leaf(indices[run_start])
+        run_start = run_end
+    return leaves
 
 
 @dataclass(frozen=True)
@@ -93,6 +127,32 @@ class HEACCiphertext:
         )
 
 
+def payload_key_from_leaf(leaf: bytes, encoded_key: int, length: int = 16) -> bytes:
+    """The AEAD key for a chunk payload, from its window's keystream key.
+
+    The paper uses ``H(k_i - k_{i+1})``; we use a domain-separated PRF of the
+    encoded key so payload keys are independent of digest pads.  Single
+    definition shared by the scalar and batch paths — a drifted copy would
+    write chunks the other path cannot decrypt.
+    """
+    encoded = encoded_key.to_bytes(8, "big")
+    return kdf(leaf, "chunk-payload:" + encoded.hex(), length)
+
+
+def component_key_from_leaf(leaf: bytes, component: int) -> int:
+    """The 64-bit additive key of one digest component, from a keystream key.
+
+    Component 0 folds the keystream key directly; higher components first
+    derive an independent key via a domain-separated PRF so each component of
+    a digest vector gets its own pad stream.  This is the single definition
+    all scalar and batch paths share — batch/scalar bit-identity depends on
+    there being exactly one.
+    """
+    if component == 0:
+        return key_to_int(leaf)
+    return key_to_int(kdf(leaf, f"digest-component:{component}"))
+
+
 def key_to_int(key: bytes) -> int:
     """Length-matching hash: fold a 128-bit key into the 64-bit ring (§A.1.5).
 
@@ -123,13 +183,10 @@ class HEACCipher:
         return (self.window_key(window_index) - self.window_key(window_index + 1)) & _MASK
 
     def chunk_payload_key(self, window_index: int, length: int = 16) -> bytes:
-        """Derive the AEAD key for the raw chunk payload of window ``i``.
-
-        The paper uses ``H(k_i - k_{i+1})``; we use a domain-separated PRF of
-        the encoded key so payload keys are independent of digest pads.
-        """
-        encoded = self.encoded_key(window_index).to_bytes(8, "big")
-        return kdf(self._keystream.leaf(window_index), "chunk-payload:" + encoded.hex(), length)
+        """Derive the AEAD key for the raw chunk payload of window ``i``."""
+        return payload_key_from_leaf(
+            self._keystream.leaf(window_index), self.encoded_key(window_index), length
+        )
 
     # -- encryption / decryption ---------------------------------------------
 
@@ -186,6 +243,77 @@ class HEACCipher:
             plaintexts.append((ciphertext.value - pad) & _MASK)
         return plaintexts
 
+    # -- batch paths ---------------------------------------------------------
+
+    def window_batch(self, window_start: int, window_end: int) -> "HEACWindowBatch":
+        """Precompute key material for the consecutive windows ``[start, end)``.
+
+        Encrypting ``n`` consecutive windows needs the ``n + 1`` boundary
+        keys ``k_start .. k_end``; the batch derives them once (through the
+        keystream's ``leaf_range`` when available) and memoises per-component
+        derived keys, so adjacent windows share their boundary key material
+        instead of re-deriving it.
+        """
+        return HEACWindowBatch(self._keystream, window_start, window_end)
+
+    def encrypt_windows(
+        self, plaintext_vectors: Sequence[Sequence[int]], window_start: int
+    ) -> List[List[HEACCiphertext]]:
+        """Encrypt digest vectors for consecutive windows starting at ``window_start``.
+
+        Bit-identical to calling :meth:`encrypt_vector` per window, but each
+        boundary key (and each per-component derived key) is computed once
+        for the whole batch instead of twice per adjacent window pair.
+        """
+        batch = self.window_batch(window_start, window_start + len(plaintext_vectors))
+        return [
+            batch.encrypt_vector(plaintexts, window_start + offset)
+            for offset, plaintexts in enumerate(plaintext_vectors)
+        ]
+
+    def decrypt_ranges(
+        self,
+        ciphertext_vectors: Sequence[Sequence[HEACCiphertext]],
+        component_offset: int = 0,
+    ) -> List[List[int]]:
+        """Decrypt many range-aggregate vectors, deriving shared keys once.
+
+        Dashboard-style series share every inner bucket boundary between two
+        adjacent aggregates (and all components of one aggregate share its two
+        boundary keys); the scalar path re-derives each of those from scratch.
+        Here every distinct boundary window is derived exactly once —
+        contiguous boundaries (granularity-1 series) additionally go through
+        the keystream's batch derivation.  Results are bit-identical to
+        :meth:`decrypt_vector` per vector.
+        """
+        boundaries = sorted(
+            {c.window_start for vector in ciphertext_vectors for c in vector}
+            | {c.window_end for vector in ciphertext_vectors for c in vector}
+        )
+        leaves = _fetch_leaves(self._keystream, boundaries)
+        component_keys: Dict[Tuple[int, int], int] = {}
+
+        def component_key(window_index: int, component: int) -> int:
+            memo_key = (window_index, component)
+            cached = component_keys.get(memo_key)
+            if cached is None:
+                cached = component_keys[memo_key] = component_key_from_leaf(
+                    leaves[window_index], component
+                )
+            return cached
+
+        plaintext_vectors: List[List[int]] = []
+        for vector in ciphertext_vectors:
+            plaintexts = []
+            for component, ciphertext in enumerate(vector, start=component_offset):
+                pad = (
+                    component_key(ciphertext.window_start, component)
+                    - component_key(ciphertext.window_end, component)
+                ) & _MASK
+                plaintexts.append((ciphertext.value - pad) & _MASK)
+            plaintext_vectors.append(plaintexts)
+        return plaintext_vectors
+
     def outer_pad(self, window_start: int, window_end: int, component: int = 0) -> int:
         """The additive pad covering ``[window_start, window_end)`` for one component.
 
@@ -207,10 +335,7 @@ class HEACCipher:
     # -- component pads ------------------------------------------------------
 
     def _component_key(self, window_index: int, component: int) -> int:
-        if component == 0:
-            return self.window_key(window_index)
-        derived = kdf(self._keystream.leaf(window_index), f"digest-component:{component}")
-        return key_to_int(derived)
+        return component_key_from_leaf(self._keystream.leaf(window_index), component)
 
     def _component_outer_pad(self, window_index: int, component: int) -> int:
         return self._component_key(window_index, component)
@@ -220,6 +345,93 @@ class HEACCipher:
             self._component_key(window_index, component)
             - self._component_key(window_index + 1, component)
         ) & _MASK
+
+
+class HEACWindowBatch:
+    """Precomputed HEAC key material for consecutive windows ``[start, end)``.
+
+    Built by :meth:`HEACCipher.window_batch`.  Holds the ``n + 1`` boundary
+    keystream keys for ``n`` windows (derived in one batch) and memoises the
+    per-component derived keys, so encrypting window ``i`` and window
+    ``i + 1`` shares their common boundary instead of deriving it twice —
+    the scalar path derives every boundary key ``2·(components)`` times.
+    All outputs are bit-identical to the scalar :class:`HEACCipher` methods.
+    """
+
+    def __init__(self, keystream: Keystream, window_start: int, window_end: int) -> None:
+        if window_end < window_start:
+            raise ValueError("window batch interval must not be reversed")
+        self._start = window_start
+        self._end = window_end
+        leaves = _fetch_leaves(keystream, range(window_start, window_end + 1))
+        self._leaves = [leaves[i] for i in range(window_start, window_end + 1)]
+        self._window_keys = [key_to_int(leaf) for leaf in self._leaves]
+        self._component_keys: Dict[Tuple[int, int], int] = {}
+
+    @property
+    def window_start(self) -> int:
+        return self._start
+
+    @property
+    def window_end(self) -> int:
+        return self._end
+
+    def leaf(self, window_index: int) -> bytes:
+        """The keystream key for a boundary in ``[window_start, window_end]``."""
+        if not self._start <= window_index <= self._end:
+            raise KeyDerivationError(
+                f"window {window_index} outside batch [{self._start}, {self._end}]"
+            )
+        return self._leaves[window_index - self._start]
+
+    def window_key(self, window_index: int) -> int:
+        if not self._start <= window_index <= self._end:
+            raise KeyDerivationError(
+                f"window {window_index} outside batch [{self._start}, {self._end}]"
+            )
+        return self._window_keys[window_index - self._start]
+
+    def encoded_key(self, window_index: int) -> int:
+        """The encoded one-time pad ``k_i - k_{i+1} mod M``."""
+        return (self.window_key(window_index) - self.window_key(window_index + 1)) & _MASK
+
+    def chunk_payload_key(self, window_index: int, length: int = 16) -> bytes:
+        """Same derivation as :meth:`HEACCipher.chunk_payload_key`, from cached keys."""
+        return payload_key_from_leaf(
+            self.leaf(window_index), self.encoded_key(window_index), length
+        )
+
+    def _component_key(self, window_index: int, component: int) -> int:
+        if component == 0:
+            return self.window_key(window_index)  # precomputed for the whole batch
+        memo_key = (window_index, component)
+        cached = self._component_keys.get(memo_key)
+        if cached is None:
+            cached = self._component_keys[memo_key] = component_key_from_leaf(
+                self.leaf(window_index), component
+            )
+        return cached
+
+    def encrypt_vector(self, plaintexts: Sequence[int], window_index: int) -> List[HEACCiphertext]:
+        """Encrypt one window's digest vector from the batch's key material."""
+        return [
+            HEACCiphertext(
+                value=(
+                    plaintext
+                    + (
+                        (
+                            self._component_key(window_index, component)
+                            - self._component_key(window_index + 1, component)
+                        )
+                        & _MASK
+                    )
+                )
+                & _MASK,
+                window_start=window_index,
+                window_end=window_index + 1,
+            )
+            for component, plaintext in enumerate(plaintexts)
+        ]
 
 
 def aggregate(ciphertexts: Iterable[HEACCiphertext]) -> HEACCiphertext:

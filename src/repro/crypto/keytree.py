@@ -12,6 +12,24 @@ holding the token for an inner node can derive every leaf in its subtree but
 arbitrary leaf interval ``[lo, hi]`` therefore amounts to computing the
 minimal set of maximal subtrees covering the interval (at most ``2·h`` tokens
 for a tree of height ``h``).
+
+Batch derivation
+----------------
+
+Deriving each leaf independently costs one root-to-leaf walk, i.e. O(h) PRG
+calls per key.  ``leaf_range(start, end)`` instead computes the minimal
+aligned-subtree cover of ``[start, end)`` (at most ``2·h`` cover nodes) and
+expands each covered subtree with an iterative level-order traversal: the
+current frontier of node labels is fed to ``PRG.expand_many`` and replaced by
+its children until the leaf level is reached.  A full subtree with ``n``
+leaves has ``n - 1`` inner nodes, so the whole range costs
+
+    ``n - c + Σ depth(cover_i)  ≈  n + O(h²)``
+
+PRG calls for ``n = end - start`` keys and ``c`` cover nodes — amortized O(1)
+calls per key instead of O(h), a ~10–15× call-count reduction at the default
+height of 30, on top of the per-call savings of the batch PRG API.  The
+result is bit-identical to per-leaf derivation.
 """
 
 from __future__ import annotations
@@ -21,6 +39,33 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.crypto.prf import DEFAULT_PRG, PRG, SEED_BYTES, get_prg
 from repro.exceptions import KeyDerivationError
+
+
+def _aligned_cover(start: int, end: int, height: int) -> Iterator[Tuple[int, int]]:
+    """Yield ``(depth, index)`` of the canonical minimal subtree cover of ``[start, end)``.
+
+    Maximal aligned subtrees, left to right; at most ``2·height`` entries.
+    ``depth`` is measured from the root of a tree of the given ``height``.
+    """
+    num_keys = 1 << height
+    position = start
+    while position < end:
+        # Largest aligned subtree starting at `position` that fits in the range.
+        span = position & -position if position else num_keys
+        while span > end - position:
+            span >>= 1
+        depth = height - span.bit_length() + 1
+        yield depth, position >> (height - depth)
+        position += span
+
+
+def _expand_subtree(prg: PRG, value: bytes, levels: int) -> List[bytes]:
+    """All ``2**levels`` leaves under ``value``, by iterative level-order expansion."""
+    frontier = [value]
+    for _ in range(levels):
+        pairs = prg.expand_many(frontier)
+        frontier = [child for pair in pairs for child in pair]
+    return frontier
 
 
 @dataclass(frozen=True)
@@ -153,6 +198,25 @@ class KeyDerivationTree:
         for leaf_index in range(start, end):
             yield self.leaf(leaf_index)
 
+    def leaf_range(self, start: int, end: int) -> List[bytes]:
+        """Keystream keys ``start .. end-1`` via minimal-subtree batch expansion.
+
+        Bit-identical to ``[self.leaf(i) for i in range(start, end)]`` but
+        amortized O(1) PRG calls per key (see the module docstring).  Batch
+        results bypass the node memo cache: the caller gets the whole range at
+        once, so per-node memoisation would only cost memory.
+        """
+        if not 0 <= start <= end <= self.num_keys:
+            raise KeyDerivationError(
+                f"key range [{start}, {end}) outside keystream of {self.num_keys} keys"
+            )
+        keys: List[bytes] = []
+        for depth, index in _aligned_cover(start, end, self._height):
+            keys.extend(
+                _expand_subtree(self._prg, self._node(depth, index), self._height - depth)
+            )
+        return keys
+
     # -- token computation ---------------------------------------------------
 
     def token_for(self, depth: int, index: int) -> TreeToken:
@@ -169,17 +233,10 @@ class KeyDerivationTree:
             raise KeyDerivationError(
                 f"key range [{start}, {end}) outside keystream of {self.num_keys} keys"
             )
-        tokens: List[TreeToken] = []
-        position = start
-        while position < end:
-            # Largest aligned subtree starting at `position` that fits in the range.
-            span = position & -position if position else self.num_keys
-            while span > end - position:
-                span >>= 1
-            depth = self._height - span.bit_length() + 1
-            tokens.append(self.token_for(depth, position >> (self._height - depth)))
-            position += span
-        return tokens
+        return [
+            self.token_for(depth, index)
+            for depth, index in _aligned_cover(start, end, self._height)
+        ]
 
     def root_token(self) -> TreeToken:
         """Token granting the entire keystream (the root seed)."""
@@ -250,6 +307,34 @@ class DerivedKeystream:
     def keys(self, start: int, end: int) -> Iterator[bytes]:
         for leaf_index in range(start, end):
             yield self.leaf(leaf_index)
+
+    def leaf_range(self, start: int, end: int) -> List[bytes]:
+        """Derive keys ``start .. end-1`` in one batch from the held tokens.
+
+        Bit-identical to per-leaf derivation; raises
+        :class:`KeyDerivationError` at the first position no token covers,
+        exactly like :meth:`leaf` would.  Within each covering token the
+        requested sub-interval is expanded through its minimal aligned-subtree
+        cover, so shared prefixes are derived once instead of once per leaf.
+        """
+        if not 0 <= start <= end:
+            raise KeyDerivationError(f"invalid key range [{start}, {end})")
+        keys: List[bytes] = []
+        position = start
+        while position < end:
+            token = next((t for t in self._tokens if t.covers(position)), None)
+            if token is None:
+                raise KeyDerivationError(f"no token covers keystream position {position}")
+            lo, hi = token.leaf_span
+            sub_end = min(end, hi + 1)
+            sub_height = self._height - token.depth
+            for depth, index in _aligned_cover(position - lo, sub_end - lo, sub_height):
+                value = token.value
+                for level in range(depth - 1, -1, -1):
+                    value = self._prg.child(value, (index >> level) & 1)
+                keys.extend(_expand_subtree(self._prg, value, sub_height - depth))
+            position = sub_end
+        return keys
 
 
 def merge_token_sets(*token_sets: Sequence[TreeToken]) -> List[TreeToken]:

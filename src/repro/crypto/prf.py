@@ -10,6 +10,14 @@ the same menu:
 * ``aes``      — ``G_b(x) = AES_x(b)`` using the pure-Python block cipher
 * ``aes-ni``   — same construction but backed by the ``cryptography`` package's
   native AES when it is importable (our stand-in for hardware AES)
+* ``aes-ni-fk`` — fixed-key AES in Matyas–Meyer–Oseas mode,
+  ``G_b(x) = AES_K(x ⊕ c_b) ⊕ (x ⊕ c_b)`` with a public constant key ``K``.
+  The paper's construction re-keys AES with every node label, which is ~free
+  with a hardware key schedule but costs a fresh OpenSSL EVP context per node
+  through Python's ``cryptography`` layer; the fixed-key variant (standard in
+  high-throughput GGM/FSS implementations, secure in the random-permutation
+  model) reuses one context and lets the batch path encrypt a whole expansion
+  frontier in a single native call.  Default when native AES is available.
 * ``hmac-sha256`` — an HMAC-based PRF, used where a keyed PRF (rather than a
   PRG) is the natural primitive (e.g. deriving AEAD keys from HEAC keys).
 
@@ -22,7 +30,8 @@ from __future__ import annotations
 import hashlib
 import hmac
 from abc import ABC, abstractmethod
-from typing import Dict, Tuple, Type
+from collections import OrderedDict
+from typing import Dict, List, Sequence, Tuple, Type
 
 from repro.exceptions import ConfigurationError
 
@@ -44,6 +53,16 @@ class PRG(ABC):
     @abstractmethod
     def expand(self, seed: bytes) -> Tuple[bytes, bytes]:
         """Return the two 16-byte children ``(G0(seed), G1(seed))``."""
+
+    def expand_many(self, seeds: Sequence[bytes]) -> List[Tuple[bytes, bytes]]:
+        """Expand a batch of seeds; the i-th result is ``expand(seeds[i])``.
+
+        Subclasses override this when there is real per-call setup to
+        amortize over the whole batch (cipher contexts, a single native
+        encryption call); the hash PRGs have none, so they keep this default.
+        The output is bit-identical to calling :meth:`expand` per seed.
+        """
+        return [self.expand(seed) for seed in seeds]
 
     def left(self, seed: bytes) -> bytes:
         return self.expand(seed)[0]
@@ -109,9 +128,22 @@ class AesPRG(PRG):
 
 
 class AesNiPRG(PRG):
-    """AES-based PRG using the ``cryptography`` native backend (AES-NI stand-in)."""
+    """AES-based PRG using the ``cryptography`` native backend (AES-NI stand-in).
+
+    The seed is the AES key, so every distinct seed needs its own key
+    schedule.  Building a fresh ``Cipher``/encryptor per expansion costs more
+    than the AES rounds themselves, so encryptor contexts are kept in a small
+    LRU cache: ECB is stateless per block, which makes it safe to reuse one
+    context for any number of 32-byte ``update`` calls without finalizing.
+    GGM derivation walks revisit the same inner-node seeds constantly (every
+    leaf under a shared ancestor re-expands that ancestor's descendants), so
+    the cache turns the dominant cost into a dict lookup.
+    """
 
     name = "aes-ni"
+
+    #: Bound on cached per-seed encryptor contexts (~100 bytes each).
+    _CACHE_CAPACITY = 4096
 
     def __init__(self) -> None:
         if not _HAVE_FAST_AES:  # pragma: no cover - environment dependent
@@ -119,13 +151,93 @@ class AesNiPRG(PRG):
                 "the 'cryptography' package is required for the aes-ni PRG"
             )
         self._plain = b"\x00" * 16 + b"\x01" + b"\x00" * 15
+        self._contexts: "OrderedDict[bytes, object]" = OrderedDict()
+
+    def _context(self, seed: bytes):
+        """The reusable ECB encryptor for ``seed`` (LRU-cached key schedule)."""
+        context = self._contexts.get(seed)
+        if context is not None:
+            self._contexts.move_to_end(seed)
+            return context
+        self._check_seed(seed)
+        context = Cipher(algorithms.AES(seed), modes.ECB()).encryptor()
+        self._contexts[seed] = context
+        if len(self._contexts) > self._CACHE_CAPACITY:
+            self._contexts.popitem(last=False)
+        return context
+
+    def expand(self, seed: bytes) -> Tuple[bytes, bytes]:
+        out = self._context(seed).update(self._plain)
+        return out[:16], out[16:]
+
+    def expand_many(self, seeds: Sequence[bytes]) -> List[Tuple[bytes, bytes]]:
+        context = self._context
+        plain = self._plain
+        results: List[Tuple[bytes, bytes]] = []
+        for seed in seeds:
+            out = context(seed).update(plain)
+            results.append((out[:16], out[16:]))
+        return results
+
+
+class AesNiFixedKeyPRG(PRG):
+    """Fixed-key AES PRG (MMO mode): ``G_b(x) = AES_K(x ⊕ c_b) ⊕ (x ⊕ c_b)``.
+
+    ``K`` is a public constant, so one-wayness rests on the standard
+    random-permutation assumption for fixed-key AES rather than on AES as a
+    PRF family.  One reusable ECB context serves every expansion (no per-node
+    key schedule), and :meth:`expand_many` encrypts the concatenated inputs
+    of the whole batch in a single native call — the throughput workhorse
+    behind ``leaf_range``.  ``c_0 = 0`` and ``c_1`` flips one input bit, which
+    is all the left/right domain separation MMO needs.
+    """
+
+    name = "aes-ni-fk"
+
+    #: Public fixed key; nothing secret about it, it only has to be an
+    #: "unstructured" constant (nothing-up-my-sleeve derivation).
+    _KEY = hashlib.sha256(b"timecrypt fixed-key aes prg").digest()[:SEED_BYTES]
+
+    def __init__(self) -> None:
+        if not _HAVE_FAST_AES:  # pragma: no cover - environment dependent
+            raise ConfigurationError(
+                "the 'cryptography' package is required for the aes-ni-fk PRG"
+            )
+        self._encrypt = Cipher(algorithms.AES(self._KEY), modes.ECB()).encryptor().update
+
+    @staticmethod
+    def _tweaked(seed: bytes) -> bytes:
+        """``seed ⊕ c_1`` — flip the lowest bit of the first byte."""
+        return bytes([seed[0] ^ 1]) + seed[1:]
 
     def expand(self, seed: bytes) -> Tuple[bytes, bytes]:
         self._check_seed(seed)
-        cipher = Cipher(algorithms.AES(seed), modes.ECB())
-        encryptor = cipher.encryptor()
-        out = encryptor.update(self._plain) + encryptor.finalize()
-        return out[:16], out[16:]
+        in1 = self._tweaked(seed)
+        ct = self._encrypt(seed + in1)
+        left = (int.from_bytes(ct[:16], "big") ^ int.from_bytes(seed, "big")).to_bytes(16, "big")
+        right = (int.from_bytes(ct[16:], "big") ^ int.from_bytes(in1, "big")).to_bytes(16, "big")
+        return left, right
+
+    def expand_many(self, seeds: Sequence[bytes]) -> List[Tuple[bytes, bytes]]:
+        buffer = bytearray()
+        for seed in seeds:
+            self._check_seed(seed)
+            buffer += seed
+            buffer += self._tweaked(seed)
+        ct = self._encrypt(bytes(buffer))
+        from_bytes = int.from_bytes
+        results: List[Tuple[bytes, bytes]] = []
+        for index, seed in enumerate(seeds):
+            offset = index * 32
+            left = (
+                from_bytes(ct[offset : offset + 16], "big") ^ from_bytes(seed, "big")
+            ).to_bytes(16, "big")
+            right = (
+                from_bytes(ct[offset + 16 : offset + 32], "big")
+                ^ from_bytes(buffer[offset + 16 : offset + 32], "big")
+            ).to_bytes(16, "big")
+            results.append((left, right))
+        return results
 
 
 _PRG_REGISTRY: Dict[str, Type[PRG]] = {
@@ -135,13 +247,24 @@ _PRG_REGISTRY: Dict[str, Type[PRG]] = {
 }
 if _HAVE_FAST_AES:
     _PRG_REGISTRY[AesNiPRG.name] = AesNiPRG
+    _PRG_REGISTRY[AesNiFixedKeyPRG.name] = AesNiFixedKeyPRG
 
-DEFAULT_PRG = "aes-ni" if _HAVE_FAST_AES else "blake2"
+DEFAULT_PRG = "aes-ni-fk" if _HAVE_FAST_AES else "blake2"
 
 
 def available_prgs() -> Tuple[str, ...]:
     """Names of the PRG constructions usable in this environment."""
     return tuple(sorted(_PRG_REGISTRY))
+
+
+def resolve_prg(name: str) -> str:
+    """Map the ``auto`` selector to the fastest available PRG.
+
+    ``auto`` must be resolved exactly once, when a stream is created, and the
+    concrete name persisted — re-resolving later could pick a different
+    default and silently derive a different keystream.
+    """
+    return DEFAULT_PRG if name == "auto" else name
 
 
 def get_prg(name: str = DEFAULT_PRG) -> PRG:

@@ -15,11 +15,26 @@ The tree is cipher-agnostic: cells are combined via a
 :class:`~repro.index.node.DigestCombiner` and (de)serialized via caller
 supplied functions, so the same code serves HEAC, Paillier, EC-ElGamal, and
 the plaintext baseline.
+
+Batch ingest
+------------
+
+A scalar :meth:`AggregationIndex.append` costs one node load, one combine and
+one store write per tree level, plus a meta-record write — O(levels) writes
+per chunk.  :meth:`AggregationIndex.append_many` appends ``n`` consecutive
+digests in one pass: per level it walks the touched spine positions (at most
+``n / fanout^level + 1`` of them), folds every new leaf of a position into
+its node in memory, and writes each touched node exactly once; the
+window-count meta record is written once per batch.  Store writes drop from
+``n · (levels + 1) + n`` to ``n + Σ_L (n / fanout^L + 1) + 1`` — for
+``n = fanout`` that is ~2 writes per leaf instead of ``levels + 2``.  The
+final stored bytes are identical to ``n`` scalar appends (intermediate spine
+states are simply never materialised).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Generic, List, Optional, Sequence, TypeVar
+from typing import Callable, Dict, Generic, List, Optional, Sequence, TypeVar
 
 from repro.exceptions import IndexError_, QueryError
 from repro.index.cache import NodeCache
@@ -74,7 +89,8 @@ class AggregationIndex(Generic[Cell]):
         # Note: `cache or NodeCache()` would discard an *empty* caller-provided
         # cache (NodeCache defines __len__), so compare against None explicitly.
         self._cache = cache if cache is not None else NodeCache()
-        self._num_windows = self._load_window_count()
+        self._pruned_watermarks: Dict[int, int] = {}
+        self._num_windows = self._load_meta()
 
     # -- properties -------------------------------------------------------------
 
@@ -101,15 +117,33 @@ class AggregationIndex(Generic[Cell]):
     def _meta_key(self) -> bytes:
         return f"index/{self._stream_uuid}/meta".encode("ascii")
 
-    def _load_window_count(self) -> int:
+    def _load_meta(self) -> int:
+        """Load the meta record: window count plus per-level pruned watermarks.
+
+        The record is ``varint(count)`` optionally followed by
+        ``varint(num_entries)`` and ``num_entries`` ``(level, watermark)``
+        varint pairs; records written before watermarks existed decode as an
+        empty watermark map.
+        """
         blob = self._store.get(self._meta_key())
         if blob is None:
             return 0
-        count, _pos = decode_varint(blob, 0)
+        count, pos = decode_varint(blob, 0)
+        if pos < len(blob):
+            num_entries, pos = decode_varint(blob, pos)
+            for _ in range(num_entries):
+                level, pos = decode_varint(blob, pos)
+                watermark, pos = decode_varint(blob, pos)
+                self._pruned_watermarks[level] = watermark
         return count
 
-    def _save_window_count(self) -> None:
-        self._store.put(self._meta_key(), encode_varint(self._num_windows))
+    def _save_meta(self) -> None:
+        blob = encode_varint(self._num_windows)
+        if self._pruned_watermarks:
+            blob += encode_varint(len(self._pruned_watermarks))
+            for level in sorted(self._pruned_watermarks):
+                blob += encode_varint(level) + encode_varint(self._pruned_watermarks[level])
+        self._store.put(self._meta_key(), blob)
 
     def _node_key(self, level: int, position: int) -> bytes:
         return index_node_storage_key(self._stream_uuid, level, position)
@@ -151,54 +185,75 @@ class AggregationIndex(Generic[Cell]):
         The leaf is written and every ancestor on the right-most spine is
         updated (or created), which costs one combine and one write per level.
         """
-        window_index = self._num_windows
-        leaf = IndexNode(
-            level=0,
-            position=window_index,
-            window_start=window_index,
-            window_end=window_index + 1,
-            cells=tuple(cells),
-        )
-        self._store_node(leaf)
-        self._num_windows += 1
-        self._update_ancestors(leaf)
-        self._save_window_count()
-        return window_index
+        return self.append_many([cells])
 
-    def _update_ancestors(self, leaf: IndexNode) -> None:
-        """Fold the new leaf into its ancestor node at every inner level.
+    def append_many(self, cell_vectors: Sequence[Sequence[Cell]]) -> int:
+        """Append ``n`` consecutive chunk digests in one pass; returns the first index.
+
+        Per level, the new leaves are folded into each touched spine node in
+        memory and every touched node is written once, instead of once per
+        appended leaf; the window-count meta record is also written once.  The
+        stored bytes after the batch are identical to ``n`` scalar appends
+        (see the module docstring for the write-count arithmetic).
 
         Leaves arrive strictly in window order, so the first leaf of any
-        ancestor block is always the block's left-most window; ancestor nodes
-        are therefore created with ``window_start`` aligned to their block and
-        grow by one window per ingest until full.
+        ancestor block is always the block's left-most ingested window;
+        ancestor nodes are created with ``window_start`` at that leaf and grow
+        until their block is full.  Only the left-most touched position per
+        level can pre-exist — every later position starts at a window this
+        batch introduces.
         """
+        if not cell_vectors:
+            return self._num_windows
+        start = self._num_windows
+        leaf_cells: List[tuple] = []
+        for offset, cells in enumerate(cell_vectors):
+            window_index = start + offset
+            leaf_cells.append(tuple(cells))
+            self._store_node(
+                IndexNode(
+                    level=0,
+                    position=window_index,
+                    window_start=window_index,
+                    window_end=window_index + 1,
+                    cells=leaf_cells[-1],
+                )
+            )
+        end = start + len(leaf_cells)
+        self._num_windows = end
         for level in range(1, self._max_level + 1):
             block = self._fanout ** level
-            position = leaf.position // block
-            existing = self._load_node(level, position)
-            if existing is None:
-                node = IndexNode(
-                    level=level,
-                    position=position,
-                    window_start=leaf.position,
-                    window_end=leaf.position + 1,
-                    cells=leaf.cells,
-                )
-            else:
-                if existing.window_end != leaf.position:
-                    raise IndexError_(
-                        f"index spine out of sync at level {level}: node ends at "
-                        f"{existing.window_end}, leaf is {leaf.position}"
+            for position in range(start // block, (end - 1) // block + 1):
+                block_start = max(start, position * block)
+                block_end = min(end, (position + 1) * block)
+                existing = self._load_node(level, position) if block_start == start else None
+                if existing is not None:
+                    if existing.window_end != block_start:
+                        raise IndexError_(
+                            f"index spine out of sync at level {level}: node ends at "
+                            f"{existing.window_end}, leaf is {block_start}"
+                        )
+                    window_start = existing.window_start
+                    cells = list(existing.cells)
+                else:
+                    window_start = block_start
+                    cells = list(leaf_cells[block_start - start])
+                    block_start += 1
+                for window_index in range(block_start, block_end):
+                    cells = self._combiner.combine_vectors(
+                        cells, leaf_cells[window_index - start]
                     )
-                node = IndexNode(
-                    level=level,
-                    position=position,
-                    window_start=existing.window_start,
-                    window_end=leaf.position + 1,
-                    cells=tuple(self._combiner.combine_vectors(existing.cells, leaf.cells)),
+                self._store_node(
+                    IndexNode(
+                        level=level,
+                        position=position,
+                        window_start=window_start,
+                        window_end=block_end,
+                        cells=tuple(cells),
+                    )
                 )
-            self._store_node(node)
+        self._save_meta()
+        return start
 
     # -- queries ---------------------------------------------------------------------
 
@@ -249,17 +304,32 @@ class AggregationIndex(Generic[Cell]):
         Models the paper's "archiving at lower resolutions": fine-grained
         nodes for aged-out data are removed while coarser aggregates remain
         queryable.  Returns the number of nodes deleted.
+
+        A per-level pruned watermark is persisted in the meta record so that
+        repeated rollups resume deleting where the previous one stopped;
+        without it every invocation re-attempts deletes from position 0 and
+        periodic rollups degrade quadratically over the stream's lifetime.
         """
         if level <= 0:
             return 0
+        # Clamp to the ingested head: advancing the watermark past windows
+        # that do not exist yet would make them unprunable once ingested.
+        before_window = min(before_window, self._num_windows)
         deleted = 0
+        watermarks_moved = False
         for target_level in range(0, min(level, self._max_level + 1)):
             block = self._fanout ** target_level
             full_blocks = before_window // block
-            for position in range(full_blocks):
+            start_position = self._pruned_watermarks.get(target_level, 0)
+            for position in range(start_position, full_blocks):
                 if self._store.delete(self._node_key(target_level, position)):
                     self._cache.invalidate((self._stream_uuid, target_level, position))
                     deleted += 1
+            if full_blocks > start_position:
+                self._pruned_watermarks[target_level] = full_blocks
+                watermarks_moved = True
+        if watermarks_moved:
+            self._save_meta()
         return deleted
 
     def size_bytes(self) -> int:

@@ -104,6 +104,7 @@ class RemoteServerClient:
         self._socket = socket.create_connection(self._address, timeout=timeout)
         self._lock = threading.Lock()
         self.token_store = _RemoteTokenStore(self)
+        self._server_supports_bulk_ingest = True
 
     # -- plumbing ----------------------------------------------------------------
 
@@ -168,6 +169,38 @@ class RemoteServerClient:
     def insert_chunk(self, chunk: EncryptedChunk) -> int:
         response = self._call(Request("insert_chunk", {}, [encode_encrypted_chunk(chunk)]))
         return int(response.result["window_index"])
+
+    def insert_chunks(self, chunks: Sequence[EncryptedChunk]) -> int:
+        """Bulk ingest over one round trip; returns the first appended window index.
+
+        Servers that predate the ``insert_chunks`` wire operation answer with
+        an unsupported-operation error; in that case the batch degrades to
+        per-chunk ``insert_chunk`` calls (and the downgrade is remembered so
+        later batches skip the failed round trip).
+        """
+        if not chunks:
+            raise ProtocolError("insert_chunks requires at least one chunk")
+        if not self._server_supports_bulk_ingest:
+            return self._insert_chunks_one_by_one(chunks)
+        try:
+            response = self._call(
+                Request("insert_chunks", {}, [encode_encrypted_chunk(chunk) for chunk in chunks])
+            )
+        except TimeCryptError as exc:
+            # Remote errors re-raise by class *name*, which may surface as the
+            # base class — match on the message, not the type.  A server
+            # without the op rejects it in Request.decode ("unknown
+            # operation", messages.py) before dispatch ("unsupported
+            # operation") could ever see it; accept both spellings.
+            message = str(exc)
+            if "unsupported operation" not in message and "unknown operation" not in message:
+                raise
+            self._server_supports_bulk_ingest = False
+            return self._insert_chunks_one_by_one(chunks)
+        return int(response.result["window_index"])
+
+    def _insert_chunks_one_by_one(self, chunks: Sequence[EncryptedChunk]) -> int:
+        return min(self.insert_chunk(chunk) for chunk in chunks)
 
     def get_range(self, stream_uuid: str, time_range: TimeRange) -> List[EncryptedChunk]:
         response = self._call(

@@ -27,6 +27,7 @@ OPERATIONS = (
     "create_stream",
     "delete_stream",
     "insert_chunk",
+    "insert_chunks",
     "get_range",
     "delete_range",
     "stat_range",

@@ -79,6 +79,14 @@ class RequestDispatcher:
         window_index = self._engine.insert_chunk(chunk)
         return Response.success({"window_index": window_index})
 
+    def _op_insert_chunks(self, request: Request) -> Response:
+        """Bulk ingest: one consecutive chunk batch per request (one attachment each)."""
+        if not request.attachments:
+            raise ProtocolError("insert_chunks requires at least one chunk attachment")
+        chunks = [decode_encrypted_chunk(blob) for blob in request.attachments]
+        window_index = self._engine.insert_chunks(chunks)
+        return Response.success({"window_index": window_index, "num_chunks": len(chunks)})
+
     def _op_get_range(self, request: Request) -> Response:
         chunks = self._engine.get_range(
             request.args["uuid"], TimeRange(request.args["start"], request.args["end"])

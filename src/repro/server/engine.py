@@ -119,6 +119,11 @@ class StreamState:
     index: AggregationIndex
     num_chunks: int = 0
     num_records: int = 0
+    #: Windows below this bound had their raw payloads deleted by a rollup.
+    #: In-memory only: after a restart the first rollup re-scans once (the
+    #: deletes are no-ops) and re-establishes the bound, so repeated rollups
+    #: stay linear in *new* windows instead of re-walking the whole stream.
+    payload_rollup_watermark: int = 0
 
 
 @dataclass
@@ -217,6 +222,38 @@ class ServerEngine:
         state.num_chunks += 1
         state.num_records += chunk.num_points
         return chunk.window_index
+
+    def insert_chunks(self, chunks: Sequence[EncryptedChunk]) -> int:
+        """Append a batch of consecutive encrypted chunks of one stream.
+
+        The bulk-ingest fast path: payloads are stored per chunk as usual, but
+        the aggregation index folds all digests through
+        :meth:`~repro.index.tree.AggregationIndex.append_many`, writing each
+        touched spine node (and the window-count record) once per batch
+        instead of once per chunk.  Returns the first appended window index.
+        """
+        if not chunks:
+            raise QueryError("cannot ingest an empty chunk batch")
+        stream_uuid = chunks[0].stream_uuid
+        state = self._state(stream_uuid)
+        expected_window = state.index.num_windows
+        for offset, chunk in enumerate(chunks):
+            if chunk.stream_uuid != stream_uuid:
+                raise QueryError("a chunk batch must belong to a single stream")
+            if chunk.window_index != expected_window + offset:
+                raise QueryError(
+                    f"chunk for window {chunk.window_index} arrived, expected window "
+                    f"{expected_window + offset} (ingest is in-order append-only)"
+                )
+        for chunk in chunks:
+            self.store.put(
+                chunk_storage_key(stream_uuid, chunk.window_index),
+                encode_encrypted_chunk(chunk),
+            )
+        state.index.append_many([list(chunk.digest) for chunk in chunks])
+        state.num_chunks += len(chunks)
+        state.num_records += sum(chunk.num_points for chunk in chunks)
+        return expected_window
 
     # -- raw range retrieval ----------------------------------------------------------
 
@@ -326,9 +363,10 @@ class ServerEngine:
                 head_windows, max(0, (before_time - config.start_time) // config.chunk_interval)
             )
         deleted = 0
-        for window_index in range(before_window):
+        for window_index in range(state.payload_rollup_watermark, before_window):
             if self.store.delete(chunk_storage_key(stream_uuid, window_index)):
                 deleted += 1
+        state.payload_rollup_watermark = max(state.payload_rollup_watermark, before_window)
         # Prune index levels finer than the retained resolution.
         level = 0
         fanout = state.metadata.config.index_fanout
