@@ -18,12 +18,14 @@ baseline (written via :func:`repro.bench.reporting.write_json_report`):
 
 Quick mode for CI-style trend tracking: ``BENCH_SCALE=0.05`` shrinks the
 ingest workload (the derivation workload is pinned at 2^14 keys so the
-headline ratio stays comparable across runs).  The assertions also run under
-plain pytest: ``pytest benchmarks/bench_batch_derivation.py``.
+headline ratio stays comparable across runs), and ``--smoke`` shrinks both
+for CI smoke jobs whose only goal is a valid baseline file.  The assertions
+also run under plain pytest: ``pytest benchmarks/bench_batch_derivation.py``.
 """
 
 from __future__ import annotations
 
+import argparse
 import os
 import time
 from pathlib import Path
@@ -64,12 +66,10 @@ def measure_derivation(prg: str = DEFAULT_PRG, num_keys: int = NUM_KEYS):
     return scalar, batch
 
 
-def _ingest_records():
+def _ingest_records(num_chunks: int = None):
     step = CHUNK_INTERVAL_MS // POINTS_PER_CHUNK
-    return [
-        (t, float((t // step) % 100))
-        for t in range(0, INGEST_CHUNKS * CHUNK_INTERVAL_MS, step)
-    ]
+    total = (num_chunks if num_chunks is not None else INGEST_CHUNKS) * CHUNK_INTERVAL_MS
+    return [(t, float((t // step) % 100)) for t in range(0, total, step)]
 
 
 def _ingest_stack(batch: bool):
@@ -83,9 +83,9 @@ def _ingest_stack(batch: bool):
     return owner, uuid
 
 
-def measure_ingest(rounds: int = 3):
+def measure_ingest(rounds: int = 3, num_chunks: int = None):
     """Best-of-``rounds`` wall-clock seconds for (scalar, batch) bulk ingest."""
-    records = _ingest_records()
+    records = _ingest_records(num_chunks)
     scalar_best = float("inf")
     batch_best = float("inf")
     for _ in range(rounds):
@@ -152,21 +152,32 @@ def test_batch_ingest_equals_scalar_results():
 # ---------------------------------------------------------------------------
 
 
-def main() -> None:
-    results = {}
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description="Batched GGM derivation + bulk ingest baseline")
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="reduced-iteration CI mode: fewer keys/chunks, default PRG only",
+    )
+    args = parser.parse_args(argv)
+    num_keys = 1 << 10 if args.smoke else NUM_KEYS
+    num_chunks = 64 if args.smoke else INGEST_CHUNKS
+    results = {"smoke": args.smoke}
 
     table = ResultTable(
-        title=f"Batched key derivation — {NUM_KEYS} sequential keys, height {TREE_HEIGHT}",
+        title=f"Batched key derivation — {num_keys} sequential keys, height {TREE_HEIGHT}",
         columns=["prg", "scalar total", "batch total", "per-key (batch)", "speedup"],
     )
     derivation_results = {}
     for prg in available_prgs():
         if prg == "aes":  # pure-python AES: minutes per run, not informative here
             continue
-        scalar, batch = measure_derivation(prg)
+        if args.smoke and prg != DEFAULT_PRG:
+            continue
+        scalar, batch = measure_derivation(prg, num_keys=num_keys)
         speedup = scalar.mean_seconds / batch.mean_seconds
         derivation_results[prg] = {
-            "num_keys": NUM_KEYS,
+            "num_keys": num_keys,
             "tree_height": TREE_HEIGHT,
             "scalar_seconds": scalar.mean_seconds,
             "batch_seconds": batch.mean_seconds,
@@ -176,17 +187,17 @@ def main() -> None:
             prg,
             format_duration(scalar.mean_seconds),
             format_duration(batch.mean_seconds),
-            format_duration(batch.mean_seconds / NUM_KEYS),
+            format_duration(batch.mean_seconds / num_keys),
             f"{speedup:.1f}x",
         )
     table.add_note("target: >= 5x for the default PRG")
     table.print()
     results["leaf_range_derivation"] = derivation_results
 
-    scalar_s, batch_s, num_records = measure_ingest()
+    scalar_s, batch_s, num_records = measure_ingest(num_chunks=num_chunks)
     speedup = scalar_s / batch_s
     ingest_table = ResultTable(
-        title=f"Bulk ingest — {INGEST_CHUNKS} chunks x {POINTS_PER_CHUNK} points, height {TREE_HEIGHT}",
+        title=f"Bulk ingest — {num_chunks} chunks x {POINTS_PER_CHUNK} points, height {TREE_HEIGHT}",
         columns=["path", "total", "records/s", "speedup"],
     )
     ingest_table.add_row("per-record (scalar)", format_duration(scalar_s), f"{num_records / scalar_s:,.0f}", "1.0x")
@@ -194,7 +205,7 @@ def main() -> None:
     ingest_table.add_note("target: >= 2x via encrypt_chunks + insert_chunks + append_many")
     ingest_table.print()
     results["bulk_ingest"] = {
-        "chunks": INGEST_CHUNKS,
+        "chunks": num_chunks,
         "points_per_chunk": POINTS_PER_CHUNK,
         "records": num_records,
         "scalar_seconds": scalar_s,

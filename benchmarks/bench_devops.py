@@ -13,7 +13,6 @@ histogram bin counts above the 50 % boundary).
 
 from __future__ import annotations
 
-import pytest
 
 from repro import ServerEngine, TimeCrypt
 from repro.core.plaintext import PlaintextTimeSeriesStore

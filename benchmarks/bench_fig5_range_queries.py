@@ -14,7 +14,6 @@ from __future__ import annotations
 
 import pytest
 
-from conftest import scaled
 
 # Interval exponents: [0, 2^x] windows.  The paper sweeps x up to 26 with 100M
 # chunks; we sweep up to the size of the pre-ingested benchmark stream.

@@ -15,7 +15,6 @@ report the per-configuration run times.
 
 from __future__ import annotations
 
-import pytest
 
 from repro import ServerEngine, TimeCrypt
 from repro.core.plaintext import PlaintextTimeSeriesStore

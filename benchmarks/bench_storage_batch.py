@@ -1,0 +1,306 @@
+"""Storage batch round trips: multi_put/multi_get as real backend primitives.
+
+PR 1 made the cipher and index layers batch-friendly (one *logical* write
+per touched node); this benchmark tracks the storage half of that story —
+the write set of an ingest batch and the node cover of a range query must
+land in O(1) backend round trips per backend (one ``multi_put`` /
+``multi_get``, or one per healthy node on a cluster), not one round trip
+per key:
+
+1. **AppendLogStore ingest** — backend round trips per ingest batch must be
+   ≥ 5× lower through the batch pipeline than through per-key puts (the
+   pre-batching behaviour, reproduced by the :class:`PerKeyStore` wrapper).
+2. **StorageCluster ingest** — scatter-gather groups a write set by owning
+   replica: round trips per batch must be ≥ 5× lower than per-key puts.
+3. **Query fetch** — a cold-cache statistical range query costs exactly one
+   ``multi_get`` on a single backend (and at most one per node on a
+   cluster), however many index nodes the plan touches.
+
+Run as a script to print the tables and refresh ``BENCH_storage.json``:
+
+    PYTHONPATH=src python benchmarks/bench_storage_batch.py
+
+``--smoke`` shrinks the workload to a few seconds for CI smoke jobs (the
+round-trip ratios are deterministic, so the assertions still hold); the
+``BENCH_SCALE`` environment variable scales the full run.  The assertions
+also run under plain pytest: ``pytest benchmarks/bench_storage_batch.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro import ServerEngine, TimeCrypt
+from repro.bench.reporting import ResultTable, format_duration, write_json_report
+from repro.storage.cluster import StorageCluster
+from repro.storage.disk import AppendLogStore
+from repro.storage.kv import KeyValueStore
+from repro.timeseries.stream import StreamConfig
+
+from conftest import scaled
+
+#: Ingest workload: short chunks so per-chunk storage overhead dominates.
+INGEST_CHUNKS = scaled(512, minimum=64)
+POINTS_PER_CHUNK = 4
+CHUNK_INTERVAL_MS = 1_000
+#: Client-side ingest batch: chunks delivered per ``insert_records`` call.
+CHUNKS_PER_BATCH = 32
+TREE_HEIGHT = 30
+
+CLUSTER_NODES = 3
+REPLICATION_FACTOR = 2
+
+_DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_storage.json"
+
+
+class PerKeyStore(KeyValueStore):
+    """Degrades every batch op to the scalar per-key loop.
+
+    Wrapping a real backend in this reproduces the pre-batching round-trip
+    pattern (one backend call per key) against the *same* storage engine, so
+    the comparison isolates batching from everything else.
+    """
+
+    def __init__(self, inner: KeyValueStore) -> None:
+        self._inner = inner
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        return self._inner.get(key)
+
+    def put(self, key: bytes, value: bytes) -> None:
+        self._inner.put(key, value)
+
+    def delete(self, key: bytes) -> bool:
+        return self._inner.delete(key)
+
+    def scan_prefix(self, prefix: bytes) -> Iterator[Tuple[bytes, bytes]]:
+        return self._inner.scan_prefix(prefix)
+
+    def close(self) -> None:
+        self._inner.close()
+
+    # multi_get / multi_put / multi_delete deliberately NOT overridden: the
+    # KeyValueStore defaults loop over the scalar ops above.
+
+
+def _ingest_records(num_chunks: int):
+    step = CHUNK_INTERVAL_MS // POINTS_PER_CHUNK
+    return [
+        (t, float((t // step) % 100))
+        for t in range(0, num_chunks * CHUNK_INTERVAL_MS, step)
+    ]
+
+
+def _run_ingest(store: KeyValueStore, num_chunks: int) -> Tuple[float, int]:
+    """Ingest ``num_chunks`` chunks in batches; returns (seconds, num_batches)."""
+    server = ServerEngine(store=store)
+    owner = TimeCrypt(server=server, owner_id="bench")
+    config = StreamConfig(chunk_interval=CHUNK_INTERVAL_MS, key_tree_height=TREE_HEIGHT)
+    uuid = owner.create_stream(metric="storage-bench", config=config)
+    records = _ingest_records(num_chunks)
+    batch_records = CHUNKS_PER_BATCH * POINTS_PER_CHUNK
+    num_batches = 0
+    begin = time.perf_counter()
+    for offset in range(0, len(records), batch_records):
+        owner.insert_records(uuid, records[offset : offset + batch_records])
+        num_batches += 1
+    owner.flush(uuid)
+    elapsed = time.perf_counter() - begin
+    return elapsed, num_batches
+
+
+def _appendlog_round_trips(tmp: Path, num_chunks: int, per_key: bool) -> Dict[str, float]:
+    suffix = "perkey" if per_key else "batch"
+    inner = AppendLogStore(tmp / f"store-{suffix}.log")
+    store: KeyValueStore = PerKeyStore(inner) if per_key else inner
+    seconds, num_batches = _run_ingest(store, num_chunks)
+    stats = inner.stats
+    round_trips = stats.write_round_trips
+    store.close()
+    return {
+        "seconds": seconds,
+        "write_round_trips": round_trips,
+        "round_trips_per_batch": round_trips / num_batches,
+        "num_batches": num_batches,
+    }
+
+
+def _cluster_round_trips(num_chunks: int, per_key: bool) -> Dict[str, float]:
+    cluster = StorageCluster(num_nodes=CLUSTER_NODES, replication_factor=REPLICATION_FACTOR)
+    store: KeyValueStore = PerKeyStore(cluster) if per_key else cluster
+    seconds, num_batches = _run_ingest(store, num_chunks)
+    round_trips = sum(
+        cluster.node_store(name).stats.write_round_trips for name in cluster.node_names
+    )
+    return {
+        "seconds": seconds,
+        "write_round_trips": round_trips,
+        "round_trips_per_batch": round_trips / num_batches,
+        "num_batches": num_batches,
+    }
+
+
+def _query_fetch_round_trips(num_chunks: int) -> Dict[str, float]:
+    """Cold-cache query: plan nodes fetched per backend round trip."""
+    cluster = StorageCluster(num_nodes=CLUSTER_NODES, replication_factor=REPLICATION_FACTOR)
+    server = ServerEngine(store=cluster)
+    owner = TimeCrypt(server=server, owner_id="bench")
+    config = StreamConfig(chunk_interval=CHUNK_INTERVAL_MS, key_tree_height=TREE_HEIGHT)
+    uuid = owner.create_stream(metric="query-bench", config=config)
+    owner.insert_records(uuid, _ingest_records(num_chunks))
+    owner.flush(uuid)
+    # A fresh engine over the same storage starts with a cold node cache, so
+    # the query's whole node cover must come from the backend.
+    cold_server = ServerEngine(store=cluster)
+    for name in cluster.node_names:
+        cluster.node_store(name).stats.reset()
+    result = cold_server.stat_range_windows(uuid, 1, num_chunks)
+    per_node_gets = {
+        name: cluster.node_store(name).stats.multi_gets for name in cluster.node_names
+    }
+    return {
+        "plan_nodes": result.num_index_nodes,
+        "index_store_round_trips": cold_server.query_stats.index_store_round_trips,
+        "max_multi_gets_per_node": max(per_node_gets.values()),
+        "total_node_round_trips": sum(per_node_gets.values()),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Assertions (collected by pytest, reused by the script)
+# ---------------------------------------------------------------------------
+
+
+def test_appendlog_batch_round_trips(tmp_path):
+    """AppendLogStore: ≥5× fewer backend round trips per ingest batch than per-key puts."""
+    num_chunks = min(INGEST_CHUNKS, 128)
+    batch = _appendlog_round_trips(tmp_path, num_chunks, per_key=False)
+    per_key = _appendlog_round_trips(tmp_path, num_chunks, per_key=True)
+    reduction = per_key["round_trips_per_batch"] / batch["round_trips_per_batch"]
+    assert reduction >= 5.0, (
+        f"round-trip reduction {reduction:.1f}x below the 5x target "
+        f"(per-key {per_key['round_trips_per_batch']:.1f}, batch "
+        f"{batch['round_trips_per_batch']:.1f} per ingest batch)"
+    )
+
+
+def test_cluster_batch_round_trips():
+    """StorageCluster: scatter-gather beats per-key replicated puts by ≥5×."""
+    num_chunks = min(INGEST_CHUNKS, 128)
+    batch = _cluster_round_trips(num_chunks, per_key=False)
+    per_key = _cluster_round_trips(num_chunks, per_key=True)
+    reduction = per_key["round_trips_per_batch"] / batch["round_trips_per_batch"]
+    assert reduction >= 5.0, (
+        f"cluster round-trip reduction {reduction:.1f}x below the 5x target"
+    )
+
+
+def test_query_fetch_is_one_round_trip_per_node():
+    """A cold-cache range query costs ≤1 multi_get per cluster node."""
+    fetch = _query_fetch_round_trips(min(INGEST_CHUNKS, 128))
+    assert fetch["plan_nodes"] > 1
+    assert fetch["index_store_round_trips"] == 1
+    assert fetch["max_multi_gets_per_node"] <= 1
+
+
+# ---------------------------------------------------------------------------
+# Script entry point: tables + BENCH_storage.json baseline
+# ---------------------------------------------------------------------------
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="reduced-iteration CI mode: tiny workload, same assertions",
+    )
+    parser.add_argument(
+        "--output",
+        default=os.environ.get("BENCH_OUTPUT", str(_DEFAULT_OUTPUT)),
+        help="path of the JSON baseline to write",
+    )
+    args = parser.parse_args(argv)
+    num_chunks = 64 if args.smoke else INGEST_CHUNKS
+
+    results: Dict[str, object] = {"smoke": args.smoke}
+
+    with tempfile.TemporaryDirectory() as tmp:
+        log_batch = _appendlog_round_trips(Path(tmp), num_chunks, per_key=False)
+        log_per_key = _appendlog_round_trips(Path(tmp), num_chunks, per_key=True)
+    log_reduction = log_per_key["round_trips_per_batch"] / log_batch["round_trips_per_batch"]
+
+    cluster_batch = _cluster_round_trips(num_chunks, per_key=False)
+    cluster_per_key = _cluster_round_trips(num_chunks, per_key=True)
+    cluster_reduction = (
+        cluster_per_key["round_trips_per_batch"] / cluster_batch["round_trips_per_batch"]
+    )
+
+    table = ResultTable(
+        title=(
+            f"Ingest write round trips — {num_chunks} chunks, "
+            f"{CHUNKS_PER_BATCH} chunks/batch"
+        ),
+        columns=["backend", "path", "round trips/batch", "total", "wall clock"],
+    )
+    for backend, rows in (
+        ("AppendLogStore", (("per-key puts", log_per_key), ("multi_put", log_batch))),
+        (
+            f"StorageCluster {CLUSTER_NODES}x rf={REPLICATION_FACTOR}",
+            (("per-key puts", cluster_per_key), ("multi_put", cluster_batch)),
+        ),
+    ):
+        for path_name, row in rows:
+            table.add_row(
+                backend,
+                path_name,
+                f"{row['round_trips_per_batch']:.1f}",
+                f"{row['write_round_trips']:.0f}",
+                format_duration(row["seconds"]),
+            )
+    table.add_note(
+        f"reduction: {log_reduction:.1f}x (append log), {cluster_reduction:.1f}x (cluster); "
+        "target >= 5x"
+    )
+    table.print()
+
+    fetch = _query_fetch_round_trips(num_chunks)
+    query_table = ResultTable(
+        title="Cold-cache range query fetch",
+        columns=["plan nodes", "multi_gets (engine)", "max per node"],
+    )
+    query_table.add_row(
+        f"{fetch['plan_nodes']:.0f}",
+        f"{fetch['index_store_round_trips']:.0f}",
+        f"{fetch['max_multi_gets_per_node']:.0f}",
+    )
+    query_table.add_note("target: one multi_get per query per cluster node")
+    query_table.print()
+
+    results["appendlog_ingest"] = {
+        "chunks": num_chunks,
+        "chunks_per_batch": CHUNKS_PER_BATCH,
+        "per_key": log_per_key,
+        "batch": log_batch,
+        "round_trip_reduction": round(log_reduction, 2),
+    }
+    results["cluster_ingest"] = {
+        "chunks": num_chunks,
+        "nodes": CLUSTER_NODES,
+        "replication_factor": REPLICATION_FACTOR,
+        "per_key": cluster_per_key,
+        "batch": cluster_batch,
+        "round_trip_reduction": round(cluster_reduction, 2),
+    }
+    results["query_fetch"] = fetch
+
+    print(f"baseline written to {write_json_report(args.output, results)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -14,7 +14,6 @@ from typing import Dict, Iterator, List, Optional, Tuple
 from repro.exceptions import AccessDeniedError
 from repro.storage.kv import KeyValueStore
 from repro.storage.memory import MemoryStore
-from repro.util.encoding import decode_varint, encode_varint
 
 
 def _grant_key(stream_uuid: str, principal_id: str, grant_id: int) -> bytes:

@@ -18,7 +18,7 @@ aggregates (and coarser multiples), never anything finer.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.crypto.gcm import aead_decrypt, aead_encrypt
 from repro.crypto.heac import Keystream

@@ -11,7 +11,7 @@ from __future__ import annotations
 import gc
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional
+from typing import Callable, Dict, List
 
 
 @dataclass(frozen=True)

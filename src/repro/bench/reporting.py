@@ -13,7 +13,7 @@ import os
 import platform
 import sys
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 
 def format_duration(seconds: float) -> str:

@@ -24,10 +24,9 @@ from typing import Dict, List, Optional, Sequence
 from repro.access.resolution import ResolutionConsumerKeystream, ResolutionShare
 from repro.access.tokens import AccessToken
 from repro.crypto.gcm import aead_decrypt
-from repro.crypto.heac import HEACCipher, Keystream, MODULUS, key_to_int
+from repro.crypto.heac import HEACCipher, Keystream, MODULUS
 from repro.crypto.keytree import DerivedKeystream
-from repro.crypto.prf import kdf
-from repro.exceptions import AccessDeniedError, DecryptionError, QueryError
+from repro.exceptions import AccessDeniedError, QueryError
 from repro.server.query_executor import MultiStreamAggregate, StatQueryResult
 from repro.timeseries.compression import get_codec
 from repro.timeseries.digest import Digest, DigestConfig

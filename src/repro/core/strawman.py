@@ -18,10 +18,10 @@ helpers as well.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from repro.crypto.ecelgamal import ECElGamal, ECElGamalCiphertext
-from repro.crypto.paillier import PaillierPrivateKey, PaillierPublicKey, generate_keypair
+from repro.crypto.paillier import PaillierPublicKey, generate_keypair
 from repro.exceptions import ConfigurationError, QueryError, StreamExistsError, StreamNotFoundError
 from repro.index.cache import NodeCache
 from repro.index.node import DigestCombiner
@@ -33,7 +33,6 @@ from repro.timeseries.digest import Digest
 from repro.timeseries.point import DataPoint, encode_value
 from repro.timeseries.stream import StreamConfig, StreamMetadata
 from repro.util.encoding import decode_varint, encode_varint
-from repro.util.timeutil import TimeRange
 
 #: Default Paillier modulus size for benchmarks.  The paper uses 3072-bit keys
 #: (128-bit security); key generation and exponentiation at that size are very

@@ -35,11 +35,11 @@ from repro.access.principal import IdentityProvider, Principal
 from repro.access.tokens import AccessToken
 from repro.client.keymanager import OwnerKeyManager
 from repro.crypto.prf import resolve_prg
-from repro.client.reader import ConsumerReader, DecryptedStatistics
+from repro.client.reader import ConsumerReader
 from repro.client.writer import StreamWriter
 from repro.exceptions import AccessDeniedError, StreamNotFoundError
 from repro.server.engine import ServerEngine
-from repro.server.query_executor import MultiStreamAggregate, StatQueryResult
+from repro.server.query_executor import MultiStreamAggregate
 from repro.timeseries.point import DataPoint, encode_value
 from repro.timeseries.stream import StreamConfig, StreamMetadata
 from repro.util.timeutil import TimeRange

@@ -35,7 +35,7 @@ result is bit-identical to per-leaf derivation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Sequence, Tuple
 
 from repro.crypto.prf import DEFAULT_PRG, PRG, SEED_BYTES, get_prg
 from repro.exceptions import KeyDerivationError

@@ -11,7 +11,7 @@ greedily from the largest aligned blocks downward.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import Callable, List, Tuple
 
 from repro.exceptions import QueryError
 
@@ -41,6 +41,16 @@ class RangePlan:
     @property
     def levels_touched(self) -> Tuple[int, ...]:
         return tuple(sorted({node.level for node in self.nodes}))
+
+    def storage_keys(self, key_for: Callable[[int, int], bytes]) -> List[bytes]:
+        """The backend keys of every node in the plan, in cover order.
+
+        ``key_for`` maps ``(level, position)`` to a storage key; the executor
+        fetches the whole list with one ``multi_get`` instead of one ``get``
+        per node, which is what makes a range query cost O(node groups per
+        backend) round trips rather than O(nodes).
+        """
+        return [key_for(node.level, node.position) for node in self.nodes]
 
 
 def _block_size(fanout: int, level: int) -> int:

@@ -30,6 +30,12 @@ window-count meta record is written once per batch.  Store writes drop from
 ``n = fanout`` that is ~2 writes per leaf instead of ``levels + 2``.  The
 final stored bytes are identical to ``n`` scalar appends (intermediate spine
 states are simply never materialised).
+
+Beyond writing each node once, the whole batch (touched nodes + the meta
+record + any caller-coalesced extra records, e.g. the chunk payloads of a
+bulk ingest) lands in **one** ``multi_put`` round trip against the backend,
+and a range query fetches every plan node missing from the cache with one
+``multi_get`` — the storage-side half of the batching story.
 """
 
 from __future__ import annotations
@@ -90,6 +96,10 @@ class AggregationIndex(Generic[Cell]):
         # cache (NodeCache defines __len__), so compare against None explicitly.
         self._cache = cache if cache is not None else NodeCache()
         self._pruned_watermarks: Dict[int, int] = {}
+        #: Cumulative count of batched store round trips (multi_get/multi_put/
+        #: multi_delete) issued by this index; the engine diffs it around a
+        #: query to report fetch round trips per query.
+        self.store_batch_ops = 0
         self._num_windows = self._load_meta()
 
     # -- properties -------------------------------------------------------------
@@ -137,45 +147,80 @@ class AggregationIndex(Generic[Cell]):
                 self._pruned_watermarks[level] = watermark
         return count
 
-    def _save_meta(self) -> None:
+    def _meta_blob(self) -> bytes:
         blob = encode_varint(self._num_windows)
         if self._pruned_watermarks:
             blob += encode_varint(len(self._pruned_watermarks))
             for level in sorted(self._pruned_watermarks):
                 blob += encode_varint(level) + encode_varint(self._pruned_watermarks[level])
-        self._store.put(self._meta_key(), blob)
+        return blob
+
+    def _save_meta(self) -> None:
+        self._store.put(self._meta_key(), self._meta_blob())
 
     def _node_key(self, level: int, position: int) -> bytes:
         return index_node_storage_key(self._stream_uuid, level, position)
 
-    def _store_node(self, node: IndexNode) -> None:
-        blob = (
+    def _encode_node(self, node: IndexNode) -> bytes:
+        return (
             encode_varint(node.window_start)
             + encode_varint(node.window_end)
             + self._encode_cells(node.cells)
         )
-        self._store.put(self._node_key(node.level, node.position), blob)
-        self._cache.put((self._stream_uuid, node.level, node.position), node)
+
+    def _buffer_node(self, batch: Dict[bytes, bytes], staged: List[IndexNode], node: IndexNode) -> None:
+        """Stage a node into the batch write set (cached only after the flush succeeds)."""
+        batch[self._node_key(node.level, node.position)] = self._encode_node(node)
+        staged.append(node)
+
+    def _decode_node(self, level: int, position: int, blob: bytes) -> IndexNode:
+        window_start, pos = decode_varint(blob, 0)
+        window_end, pos = decode_varint(blob, pos)
+        cells = self._decode_cells(blob[pos:])
+        return IndexNode(
+            level=level,
+            position=position,
+            window_start=window_start,
+            window_end=window_end,
+            cells=tuple(cells),
+        )
 
     def _load_node(self, level: int, position: int) -> Optional[IndexNode]:
         cache_key = (self._stream_uuid, level, position)
 
         def loader() -> Optional[IndexNode]:
             blob = self._store.get(self._node_key(level, position))
-            if blob is None:
-                return None
-            window_start, pos = decode_varint(blob, 0)
-            window_end, pos = decode_varint(blob, pos)
-            cells = self._decode_cells(blob[pos:])
-            return IndexNode(
-                level=level,
-                position=position,
-                window_start=window_start,
-                window_end=window_end,
-                cells=tuple(cells),
-            )
+            return self._decode_node(level, position, blob) if blob is not None else None
 
         return self._cache.get_or_load(cache_key, loader)
+
+    def _load_plan_nodes(self, plan: RangePlan) -> Dict[tuple, Optional[IndexNode]]:
+        """Load a query plan's node cover, batching cache misses.
+
+        Every node missing from the cache is fetched with one ``multi_get``
+        against the backend (zero round trips when the cache already holds
+        the whole cover), and the fetched nodes are cached.
+        """
+        nodes: Dict[tuple, Optional[IndexNode]] = {}
+        missing: List[tuple] = []
+        for ref, key in zip(plan.nodes, plan.storage_keys(self._node_key)):
+            coordinates = (ref.level, ref.position)
+            cached = self._cache.get((self._stream_uuid, ref.level, ref.position))
+            if cached is not None:
+                nodes[coordinates] = cached
+            elif coordinates not in nodes:
+                missing.append((coordinates, key))
+                nodes[coordinates] = None
+        if missing:
+            blobs = self._store.multi_get([key for _, key in missing])
+            self.store_batch_ops += 1
+            for (level, position), key in missing:
+                blob = blobs.get(key)
+                if blob is not None:
+                    node = self._decode_node(level, position, blob)
+                    self._cache.put((self._stream_uuid, level, position), node)
+                    nodes[(level, position)] = node
+        return nodes
 
     # -- ingest -------------------------------------------------------------------
 
@@ -187,7 +232,11 @@ class AggregationIndex(Generic[Cell]):
         """
         return self.append_many([cells])
 
-    def append_many(self, cell_vectors: Sequence[Sequence[Cell]]) -> int:
+    def append_many(
+        self,
+        cell_vectors: Sequence[Sequence[Cell]],
+        extra_puts: Optional[Sequence[tuple]] = None,
+    ) -> int:
         """Append ``n`` consecutive chunk digests in one pass; returns the first index.
 
         Per level, the new leaves are folded into each touched spine node in
@@ -195,6 +244,11 @@ class AggregationIndex(Generic[Cell]):
         appended leaf; the window-count meta record is also written once.  The
         stored bytes after the batch are identical to ``n`` scalar appends
         (see the module docstring for the write-count arithmetic).
+
+        The whole write set — every touched node, the meta record, and any
+        ``extra_puts`` (``(key, value)`` pairs the caller wants coalesced
+        into the same backend round trip, e.g. the encrypted chunk payloads
+        of a bulk ingest) — is flushed with a single ``multi_put``.
 
         Leaves arrive strictly in window order, so the first leaf of any
         ancestor block is always the block's left-most ingested window;
@@ -204,23 +258,29 @@ class AggregationIndex(Generic[Cell]):
         batch introduces.
         """
         if not cell_vectors:
+            if extra_puts:
+                self._store.multi_put(list(extra_puts))
+                self.store_batch_ops += 1
             return self._num_windows
+        batch: Dict[bytes, bytes] = dict(extra_puts or ())
+        staged: List[IndexNode] = []
         start = self._num_windows
         leaf_cells: List[tuple] = []
         for offset, cells in enumerate(cell_vectors):
             window_index = start + offset
             leaf_cells.append(tuple(cells))
-            self._store_node(
+            self._buffer_node(
+                batch,
+                staged,
                 IndexNode(
                     level=0,
                     position=window_index,
                     window_start=window_index,
                     window_end=window_index + 1,
                     cells=leaf_cells[-1],
-                )
+                ),
             )
         end = start + len(leaf_cells)
-        self._num_windows = end
         for level in range(1, self._max_level + 1):
             block = self._fanout ** level
             for position in range(start // block, (end - 1) // block + 1):
@@ -243,22 +303,43 @@ class AggregationIndex(Generic[Cell]):
                     cells = self._combiner.combine_vectors(
                         cells, leaf_cells[window_index - start]
                     )
-                self._store_node(
+                self._buffer_node(
+                    batch,
+                    staged,
                     IndexNode(
                         level=level,
                         position=position,
                         window_start=window_start,
                         window_end=block_end,
                         cells=tuple(cells),
-                    )
+                    ),
                 )
-        self._save_meta()
+        # Flush before mutating any in-memory state: if the backend rejects
+        # the batch, the index head and cache still match storage and the
+        # caller can retry the same batch.
+        self._num_windows = end
+        try:
+            batch[self._meta_key()] = self._meta_blob()
+            self._store.multi_put(list(batch.items()))
+        except BaseException:
+            self._num_windows = start
+            raise
+        self.store_batch_ops += 1
+        for node in staged:
+            self._cache.put((self._stream_uuid, node.level, node.position), node)
         return start
 
     # -- queries ---------------------------------------------------------------------
 
-    def query_range(self, window_start: int, window_end: int) -> List[Cell]:
-        """Aggregate digest cells over the window interval ``[start, end)``."""
+    def query_range(
+        self, window_start: int, window_end: int, plan: Optional[RangePlan] = None
+    ) -> List[Cell]:
+        """Aggregate digest cells over the window interval ``[start, end)``.
+
+        A caller that already computed the cover (the engine does, for its
+        query statistics) passes it as ``plan`` so the greedy cover walk runs
+        once per query, not twice.
+        """
         if window_end <= window_start:
             raise QueryError(f"empty window range [{window_start}, {window_end})")
         if window_start < 0 or window_end > self._num_windows:
@@ -266,10 +347,17 @@ class AggregationIndex(Generic[Cell]):
                 f"window range [{window_start}, {window_end}) outside ingested "
                 f"range [0, {self._num_windows})"
             )
-        plan = self.plan(window_start, window_end)
+        if plan is None:
+            plan = self.plan(window_start, window_end)
+        elif plan.window_start != window_start or plan.window_end != window_end:
+            raise QueryError(
+                f"plan covers [{plan.window_start}, {plan.window_end}), query "
+                f"asked for [{window_start}, {window_end})"
+            )
+        loaded = self._load_plan_nodes(plan)
         total: Optional[List[Cell]] = None
         for ref in plan.nodes:
-            node = self._load_node(ref.level, ref.position)
+            node = loaded[(ref.level, ref.position)]
             if node is None:
                 raise IndexError_(
                     f"missing index node level={ref.level} position={ref.position}"
@@ -315,19 +403,26 @@ class AggregationIndex(Generic[Cell]):
         # Clamp to the ingested head: advancing the watermark past windows
         # that do not exist yet would make them unprunable once ingested.
         before_window = min(before_window, self._num_windows)
-        deleted = 0
+        doomed: List[tuple] = []
         watermarks_moved = False
         for target_level in range(0, min(level, self._max_level + 1)):
             block = self._fanout ** target_level
             full_blocks = before_window // block
             start_position = self._pruned_watermarks.get(target_level, 0)
-            for position in range(start_position, full_blocks):
-                if self._store.delete(self._node_key(target_level, position)):
-                    self._cache.invalidate((self._stream_uuid, target_level, position))
-                    deleted += 1
+            doomed.extend((target_level, position) for position in range(start_position, full_blocks))
             if full_blocks > start_position:
                 self._pruned_watermarks[target_level] = full_blocks
                 watermarks_moved = True
+        deleted = 0
+        if doomed:
+            # All levels' prunable nodes go in one multi_delete round trip.
+            existed = self._store.multi_delete(
+                [self._node_key(target_level, position) for target_level, position in doomed]
+            )
+            self.store_batch_ops += 1
+            deleted = len(existed)
+            for target_level, position in doomed:
+                self._cache.invalidate((self._stream_uuid, target_level, position))
         if watermarks_moved:
             self._save_meta()
         return deleted

@@ -11,9 +11,8 @@ from __future__ import annotations
 
 import socket
 import threading
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
-from repro.access.keystore import TokenStore
 from repro.crypto.heac import HEACCiphertext
 from repro.exceptions import ProtocolError, TimeCryptError, TransportError
 from repro.net.framing import read_frame, write_frame

@@ -9,8 +9,6 @@ in-process transport and the tests reuse directly.
 
 from __future__ import annotations
 
-import json
-import socket
 import socketserver
 import threading
 from typing import Dict, List, Optional, Tuple

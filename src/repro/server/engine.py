@@ -23,7 +23,6 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.access.keystore import TokenStore
-from repro.crypto.heac import HEACCiphertext
 from repro.exceptions import (
     QueryError,
     StreamExistsError,
@@ -176,13 +175,14 @@ class ServerEngine:
     def delete_stream(self, stream_uuid: str) -> None:
         """Drop a stream with all chunks, index nodes, grants and envelopes."""
         state = self._state(stream_uuid)
+        doomed: List[bytes] = []
         for prefix in (
             f"chunk/{stream_uuid}/".encode("ascii"),
             f"index/{stream_uuid}/".encode("ascii"),
         ):
-            for key in self.store.keys_with_prefix(prefix):
-                self.store.delete(key)
-        self.store.delete(metadata_storage_key(stream_uuid))
+            doomed.extend(self.store.keys_with_prefix(prefix))
+        doomed.append(metadata_storage_key(stream_uuid))
+        self.store.multi_delete(doomed)
         self.token_store.delete_grants(stream_uuid)
         state.index.cache.clear()
         del self._streams[stream_uuid]
@@ -245,12 +245,15 @@ class ServerEngine:
                     f"chunk for window {chunk.window_index} arrived, expected window "
                     f"{expected_window + offset} (ingest is in-order append-only)"
                 )
-        for chunk in chunks:
-            self.store.put(
-                chunk_storage_key(stream_uuid, chunk.window_index),
-                encode_encrypted_chunk(chunk),
-            )
-        state.index.append_many([list(chunk.digest) for chunk in chunks])
+        payload_puts = [
+            (chunk_storage_key(stream_uuid, chunk.window_index), encode_encrypted_chunk(chunk))
+            for chunk in chunks
+        ]
+        # One coalesced write set: chunk payloads + touched index nodes + the
+        # window-count record land in a single backend multi_put round trip.
+        state.index.append_many(
+            [list(chunk.digest) for chunk in chunks], extra_puts=payload_puts
+        )
         state.num_chunks += len(chunks)
         state.num_records += sum(chunk.num_points for chunk in chunks)
         return expected_window
@@ -262,14 +265,23 @@ class ServerEngine:
         return decode_encrypted_chunk(blob) if blob is not None else None
 
     def get_range(self, stream_uuid: str, time_range: TimeRange) -> List[EncryptedChunk]:
-        """Encrypted chunks overlapping ``time_range`` (GetRange)."""
+        """Encrypted chunks overlapping ``time_range`` (GetRange).
+
+        All payload keys in the window interval are fetched with one
+        ``multi_get`` round trip (one per cluster node on a clustered store).
+        """
         state = self._state(stream_uuid)
         window_start, window_end = self._clip_windows(state, time_range)
+        keys = [
+            chunk_storage_key(stream_uuid, window_index)
+            for window_index in range(window_start, window_end)
+        ]
         chunks: List[EncryptedChunk] = []
-        for window_index in range(window_start, window_end):
-            chunk = self.get_chunk(stream_uuid, window_index)
-            if chunk is not None:
-                chunks.append(chunk)
+        if keys:
+            blobs = self.store.multi_get(keys)
+            chunks = [
+                decode_encrypted_chunk(blobs[key]) for key in keys if blobs.get(key) is not None
+            ]
         self.query_stats.record_range_read(len(chunks))
         return chunks
 
@@ -277,11 +289,11 @@ class ServerEngine:
         """Delete raw chunk payloads in a range while keeping digests (DeleteRange)."""
         state = self._state(stream_uuid)
         window_start, window_end = self._clip_windows(state, time_range)
-        deleted = 0
-        for window_index in range(window_start, window_end):
-            if self.store.delete(chunk_storage_key(stream_uuid, window_index)):
-                deleted += 1
-        return deleted
+        keys = [
+            chunk_storage_key(stream_uuid, window_index)
+            for window_index in range(window_start, window_end)
+        ]
+        return len(self.store.multi_delete(keys)) if keys else 0
 
     # -- statistical queries ---------------------------------------------------------------
 
@@ -293,8 +305,11 @@ class ServerEngine:
         if window_end <= window_start:
             raise QueryError(f"empty window range [{window_start}, {window_end})")
         plan = state.index.plan(window_start, window_end)
-        cells = state.index.query_range(window_start, window_end)
-        self.query_stats.record_stat_query(plan.num_nodes)
+        batch_ops_before = state.index.store_batch_ops
+        cells = state.index.query_range(window_start, window_end, plan=plan)
+        self.query_stats.record_stat_query(
+            plan.num_nodes, store_round_trips=state.index.store_batch_ops - batch_ops_before
+        )
         return StatQueryResult(
             stream_uuid=stream_uuid,
             window_start=window_start,
@@ -362,10 +377,11 @@ class ServerEngine:
             before_window = min(
                 head_windows, max(0, (before_time - config.start_time) // config.chunk_interval)
             )
-        deleted = 0
-        for window_index in range(state.payload_rollup_watermark, before_window):
-            if self.store.delete(chunk_storage_key(stream_uuid, window_index)):
-                deleted += 1
+        payload_keys = [
+            chunk_storage_key(stream_uuid, window_index)
+            for window_index in range(state.payload_rollup_watermark, before_window)
+        ]
+        deleted = len(self.store.multi_delete(payload_keys)) if payload_keys else 0
         state.payload_rollup_watermark = max(state.payload_rollup_watermark, before_window)
         # Prune index levels finer than the retained resolution.
         level = 0

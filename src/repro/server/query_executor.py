@@ -17,7 +17,7 @@ Two result shapes exist:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Sequence, Tuple
 
 from repro.crypto.heac import HEACCiphertext, MODULUS
 from repro.exceptions import QueryError
@@ -82,15 +82,24 @@ class MultiStreamAggregate:
 
 @dataclass
 class QueryStatistics:
-    """Server-side counters describing query execution (used by benchmarks)."""
+    """Server-side counters describing query execution (used by benchmarks).
+
+    ``index_nodes_read`` counts plan nodes (the paper's O(log n) bound);
+    ``index_store_round_trips`` counts batched backend fetches those nodes
+    cost — at most one ``multi_get`` per query against a single-backend
+    store (zero when the node cache holds the whole cover), regardless of
+    how many nodes the plan touches.
+    """
 
     queries: int = 0
     index_nodes_read: int = 0
+    index_store_round_trips: int = 0
     chunks_read: int = 0
 
-    def record_stat_query(self, num_nodes: int) -> None:
+    def record_stat_query(self, num_nodes: int, store_round_trips: int = 0) -> None:
         self.queries += 1
         self.index_nodes_read += num_nodes
+        self.index_store_round_trips += store_round_trips
 
     def record_range_read(self, num_chunks: int) -> None:
         self.queries += 1
@@ -99,4 +108,5 @@ class QueryStatistics:
     def reset(self) -> None:
         self.queries = 0
         self.index_nodes_read = 0
+        self.index_store_round_trips = 0
         self.chunks_read = 0

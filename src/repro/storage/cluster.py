@@ -9,16 +9,31 @@ exercise replica failover in tests.
 The cluster itself implements :class:`~repro.storage.kv.KeyValueStore`, so
 the server engine does not care whether it talks to a single in-memory store
 or a replicated cluster.
+
+Batch operations scatter-gather: ``multi_put``/``multi_get``/``multi_delete``
+group the keys by owning replica via the consistent-hash ring and issue one
+batched call per healthy node, so a write set of n keys over an N-node
+cluster costs at most N (typically ``replication_factor``-ish) backend round
+trips instead of n·RF.  A node whose local store raises mid-``multi_put``/
+``multi_get`` is marked down and its share of the batch is re-routed to the
+surviving replicas — the same mark-down state that ``mark_up`` +
+``repair_node`` later heal; ``multi_delete`` instead propagates node errors,
+because a missed tombstone cannot be repaired after the fact.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterator, List, Optional, Set, Tuple
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
-from repro.exceptions import PartitionError
+from repro.exceptions import PartitionError, StorageError
 from repro.storage.kv import KeyValueStore
 from repro.storage.memory import MemoryStore
 from repro.storage.partitioner import ConsistentHashRing
+
+#: Exceptions treated as a node outage by the scatter-gather batch ops.
+#: Deterministic caller errors (bad key/value types, logic bugs) propagate
+#: unchanged instead of marking nodes down — a TypeError is not an outage.
+_NODE_FAILURES = (OSError, StorageError)
 
 
 class StorageCluster(KeyValueStore):
@@ -69,6 +84,21 @@ class StorageCluster(KeyValueStore):
     def healthy_replicas(self, key: bytes) -> List[str]:
         return [node for node in self._ring.replicas(key, self._replication_factor) if node not in self._down]
 
+    def _group_by_replica(self, keys: Iterable[bytes]) -> Dict[str, List[bytes]]:
+        """Scatter phase: keys grouped by every healthy replica that owns them.
+
+        Raises :class:`~repro.exceptions.PartitionError` as soon as any key
+        has no healthy replica, matching the scalar ops.
+        """
+        groups: Dict[str, List[bytes]] = {}
+        for key in keys:
+            replicas = self.healthy_replicas(key)
+            if not replicas:
+                raise PartitionError(f"no healthy replica for key {key!r}")
+            for node in replicas:
+                groups.setdefault(node, []).append(key)
+        return groups
+
     # -- KeyValueStore interface -------------------------------------------------
 
     def get(self, key: bytes) -> Optional[bytes]:
@@ -97,6 +127,94 @@ class StorageCluster(KeyValueStore):
             existed = self._stores[node].delete(key) or existed
         return existed
 
+    # -- batch primitives (scatter-gather) ----------------------------------------
+
+    def multi_put(self, items: Iterable[Tuple[bytes, bytes]]) -> None:
+        """Group the write set by owning replica; one ``multi_put`` per node.
+
+        A node whose store raises is marked down; keys that reached no
+        replica at all are re-routed to the survivors (the ring re-grouping
+        excludes downed nodes).  Keys acked by at least one replica but
+        under-replicated because of the failure are left for ``repair_node``,
+        matching the state a scalar-write outage leaves behind.
+        """
+        pending: Dict[bytes, bytes] = {key: value for key, value in items}
+        while pending:
+            groups = self._group_by_replica(pending)
+            acked: Set[bytes] = set()
+            any_failure = False
+            for node, keys in groups.items():
+                try:
+                    self._stores[node].multi_put([(key, pending[key]) for key in keys])
+                except PartitionError:
+                    raise
+                except _NODE_FAILURES:
+                    self.mark_down(node)
+                    any_failure = True
+                else:
+                    acked.update(keys)
+            if not any_failure:
+                return
+            pending = {key: value for key, value in pending.items() if key not in acked}
+
+    def multi_get(self, keys: Iterable[bytes]) -> Dict[bytes, Optional[bytes]]:
+        """Group reads by first healthy replica; one ``multi_get`` per node.
+
+        Keys a node reports missing fall back to their next replica (batched
+        with that node's other keys on the following round); a node that
+        raises is marked down and its keys are re-routed.  A key resolves to
+        ``None`` only once every healthy replica has denied it, and raises
+        :class:`~repro.exceptions.PartitionError` when no healthy replica
+        remains — both matching the scalar read path.
+        """
+        materialized = list(keys)
+        result: Dict[bytes, Optional[bytes]] = {key: None for key in materialized}
+        tried: Dict[bytes, Set[str]] = {key: set() for key in result}
+        unresolved: Set[bytes] = set(result)
+        while unresolved:
+            groups: Dict[str, List[bytes]] = {}
+            for key in list(unresolved):
+                replicas = self.healthy_replicas(key)
+                if not replicas:
+                    raise PartitionError(f"no healthy replica for key {key!r}")
+                untried = [node for node in replicas if node not in tried[key]]
+                if not untried:
+                    unresolved.discard(key)  # absent on every healthy replica
+                    continue
+                groups.setdefault(untried[0], []).append(key)
+            for node, node_keys in groups.items():
+                try:
+                    found = self._stores[node].multi_get(node_keys)
+                except PartitionError:
+                    raise
+                except _NODE_FAILURES:
+                    self.mark_down(node)
+                    continue
+                for key in node_keys:
+                    tried[key].add(node)
+                    value = found.get(key)
+                    if value is not None:
+                        result[key] = value
+                        unresolved.discard(key)
+        return result
+
+    def multi_delete(self, keys: Iterable[bytes]) -> Set[bytes]:
+        """Group deletes by owning replica; one ``multi_delete`` per node.
+
+        Unlike ``multi_put``, a node failure here propagates to the caller
+        (matching the scalar ``delete``): the mark-down/repair machinery can
+        backfill a missed *write*, but it cannot propagate a missed
+        tombstone — ``repair_node`` would resurrect the key instead.  The
+        caller must know the delete did not fully land so it can retry.
+        """
+        materialized = set(keys)
+        if not materialized:
+            return set()
+        existed: Set[bytes] = set()
+        for node, node_keys in self._group_by_replica(materialized).items():
+            existed.update(self._stores[node].multi_delete(node_keys))
+        return existed
+
     def scan_prefix(self, prefix: bytes) -> Iterator[Tuple[bytes, bytes]]:
         """Merge prefix scans across nodes, deduplicating replicated keys."""
         seen: Set[bytes] = set()
@@ -123,13 +241,15 @@ class StorageCluster(KeyValueStore):
         """Copy any keys a recovered node is missing from its peers; returns count."""
         if name not in self._stores:
             raise ValueError(f"unknown node '{name}'")
-        repaired = 0
         target = self._stores[name]
-        for key, value in self.scan_prefix(b""):
-            if name in self._ring.replicas(key, self._replication_factor) and target.get(key) is None:
-                target.put(key, value)
-                repaired += 1
-        return repaired
+        missing = [
+            (key, value)
+            for key, value in self.scan_prefix(b"")
+            if name in self._ring.replicas(key, self._replication_factor) and target.get(key) is None
+        ]
+        if missing:
+            target.multi_put(missing)
+        return len(missing)
 
     def close(self) -> None:
         for store in self._stores.values():

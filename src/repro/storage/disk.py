@@ -6,6 +6,13 @@ their latest log offset, and ``compact()`` rewrites the log dropping stale
 versions and tombstones — a single-level, miniature LSM design that captures
 the write path (sequential appends) and read path (index lookup + one random
 read) of a log-structured store.
+
+Batch operations are real primitives here, not loops: ``multi_put`` packs
+the whole batch into one buffer and lands it with a single append + flush
+(+ one ``fsync`` when the store was opened with ``sync=True``), and
+``multi_get`` resolves every key against the offset index up front and reads
+the values in one offset-ordered file pass, so a batch costs one sequential
+sweep instead of one random seek per key.
 """
 
 from __future__ import annotations
@@ -13,10 +20,11 @@ from __future__ import annotations
 import os
 import struct
 from pathlib import Path
-from typing import Dict, Iterator, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.exceptions import StorageError
 from repro.storage.kv import KeyValueStore
+from repro.storage.memory import StoreStats
 
 _RECORD_HEADER = struct.Struct(">IIB")  # key length, value length, tombstone flag
 
@@ -24,11 +32,13 @@ _RECORD_HEADER = struct.Struct(">IIB")  # key length, value length, tombstone fl
 class AppendLogStore(KeyValueStore):
     """Log-structured persistent store with an in-memory key index."""
 
-    def __init__(self, path: str | os.PathLike) -> None:
+    def __init__(self, path: str | os.PathLike, sync: bool = False) -> None:
         self._path = Path(path)
         self._path.parent.mkdir(parents=True, exist_ok=True)
         self._index: Dict[bytes, Tuple[int, int]] = {}  # key -> (value offset, length)
+        self._sync = sync
         self._file = open(self._path, "a+b")
+        self.stats = StoreStats()
         self._rebuild_index()
 
     # -- recovery -------------------------------------------------------------
@@ -62,11 +72,8 @@ class AppendLogStore(KeyValueStore):
 
     # -- KeyValueStore interface -------------------------------------------------
 
-    def get(self, key: bytes) -> Optional[bytes]:
-        entry = self._index.get(key)
-        if entry is None:
-            return None
-        offset, length = entry
+    def _read_at(self, offset: int, length: int, key: bytes) -> bytes:
+        """Read one value from the log without touching the op counters."""
         position = self._file.tell()
         try:
             self._file.seek(offset)
@@ -77,24 +84,34 @@ class AppendLogStore(KeyValueStore):
             raise StorageError(f"truncated value for key {key!r}")
         return value
 
+    def get(self, key: bytes) -> Optional[bytes]:
+        self.stats.gets += 1
+        entry = self._index.get(key)
+        if entry is None:
+            return None
+        return self._read_at(entry[0], entry[1], key)
+
     def put(self, key: bytes, value: bytes) -> None:
-        self._append(key, value, tombstone=False)
-        offset = self._file.tell() - len(value)
-        self._index[key] = (offset, len(value))
+        record = _RECORD_HEADER.pack(len(key), len(value), 0) + key + value
+        end = self._append_blob(record)
+        self._index[key] = (end - len(value), len(value))
+        self.stats.puts += 1
 
     def delete(self, key: bytes) -> bool:
         existed = key in self._index
         if existed:
-            self._append(key, b"", tombstone=True)
+            self._append_blob(_RECORD_HEADER.pack(len(key), 0, 1) + key)
             self._index.pop(key, None)
+        self.stats.deletes += 1
         return existed
 
     def scan_prefix(self, prefix: bytes) -> Iterator[Tuple[bytes, bytes]]:
+        self.stats.scans += 1
         for key in sorted(self._index):
             if key.startswith(prefix):
-                value = self.get(key)
-                if value is not None:
-                    yield key, value
+                entry = self._index.get(key)
+                if entry is not None:
+                    yield key, self._read_at(entry[0], entry[1], key)
 
     def size_bytes(self) -> int:
         return sum(len(key) + length for key, (_offset, length) in self._index.items())
@@ -102,23 +119,92 @@ class AppendLogStore(KeyValueStore):
     def __len__(self) -> int:
         return len(self._index)
 
+    # -- batch primitives ---------------------------------------------------------
+
+    def multi_put(self, items: Iterable[Tuple[bytes, bytes]]) -> None:
+        """Append the whole batch as one buffered write + flush (+ one fsync)."""
+        materialized = list(items)
+        if not materialized:
+            return
+        chunks: List[bytes] = []
+        spans: List[Tuple[bytes, int, int]] = []  # key, offset within batch, length
+        cursor = 0
+        for key, value in materialized:
+            chunks.append(_RECORD_HEADER.pack(len(key), len(value), 0) + key + value)
+            spans.append((key, cursor + _RECORD_HEADER.size + len(key), len(value)))
+            cursor += len(chunks[-1])
+        blob = b"".join(chunks)
+        end = self._append_blob(blob)
+        base = end - len(blob)
+        for key, relative_offset, length in spans:
+            self._index[key] = (base + relative_offset, length)
+        self.stats.multi_puts += 1
+        self.stats.multi_put_keys += len(materialized)
+
+    def multi_get(self, keys: Iterable[bytes]) -> Dict[bytes, Optional[bytes]]:
+        """Resolve offsets up front, then read values in one offset-ordered pass."""
+        materialized = list(keys)
+        if not materialized:
+            return {}
+        result: Dict[bytes, Optional[bytes]] = {key: None for key in materialized}
+        located = sorted(
+            (entry[0], entry[1], key)
+            for key, entry in ((key, self._index.get(key)) for key in set(materialized))
+            if entry is not None
+        )
+        position = self._file.tell()
+        try:
+            # One forward sweep through the sorted offsets; the file position
+            # is saved/restored once for the whole batch, not per key.
+            for offset, length, key in located:
+                self._file.seek(offset)
+                value = self._file.read(length)
+                if len(value) != length:
+                    raise StorageError(f"truncated value for key {key!r}")
+                result[key] = value
+        finally:
+            self._file.seek(position)
+        self.stats.multi_gets += 1
+        self.stats.multi_get_keys += len(result)
+        return result
+
+    def multi_delete(self, keys: Iterable[bytes]) -> Set[bytes]:
+        """Append all tombstones as one buffered write + flush (+ one fsync)."""
+        materialized = list(keys)
+        if not materialized:
+            return set()
+        existing = {key for key in materialized if key in self._index}
+        if existing:
+            blob = b"".join(_RECORD_HEADER.pack(len(key), 0, 1) + key for key in sorted(existing))
+            self._append_blob(blob)
+            for key in existing:
+                self._index.pop(key, None)
+        self.stats.multi_deletes += 1
+        self.stats.multi_delete_keys += len(materialized)
+        return existing
+
     # -- maintenance ----------------------------------------------------------------
 
-    def _append(self, key: bytes, value: bytes, tombstone: bool) -> None:
-        record = _RECORD_HEADER.pack(len(key), len(value), int(tombstone)) + key + value
+    def _append_blob(self, blob: bytes) -> int:
+        """Append raw bytes, flush once, and return the end-of-file offset."""
         self._file.seek(0, os.SEEK_END)
-        self._file.write(record)
+        self._file.write(blob)
         self._file.flush()
+        if self._sync:
+            os.fsync(self._file.fileno())
+        return self._file.tell()
 
     def compact(self) -> None:
         """Rewrite the log keeping only the live version of each key."""
         compact_path = self._path.with_suffix(self._path.suffix + ".compact")
-        live = [(key, self.get(key)) for key in sorted(self._index)]
+        live = [
+            (key, self._read_at(entry[0], entry[1], key))
+            for key, entry in sorted(self._index.items())
+        ]
         with open(compact_path, "wb") as target:
             new_index: Dict[bytes, Tuple[int, int]] = {}
             offset = 0
             for key, value in live:
-                assert value is not None
                 record = _RECORD_HEADER.pack(len(key), len(value), 0) + key + value
                 target.write(record)
                 new_index[key] = (offset + _RECORD_HEADER.size + len(key), len(value))

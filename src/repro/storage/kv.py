@@ -5,12 +5,21 @@ lowest common denominator of wide-column / KV stores (get, put, delete,
 multi-get, prefix scan) so that the rest of the system stays portable across
 backends — the paper makes the same argument for building on a standard
 distributed KV store.
+
+The batch operations (``multi_get`` / ``multi_put`` / ``multi_delete``) are
+first-class primitives, not conveniences: the index and server hot paths
+funnel every coalesced write set and every query-time node fetch through
+them, so a backend that implements them as one round trip (one lock
+acquisition, one buffered append + fsync, one request per cluster node)
+collapses the per-record store traffic that otherwise dominates ingest and
+query cost.  The base class provides scalar-loop fallbacks so ad-hoc
+backends keep working, but every bundled backend overrides them.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 
 class KeyValueStore(ABC):
@@ -32,16 +41,26 @@ class KeyValueStore(ABC):
     def scan_prefix(self, prefix: bytes) -> Iterator[Tuple[bytes, bytes]]:
         """Yield ``(key, value)`` pairs whose key starts with ``prefix``, in key order."""
 
-    # -- conveniences with default implementations --------------------------------
+    # -- batch primitives (scalar-loop fallbacks; real backends override) ----------
 
     def multi_get(self, keys: Iterable[bytes]) -> Dict[bytes, Optional[bytes]]:
-        """Batched get; backends with real batching should override."""
+        """Batched get: one round trip on backends with real batching."""
         return {key: self.get(key) for key in keys}
 
     def multi_put(self, items: Iterable[Tuple[bytes, bytes]]) -> None:
-        """Batched put; backends with real batching should override."""
+        """Batched put: one round trip on backends with real batching."""
         for key, value in items:
             self.put(key, value)
+
+    def multi_delete(self, keys: Iterable[bytes]) -> Set[bytes]:
+        """Batched delete; returns the subset of keys that existed.
+
+        Returning the keys (not a count) lets replicated backends compose the
+        result: a key logically existed if any replica held it.
+        """
+        return {key for key in keys if self.delete(key)}
+
+    # -- conveniences with default implementations --------------------------------
 
     def contains(self, key: bytes) -> bool:
         return self.get(key) is not None

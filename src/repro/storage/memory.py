@@ -1,64 +1,141 @@
 """In-memory key-value store.
 
 The default backend for tests and micro-benchmarks: a sorted-key dict with
-the same interface as the persistent stores.  It also tracks simple
-operation counters so benchmarks can report read/write amplification.
+the same interface as the persistent stores.  It also tracks operation
+counters so benchmarks can report read/write amplification and backend
+round trips: every scalar call counts as one round trip, every ``multi_*``
+call counts as one round trip regardless of how many keys it moves.
+
+All operations take a single lock, so a ``multi_put`` of n items is one
+lock acquisition (and one atomically visible batch) instead of n — the
+in-memory analogue of the one-request-per-batch behaviour of the
+persistent and clustered backends.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, Optional, Tuple
+import threading
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, Optional, Set, Tuple
 
 from repro.storage.kv import KeyValueStore
 
 
 @dataclass
 class StoreStats:
-    """Operation counters for a store instance."""
+    """Operation counters for a store instance.
+
+    ``gets``/``puts``/``deletes``/``scans`` count scalar calls; the
+    ``multi_*`` pairs count batched calls and the keys they carried.  A
+    backend round trip is one scalar call or one batched call, so
+    ``read_round_trips``/``write_round_trips`` are the numbers a remote
+    backend would see as network requests.
+    """
 
     gets: int = 0
     puts: int = 0
     deletes: int = 0
     scans: int = 0
+    multi_gets: int = 0
+    multi_get_keys: int = 0
+    multi_puts: int = 0
+    multi_put_keys: int = 0
+    multi_deletes: int = 0
+    multi_delete_keys: int = 0
+
+    @property
+    def read_round_trips(self) -> int:
+        return self.gets + self.multi_gets + self.scans
+
+    @property
+    def write_round_trips(self) -> int:
+        return self.puts + self.deletes + self.multi_puts + self.multi_deletes
+
+    @property
+    def round_trips(self) -> int:
+        return self.read_round_trips + self.write_round_trips
 
     def reset(self) -> None:
         self.gets = 0
         self.puts = 0
         self.deletes = 0
         self.scans = 0
+        self.multi_gets = 0
+        self.multi_get_keys = 0
+        self.multi_puts = 0
+        self.multi_put_keys = 0
+        self.multi_deletes = 0
+        self.multi_delete_keys = 0
 
 
 class MemoryStore(KeyValueStore):
-    """A dict-backed store with ordered prefix scans."""
+    """A dict-backed store with ordered prefix scans and single-lock bulk ops."""
 
     def __init__(self) -> None:
         self._data: Dict[bytes, bytes] = {}
+        self._lock = threading.Lock()
         self.stats = StoreStats()
 
     def get(self, key: bytes) -> Optional[bytes]:
-        self.stats.gets += 1
-        return self._data.get(key)
+        with self._lock:
+            self.stats.gets += 1
+            return self._data.get(key)
 
     def put(self, key: bytes, value: bytes) -> None:
-        self.stats.puts += 1
-        self._data[key] = value
+        with self._lock:
+            self.stats.puts += 1
+            self._data[key] = value
 
     def delete(self, key: bytes) -> bool:
-        self.stats.deletes += 1
-        return self._data.pop(key, None) is not None
+        with self._lock:
+            self.stats.deletes += 1
+            return self._data.pop(key, None) is not None
 
     def scan_prefix(self, prefix: bytes) -> Iterator[Tuple[bytes, bytes]]:
-        self.stats.scans += 1
-        for key in sorted(self._data):
-            if key.startswith(prefix):
-                yield key, self._data[key]
+        with self._lock:
+            self.stats.scans += 1
+            snapshot = [(key, self._data[key]) for key in sorted(self._data) if key.startswith(prefix)]
+        yield from snapshot
+
+    # -- batch primitives ---------------------------------------------------------
+
+    def multi_get(self, keys: Iterable[bytes]) -> Dict[bytes, Optional[bytes]]:
+        keys = list(keys)
+        if not keys:
+            return {}
+        with self._lock:
+            result = {key: self._data.get(key) for key in keys}
+            self.stats.multi_gets += 1
+            self.stats.multi_get_keys += len(result)
+        return result
+
+    def multi_put(self, items: Iterable[Tuple[bytes, bytes]]) -> None:
+        materialized = list(items)
+        if not materialized:
+            return
+        with self._lock:
+            for key, value in materialized:
+                self._data[key] = value
+            self.stats.multi_puts += 1
+            self.stats.multi_put_keys += len(materialized)
+
+    def multi_delete(self, keys: Iterable[bytes]) -> Set[bytes]:
+        materialized = list(keys)
+        if not materialized:
+            return set()
+        with self._lock:
+            existed = {key for key in materialized if self._data.pop(key, None) is not None}
+            self.stats.multi_deletes += 1
+            self.stats.multi_delete_keys += len(materialized)
+        return existed
 
     def __len__(self) -> int:
         return len(self._data)
 
     def size_bytes(self) -> int:
-        return sum(len(key) + len(value) for key, value in self._data.items())
+        with self._lock:
+            return sum(len(key) + len(value) for key, value in self._data.items())
 
     def clear(self) -> None:
-        self._data.clear()
+        with self._lock:
+            self._data.clear()

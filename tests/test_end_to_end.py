@@ -7,12 +7,8 @@ import statistics
 import pytest
 
 from repro import (
-    DigestConfig,
-    HistogramConfig,
     PlaintextTimeSeriesStore,
-    Principal,
     ServerEngine,
-    StreamConfig,
     TimeCrypt,
     TimeCryptConsumer,
 )

@@ -6,7 +6,7 @@ import io
 
 import pytest
 
-from repro import ServerEngine, StreamConfig, TimeCrypt, TimeCryptConsumer, Principal
+from repro import ServerEngine, TimeCrypt, TimeCryptConsumer, Principal
 from repro.exceptions import ProtocolError, StreamNotFoundError
 from repro.net.client import RemoteServerClient
 from repro.net.framing import MAX_FRAME_BYTES, read_frame, write_frame
@@ -15,7 +15,6 @@ from repro.net.server import RequestDispatcher, TimeCryptTCPServer
 from repro.workloads.devops import CPU_METRICS, DevOpsWorkload
 from repro.workloads.generator import LoadGenerator
 from repro.workloads.mhealth import METRICS, MHealthWorkload
-from tests.conftest import make_principal
 
 
 class TestFraming:
@@ -217,6 +216,41 @@ class TestLoadGenerator:
         assert report.ingest_throughput > 0
         row = report.as_row()
         assert row["label"] == "timecrypt"
+
+    def test_batch_knob_matches_scalar_replay(self, small_config):
+        """ingest_batch_size > 1 replays through insert_records with identical data."""
+        records = [(t, float(t % 30)) for t in range(0, 10_000, 50)]
+        reports = {}
+        owners = {}
+        for batch_size in (1, 64):
+            server = ServerEngine()
+            owner = TimeCrypt(server=server, owner_id="o")
+            uuid = owner.create_stream(config=small_config, uuid="gen-batch")
+            generator = LoadGenerator(
+                store=owner,
+                stream_records={uuid: records},
+                read_write_ratio=2,
+                chunk_interval=small_config.chunk_interval,
+                ingest_batch_size=batch_size,
+            )
+            reports[batch_size] = generator.run(label=f"batch-{batch_size}")
+            owners[batch_size] = (owner, uuid)
+        assert reports[64].records_written == reports[1].records_written == len(records)
+        assert reports[64].chunks_flushed >= 1
+        assert reports[64].queries_executed > 0
+        # Both replays leave the server answering identical statistics.
+        answers = {
+            batch_size: owner.get_stat_range(uuid, 0, records[-1][0] + 1)
+            for batch_size, (owner, uuid) in owners.items()
+        }
+        assert answers[1] == answers[64]
+
+    def test_batch_knob_validation(self, small_config):
+        server = ServerEngine()
+        owner = TimeCrypt(server=server, owner_id="o")
+        uuid = owner.create_stream(config=small_config)
+        with pytest.raises(ValueError):
+            LoadGenerator(store=owner, stream_records={uuid: []}, ingest_batch_size=0)
 
     def test_latency_summary_percentiles(self):
         from repro.workloads.generator import LatencySummary
