@@ -12,7 +12,8 @@ Tracks the two hot-path claims of the batch fast path introduced with
    ≥ 2× the ingest throughput of the per-record scalar pipeline.
 
 Run as a script to print the tables and refresh the ``BENCH_batch.json``
-baseline (written via :func:`repro.bench.reporting.write_json_report`):
+baseline (merged via :func:`repro.bench.reporting.merge_json_report`, which
+the Fig. 7 batch-size sweep shares):
 
     PYTHONPATH=src python benchmarks/bench_batch_derivation.py
 
@@ -32,7 +33,7 @@ from pathlib import Path
 
 from repro import ServerEngine, TimeCrypt
 from repro.bench.harness import measure
-from repro.bench.reporting import ResultTable, format_duration, write_json_report
+from repro.bench.reporting import ResultTable, format_duration, merge_json_report
 from repro.crypto.keytree import KeyDerivationTree
 from repro.crypto.prf import DEFAULT_PRG, available_prgs
 from repro.timeseries.stream import StreamConfig
@@ -216,7 +217,7 @@ def main(argv=None) -> None:
     }
 
     output = os.environ.get("BENCH_OUTPUT", str(_DEFAULT_OUTPUT))
-    print(f"baseline written to {write_json_report(output, results)}")
+    print(f"baseline written to {merge_json_report(output, results)}")
 
 
 if __name__ == "__main__":

@@ -11,12 +11,26 @@ identical record streams replayed through TimeCrypt, the plaintext baseline,
 and the Paillier strawman (tiny stream count), plus small-cache variants.
 The assertions check the paper's relative ordering; pytest-benchmark rows
 report the per-configuration run times.
+
+Run as a script for the **ingest-batch-size sweep**: the
+``LoadGenerator.ingest_batch_size`` knob is swept over client-side batch
+sizes and the throughput-vs-batch-size curve is merged into
+``BENCH_batch.json`` (alongside the derivation micro-benchmark's groups):
+
+    PYTHONPATH=src python benchmarks/bench_fig7_e2e.py
+
+``--smoke`` shrinks the sweep for CI smoke jobs.
 """
 
 from __future__ import annotations
 
+import argparse
+import os
+from pathlib import Path
+from typing import Dict
 
 from repro import ServerEngine, TimeCrypt
+from repro.bench.reporting import ResultTable, format_duration, merge_json_report
 from repro.core.plaintext import PlaintextTimeSeriesStore
 from repro.core.strawman import StrawmanStore
 from repro.workloads.generator import LoadGenerator
@@ -40,11 +54,11 @@ def _mhealth_records(num_streams: int, duration_seconds: int):
     }
 
 
-def _build_timecrypt(index_cache_bytes: int = 64 * 1024 * 1024):
+def _build_timecrypt(index_cache_bytes: int = 64 * 1024 * 1024, num_streams: int = None):
     server = ServerEngine(index_cache_bytes=index_cache_bytes)
     owner = TimeCrypt(server=server, owner_id="bench")
     mapping = {}
-    for index in range(NUM_STREAMS):
+    for index in range(NUM_STREAMS if num_streams is None else num_streams):
         metric = MHealthWorkload.metric_names()[index % 12]
         config = MHealthWorkload.stream_config(metric, CHUNK_INTERVAL_MS)
         mapping[f"stream-{index}"] = owner.create_stream(metric=metric, config=config)
@@ -168,3 +182,91 @@ def test_fig7_relative_ordering():
     )
     strawman_report = generator.run(label="paillier")
     assert strawman_report.ingest_throughput < tc_report.ingest_throughput
+
+
+# ---------------------------------------------------------------------------
+# Ingest-batch-size sweep (script entry point): throughput vs. batch size
+# ---------------------------------------------------------------------------
+
+#: Client-side batch sizes (records per ``insert_records`` call) swept by the
+#: script.  1 is the paper's per-record replay; larger batches exercise the
+#: bulk encrypt + coalesced storage + single-wire-op pipeline end to end.
+SWEEP_BATCH_SIZES = (1, 8, 32, 128, 512)
+
+_BATCH_BASELINE = Path(__file__).resolve().parent.parent / "BENCH_batch.json"
+
+
+def _run_sweep_point(batch_size: int, num_streams: int, duration_seconds: int) -> Dict[str, float]:
+    owner, mapping = _build_timecrypt(num_streams=num_streams)
+    generator = LoadGenerator(
+        store=_RenamingStore(owner, mapping),
+        stream_records=_mhealth_records(num_streams, duration_seconds),
+        read_write_ratio=4,
+        chunk_interval=CHUNK_INTERVAL_MS,
+        ingest_batch_size=batch_size,
+    )
+    report = generator.run(label=f"batch-{batch_size}")
+    return {
+        "batch_size": batch_size,
+        "ingest_records_per_s": round(report.ingest_throughput, 1),
+        "query_ops_per_s": round(report.query_throughput, 1),
+        "records_written": report.records_written,
+        "seconds": report.duration_seconds,
+    }
+
+
+def run_batch_size_sweep(num_streams: int, duration_seconds: int) -> Dict[str, object]:
+    """Sweep ``ingest_batch_size``; returns the JSON-safe result group."""
+    points = [
+        _run_sweep_point(batch_size, num_streams, duration_seconds)
+        for batch_size in SWEEP_BATCH_SIZES
+    ]
+    baseline = points[0]["ingest_records_per_s"]
+    table = ResultTable(
+        title=(
+            f"Fig. 7 ingest throughput vs. client batch size — "
+            f"{num_streams} streams x {duration_seconds}s mHealth"
+        ),
+        columns=["batch size", "ingest records/s", "speedup vs 1", "wall clock"],
+    )
+    for point in points:
+        speedup = point["ingest_records_per_s"] / baseline if baseline else 0.0
+        table.add_row(
+            f"{point['batch_size']}",
+            f"{point['ingest_records_per_s']:.0f}",
+            f"{speedup:.2f}x",
+            format_duration(point["seconds"]),
+        )
+    table.add_note("batch size 1 = the paper's per-record replay (Fig. 7 heavy load)")
+    table.print()
+    return {
+        "num_streams": num_streams,
+        "duration_seconds": duration_seconds,
+        "chunk_interval_ms": CHUNK_INTERVAL_MS,
+        "points": points,
+    }
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description="Fig. 7 ingest-batch-size sweep")
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="reduced-iteration CI mode: one short stream, same sweep shape",
+    )
+    parser.add_argument(
+        "--output",
+        default=os.environ.get("BENCH_OUTPUT", str(_BATCH_BASELINE)),
+        help="JSON baseline to merge the sweep into (default: BENCH_batch.json)",
+    )
+    args = parser.parse_args(argv)
+    num_streams = 1 if args.smoke else NUM_STREAMS
+    duration_seconds = 10 if args.smoke else DURATION_SECONDS
+    sweep = run_batch_size_sweep(num_streams, duration_seconds)
+    sweep["smoke"] = args.smoke
+    path = merge_json_report(args.output, {"fig7_batch_size_sweep": sweep})
+    print(f"baseline written to {path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -74,22 +74,48 @@ class GrantManager:
 
     def grant(self, policy: AccessPolicy) -> AccessGrant:
         """Issue key material for ``policy`` and park it at the server."""
-        if policy.stream_uuid != self.stream_uuid:
-            raise ConfigurationError("policy addresses a different stream")
-        window_start, window_end = self._windows_for(policy.time_range)
-        if window_end <= window_start:
-            raise ConfigurationError("the granted time range covers no chunk window")
-        if policy.resolution.is_full:
-            token = self._full_resolution_token(policy, window_start, window_end)
-        else:
-            token = self._restricted_resolution_token(policy, window_start, window_end)
-        sealed = self.identity_provider.encrypt_for(
-            policy.principal_id, token.to_bytes(), context=self.stream_uuid.encode("utf-8")
-        )
-        grant_id = self.token_store.put_grant(self.stream_uuid, policy.principal_id, sealed)
-        grant = AccessGrant(policy=policy, grant_id=grant_id)
-        self._grants[(policy.principal_id, grant_id)] = grant
-        return grant
+        return self.grant_many([policy])[0]
+
+    def grant_many(self, policies: List[AccessPolicy]) -> List[AccessGrant]:
+        """Issue a burst of grants (e.g. onboarding a cohort of principals).
+
+        All tokens are derived and sealed first; then every envelope batch
+        lands in one ``put_envelopes`` per resolution and every sealed token
+        in one ``put_grants`` call — over a remote token store that is one
+        wire round trip for the whole cohort instead of one per grant.
+        """
+        if not policies:
+            return []
+        sealed_batch: List[Tuple[str, str, bytes]] = []
+        envelope_batches: Dict[int, Dict[int, bytes]] = {}
+        for policy in policies:
+            if policy.stream_uuid != self.stream_uuid:
+                raise ConfigurationError("policy addresses a different stream")
+            window_start, window_end = self._windows_for(policy.time_range)
+            if window_end <= window_start:
+                raise ConfigurationError("the granted time range covers no chunk window")
+            if policy.resolution.is_full:
+                token = self._full_resolution_token(policy, window_start, window_end)
+            else:
+                token, envelopes = self._restricted_resolution_token(
+                    policy, window_start, window_end
+                )
+                envelope_batches.setdefault(policy.resolution.chunks, {}).update(envelopes)
+            sealed = self.identity_provider.encrypt_for(
+                policy.principal_id, token.to_bytes(), context=self.stream_uuid.encode("utf-8")
+            )
+            sealed_batch.append((self.stream_uuid, policy.principal_id, sealed))
+        # Envelopes before grants: a consumer that sees its sealed token must
+        # also find the envelopes its keystream needs (idempotent re-publish).
+        for resolution_chunks, envelopes in sorted(envelope_batches.items()):
+            self.token_store.put_envelopes(self.stream_uuid, resolution_chunks, envelopes)
+        grant_ids = self.token_store.put_grants(sealed_batch)
+        grants: List[AccessGrant] = []
+        for policy, grant_id in zip(policies, grant_ids):
+            grant = AccessGrant(policy=policy, grant_id=grant_id)
+            self._grants[(policy.principal_id, grant_id)] = grant
+            grants.append(grant)
+        return grants
 
     def _full_resolution_token(
         self, policy: AccessPolicy, window_start: int, window_end: int
@@ -112,14 +138,17 @@ class GrantManager:
 
     def _restricted_resolution_token(
         self, policy: AccessPolicy, window_start: int, window_end: int
-    ) -> AccessToken:
+    ) -> Tuple[AccessToken, Dict[int, bytes]]:
+        """The sealed share plus the envelopes the principal will need.
+
+        The caller publishes the envelopes (batched across a grant burst);
+        re-publication is idempotent.
+        """
         resolution = policy.resolution
         keystream = self.resolution_keystream(resolution)
         share = keystream.share(window_start, window_end)
-        # Publish the envelopes the principal will need (idempotent).
         envelopes = keystream.make_envelopes(window_start, window_end)
-        self.token_store.put_envelopes(self.stream_uuid, resolution.chunks, envelopes)
-        return AccessToken(
+        token = AccessToken(
             stream_uuid=self.stream_uuid,
             principal_id=policy.principal_id,
             time_range=policy.time_range,
@@ -130,6 +159,7 @@ class GrantManager:
             tree_tokens=[],
             regression_token=share.token,
         )
+        return token, envelopes
 
     def resolution_keystream(self, resolution: Resolution) -> ResolutionKeystream:
         """The (lazily created) resolution keystream for a granularity."""

@@ -101,3 +101,22 @@ def write_json_report(path: str, results: Dict[str, object]) -> str:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
     return path
+
+
+def merge_json_report(path: str, results: Dict[str, object]) -> str:
+    """Merge metric groups into an existing baseline (or create it).
+
+    Two scripts share ``BENCH_batch.json`` (the derivation micro-benchmark
+    and the Fig. 7 batch-size sweep); merging by top-level result key lets
+    either refresh its groups without clobbering the other's.  The
+    ``environment`` block is refreshed to describe the latest writer.
+    """
+    merged: Dict[str, object] = {}
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            existing = json.load(handle)
+        merged.update(existing.get("results", {}))
+    except (OSError, ValueError):
+        pass
+    merged.update(results)
+    return write_json_report(path, merged)

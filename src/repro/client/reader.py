@@ -205,6 +205,11 @@ class ConsumerReader:
         Every stream listed in the aggregate must have a reader able to derive
         its outer keys; otherwise the pads cannot be removed and decryption
         fails — only principals authorized for *all* streams learn the result.
+
+        Each stream's pads come from one batched
+        :meth:`~repro.crypto.heac.HEACCipher.outer_pads` pass (both boundary
+        keys derived once, shared across all digest components) instead of
+        the per-stream-per-component scalar derivation.
         """
         width = len(aggregate.values)
         totals = list(aggregate.values)
@@ -215,8 +220,8 @@ class ConsumerReader:
                     f"no key material for stream '{stream_uuid}' in the inter-stream result"
                 )
             reader._check_scope(window_start, window_end)
-            for component in range(width):
-                pad = reader.cipher.outer_pad(window_start, window_end, component)
+            pads = reader.cipher.outer_pads(window_start, window_end, width)
+            for component, pad in enumerate(pads):
                 totals[component] = (totals[component] - pad) % MODULUS
         return [ConsumerReader._to_signed(value) for value in totals]
 

@@ -226,6 +226,40 @@ class TimeCrypt:
         manager.grant(policy)
         return policy
 
+    def grant_access_many(
+        self,
+        uuid: str,
+        grants: Sequence[Tuple[str, int, int, Optional[int]]],
+    ) -> List[AccessPolicy]:
+        """Grant scoped access to a cohort of principals in one burst.
+
+        ``grants`` is a sequence of ``(principal_id, start, end,
+        resolution_interval)`` tuples (``resolution_interval`` may be
+        ``None`` for full per-chunk access).  All key material is derived and
+        sealed client-side, then parked at the server with one token-store
+        write — over the network transport that is a single ``put_grants``
+        wire round trip for the whole cohort.
+        """
+        owned = self._owned(uuid)
+        policies: List[AccessPolicy] = []
+        for principal_id, start, end, resolution_interval in grants:
+            resolution = (
+                Resolution.from_interval(resolution_interval, owned.metadata.config.chunk_interval)
+                if resolution_interval is not None
+                else Resolution(1)
+            )
+            policies.append(
+                AccessPolicy(
+                    stream_uuid=uuid,
+                    principal_id=principal_id,
+                    time_range=TimeRange(start, end),
+                    resolution=resolution,
+                )
+            )
+        manager = owned.keys.grant_manager(self.identity_provider, self.server.token_store)
+        manager.grant_many(policies)
+        return policies
+
     def grant_open_access(
         self, uuid: str, principal_id: str, start: int, resolution_interval: Optional[int] = None
     ) -> AccessPolicy:

@@ -327,6 +327,28 @@ class HEACCipher:
             - self._component_key(window_end, component)
         ) & _MASK
 
+    def outer_pads(self, window_start: int, window_end: int, num_components: int) -> List[int]:
+        """All component pads covering ``[window_start, window_end)`` in one pass.
+
+        The scalar path (:meth:`outer_pad` per component) re-derives both
+        boundary keystream keys for every component — ``2·num_components``
+        keystream walks.  Here the two boundary leaves are fetched once
+        (through the keystream's ``leaf_range`` when the boundaries are
+        adjacent) and every component key is derived from the cached leaf,
+        so an inter-stream dashboard pulls each involved stream's outer pads
+        with exactly one keystream pass per stream.  Bit-identical to the
+        scalar path.
+        """
+        leaves = _fetch_leaves(self._keystream, sorted({window_start, window_end}))
+        return [
+            (
+                component_key_from_leaf(leaves[window_start], component)
+                - component_key_from_leaf(leaves[window_end], component)
+            )
+            & _MASK
+            for component in range(num_components)
+        ]
+
     def decrypt_signed(self, ciphertext: HEACCiphertext) -> int:
         """Decrypt and reinterpret the 64-bit result as a signed integer."""
         value = self.decrypt(ciphertext)

@@ -1,21 +1,51 @@
-"""The network client: a remote ServerEngine proxy.
+"""The network client: a pipelined remote ServerEngine proxy.
 
 :class:`RemoteServerClient` speaks the framed wire protocol to a
 :class:`~repro.net.server.TimeCryptTCPServer` and exposes the same method
 surface as :class:`~repro.server.engine.ServerEngine`, so the
 :class:`~repro.core.timecrypt.TimeCrypt` facade and the consumer client work
 unchanged whether the server is in-process or across the network.
+
+Transport model (protocol v2, the default): one dedicated **reader thread**
+drains response frames and resolves them against a correlation-id → future
+table, so any number of requests can be in flight on one connection and
+responses may arrive in any order.  On top of that sit three calling styles:
+
+* ``_call`` — write one request, wait for its future (one round trip);
+* :meth:`call_many` — write a whole batch of requests back-to-back in one
+  ``sendall``, then wait for all futures: N requests, **one** round trip;
+* :meth:`pipeline` — a context manager that records ServerEngine-shaped
+  calls as deferred handles and flushes them through :meth:`call_many` on
+  exit, so heterogeneous bursts (grant pickups, range reads, stat queries)
+  also collapse into one round trip.
+
+The protocol version is negotiated at connect time with a ``hello``
+request; a peer that cannot answer it (a v1-only lockstep server) drops the
+connection, and the client transparently reconnects in v1 mode — one locked
+request/response exchange per operation, exactly the original wire
+behaviour.  :class:`WireStats` counts requests and round trips either way,
+which is what the network benchmarks assert against.
 """
 
 from __future__ import annotations
 
+import itertools
 import socket
 import threading
-from typing import Dict, List, Optional, Sequence
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.crypto.heac import HEACCiphertext
 from repro.exceptions import ProtocolError, TimeCryptError, TransportError
-from repro.net.framing import read_frame, write_frame
+from repro.net.framing import (
+    PROTOCOL_VERSION,
+    encode_frame_v2,
+    read_any_frame,
+    read_frame,
+    write_frame,
+    write_frame_v2,
+)
 from repro.net.messages import Request, Response
 from repro.server.engine import _metadata_from_json, _metadata_to_json
 from repro.server.query_executor import MultiStreamAggregate, StatQueryResult
@@ -34,9 +64,207 @@ _ERROR_TYPES: Dict[str, type] = {
 }
 
 
-def _raise_remote(response: Response) -> None:
+def _register_error_types() -> None:
+    """Index the full TimeCryptError hierarchy (grandchildren included)."""
+    pending = [TimeCryptError]
+    while pending:
+        cls = pending.pop()
+        _ERROR_TYPES[cls.__name__] = cls
+        pending.extend(cls.__subclasses__())
+
+
+_register_error_types()
+
+
+def _remote_error(response: Response) -> TimeCryptError:
     error_cls = _ERROR_TYPES.get(response.error_type or "", TimeCryptError)
-    raise error_cls(response.error or "remote error")
+    return error_cls(response.error or "remote error")
+
+
+def _raise_remote(response: Response) -> None:
+    raise _remote_error(response)
+
+
+@dataclass
+class WireStats:
+    """Client-side wire accounting.
+
+    ``round_trips`` counts *wait points*: one per lockstep call and one per
+    flushed pipeline/batch, however many requests it carried.  This is the
+    quantity that maps to network latency and that ``BENCH_net.json``
+    tracks; ``requests_sent`` is the op count for computing batching ratios.
+    """
+
+    requests_sent: int = 0
+    responses_received: int = 0
+    round_trips: int = 0
+    batches_sent: int = 0
+
+    def reset(self) -> None:
+        self.requests_sent = 0
+        self.responses_received = 0
+        self.round_trips = 0
+        self.batches_sent = 0
+
+
+class PipelineResult:
+    """A deferred result handle returned by :class:`RequestPipeline` methods."""
+
+    def __init__(self, decoder: Callable[[Response], Any]) -> None:
+        self._decoder = decoder
+        self._response: Optional[Response] = None
+        self._error: Optional[Exception] = None
+        self._resolved = False
+
+    def _resolve(self, response: Response) -> None:
+        self._response = response
+        self._resolved = True
+
+    def _fail(self, error: Exception) -> None:
+        self._error = error
+        self._resolved = True
+
+    def result(self) -> Any:
+        """The decoded response; raises the remote (or transport) error on failure."""
+        if not self._resolved:
+            raise ProtocolError("pipeline result read before the pipeline was flushed")
+        if self._error is not None:
+            raise self._error
+        assert self._response is not None
+        if not self._response.ok:
+            _raise_remote(self._response)
+        return self._decoder(self._response)
+
+
+class RequestPipeline:
+    """Records ServerEngine-shaped calls; one round trip flushes them all.
+
+    Used as a context manager::
+
+        with client.pipeline() as batch:
+            heads = [batch.stream_head(uuid) for uuid in uuids]
+            grants = batch.fetch_grants(uuid, "bob")
+        print([handle.result() for handle in heads])
+
+    Every method returns a :class:`PipelineResult`; results become readable
+    after the ``with`` block (or an explicit :meth:`flush`).  A failed
+    request raises its remote error from ``result()`` without affecting the
+    other requests in the batch — mid-batch errors stay per-request.
+    """
+
+    def __init__(self, client: "RemoteServerClient") -> None:
+        self._client = client
+        self._requests: List[Request] = []
+        self._handles: List[PipelineResult] = []
+
+    def __len__(self) -> int:
+        return len(self._requests)
+
+    def __enter__(self) -> "RequestPipeline":
+        return self
+
+    def __exit__(self, exc_type: object, *_exc_info: object) -> None:
+        if exc_type is None:
+            self.flush()
+
+    def flush(self) -> None:
+        """Ship all recorded requests as one framed batch and resolve handles.
+
+        On a transport failure every handle is failed with that error (so
+        ``result()`` reports the real cause, not an unflushed-pipeline
+        state) and the recorded batch is cleared before re-raising.
+        """
+        if not self._requests:
+            return
+        requests, handles = self._requests, self._handles
+        self._requests = []
+        self._handles = []
+        try:
+            responses = self._client.call_many(requests)
+        except Exception as exc:
+            for handle in handles:
+                handle._fail(exc)
+            raise
+        for handle, response in zip(handles, responses):
+            handle._resolve(response)
+
+    def _defer(self, request: Request, decoder: Callable[[Response], Any]) -> PipelineResult:
+        handle = PipelineResult(decoder)
+        self._requests.append(request)
+        self._handles.append(handle)
+        return handle
+
+    # -- deferred ServerEngine-shaped calls ---------------------------------------
+
+    def ping(self) -> PipelineResult:
+        return self._defer(Request("ping"), lambda r: bool(r.result.get("pong")))
+
+    def stream_head(self, stream_uuid: str) -> PipelineResult:
+        return self._defer(
+            Request("stream_head", {"uuid": stream_uuid}), lambda r: int(r.result["head"])
+        )
+
+    def stream_metadata(self, stream_uuid: str) -> PipelineResult:
+        return self._defer(
+            Request("stream_metadata", {"uuid": stream_uuid}),
+            lambda r: _metadata_from_json(r.attachments[0]),
+        )
+
+    def insert_chunks(self, chunks: Sequence[EncryptedChunk]) -> PipelineResult:
+        if not chunks:
+            raise ProtocolError("insert_chunks requires at least one chunk")
+        return self._defer(
+            Request("insert_chunks", {}, [encode_encrypted_chunk(chunk) for chunk in chunks]),
+            lambda r: int(r.result["window_index"]),
+        )
+
+    def get_range(self, stream_uuid: str, time_range: TimeRange) -> PipelineResult:
+        return self._defer(
+            Request(
+                "get_range",
+                {"uuid": stream_uuid, "start": time_range.start, "end": time_range.end},
+            ),
+            lambda r: [decode_encrypted_chunk(blob) for blob in r.attachments],
+        )
+
+    def stat_range(self, stream_uuid: str, time_range: TimeRange) -> PipelineResult:
+        return self._defer(
+            Request(
+                "stat_range",
+                {"uuid": stream_uuid, "start": time_range.start, "end": time_range.end},
+            ),
+            lambda r: RemoteServerClient._stat_from_json(r.result["stat"]),
+        )
+
+    def put_grant(self, stream_uuid: str, principal_id: str, sealed_token: bytes) -> PipelineResult:
+        return self._defer(
+            Request(
+                "put_grant", {"uuid": stream_uuid, "principal_id": principal_id}, [sealed_token]
+            ),
+            lambda r: int(r.result["grant_id"]),
+        )
+
+    def fetch_grants(self, stream_uuid: str, principal_id: str) -> PipelineResult:
+        return self._defer(
+            Request("fetch_grants", {"uuid": stream_uuid, "principal_id": principal_id}),
+            lambda r: list(r.attachments),
+        )
+
+    def fetch_envelopes(
+        self, stream_uuid: str, resolution_chunks: int, window_start: int, window_end: int
+    ) -> PipelineResult:
+        return self._defer(
+            Request(
+                "fetch_envelopes",
+                {
+                    "uuid": stream_uuid,
+                    "resolution_chunks": resolution_chunks,
+                    "window_start": window_start,
+                    "window_end": window_end,
+                },
+            ),
+            lambda r: dict(zip(r.result["windows"], r.attachments)),
+        )
 
 
 class _RemoteTokenStore:
@@ -54,6 +282,30 @@ class _RemoteTokenStore:
             )
         )
         return int(response.result["grant_id"])
+
+    def put_grants(self, grants: Sequence[Tuple[str, str, bytes]]) -> List[int]:
+        """A cohort grant burst: one wire round trip, one storage ``multi_put``.
+
+        Falls back to per-grant ``put_grant`` calls against dispatchers that
+        predate the ``put_grants`` operation (detected via negotiation).
+        """
+        if not grants:
+            return []
+        if not self._client.supports_operation("put_grants"):
+            return [self.put_grant(*grant) for grant in grants]
+        response = self._client._call(
+            Request(
+                "put_grants",
+                {
+                    "grants": [
+                        {"uuid": stream_uuid, "principal_id": principal_id}
+                        for stream_uuid, principal_id, _sealed in grants
+                    ]
+                },
+                [sealed for _uuid, _principal, sealed in grants],
+            )
+        )
+        return [int(grant_id) for grant_id in response.result["grant_ids"]]
 
     def grants_for(self, stream_uuid: str, principal_id: str) -> List[bytes]:
         response = self._client._call(
@@ -96,39 +348,213 @@ class _RemoteTokenStore:
 
 
 class RemoteServerClient:
-    """A ServerEngine-compatible proxy over a TCP connection."""
+    """A ServerEngine-compatible proxy over a TCP connection.
 
-    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+    ``protocol_version=2`` (the default) negotiates the pipelined wire and
+    falls back to the v1 lockstep protocol when the peer does not speak it;
+    ``protocol_version=1`` forces lockstep mode (one locked request/response
+    exchange per call), which is also what legacy deployments of this
+    client did on every call.
+    """
+
+    def __init__(
+        self, host: str, port: int, timeout: float = 30.0, protocol_version: int = PROTOCOL_VERSION
+    ) -> None:
+        if protocol_version not in (1, 2):
+            raise ProtocolError(f"unsupported protocol version {protocol_version}")
         self._address = (host, port)
+        self._timeout = timeout
         self._socket = socket.create_connection(self._address, timeout=timeout)
-        self._lock = threading.Lock()
+        self._lock = threading.Lock()  # v1 lockstep + v2 write serialisation
+        self._closed = False
         self.token_store = _RemoteTokenStore(self)
-        self._server_supports_bulk_ingest = True
+        self.wire_stats = WireStats()
+        self._pending: Dict[int, "Future[Response]"] = {}
+        self._pending_lock = threading.Lock()
+        self._correlation_ids = itertools.count(1)
+        self._reader: Optional[threading.Thread] = None
+        self._server_operations: Optional[frozenset] = None
+        self.protocol_version = protocol_version
+        if protocol_version == PROTOCOL_VERSION:
+            self._negotiate()
+        if self.protocol_version == PROTOCOL_VERSION:
+            # Idle connections must not kill the reader thread: per-request
+            # deadlines are enforced on the futures, not on the socket.
+            self._socket.settimeout(None)
+            self._reader = threading.Thread(
+                target=self._read_loop, daemon=True, name="tc-client-reader"
+            )
+            self._reader.start()
 
-    # -- plumbing ----------------------------------------------------------------
+    # -- connection management ---------------------------------------------------------
 
-    def _call(self, request: Request) -> Response:
-        with self._lock:
+    def _negotiate(self) -> None:
+        """One synchronous v2 ``hello``; fall back to v1 lockstep when rejected.
+
+        Only peer-rejection signals trigger the downgrade: a v1-only peer
+        hangs up on the unknown ``T2`` magic (EOF / connection reset) or
+        answers something unparseable.  A *timeout* means the peer is slow,
+        not v1 — silently pinning such a session to lockstep would degrade
+        every later call — so it raises instead.
+        """
+        try:
+            write_frame_v2(self._socket, 0, Request("hello", {"protocol": PROTOCOL_VERSION}).encode())
+            frame = read_any_frame(self._socket)
+            response = Response.decode(frame.payload)
+            if not response.ok or int(response.result.get("protocol", 1)) < PROTOCOL_VERSION:
+                raise ProtocolError("peer does not speak protocol v2")
+            self._server_operations = frozenset(response.result.get("operations", ()))
+        except socket.timeout as exc:
+            raise TransportError(
+                f"hello negotiation with {self._address} timed out: {exc}"
+            ) from exc
+        except (TimeCryptError, ConnectionError):
+            # A v1-only peer closes the connection on the unknown magic;
+            # reconnect and stay in lockstep mode.
             try:
-                write_frame(self._socket, request.encode())
-                response = Response.decode(read_frame(self._socket))
-            except OSError as exc:
-                raise TransportError(f"connection to {self._address} failed: {exc}") from exc
-        if not response.ok:
-            _raise_remote(response)
-        return response
+                self._socket.close()
+            except OSError:
+                pass
+            self._socket = socket.create_connection(self._address, timeout=self._timeout)
+            self.protocol_version = 1
+
+    def supports_operation(self, operation: str) -> bool:
+        """Whether negotiation advertised an operation (v1 peers: assume not)."""
+        if self._server_operations is None:
+            return False
+        return operation in self._server_operations
 
     def close(self) -> None:
+        self._closed = True
+        try:
+            # shutdown (not just close) reliably wakes the reader thread's
+            # blocking recv with EOF on every platform.
+            self._socket.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
         try:
             self._socket.close()
         except OSError:
             pass
+        if self._reader is not None:
+            self._reader.join(timeout=5)
+            self._reader = None
 
     def __enter__(self) -> "RemoteServerClient":
         return self
 
     def __exit__(self, *_exc_info: object) -> None:
         self.close()
+
+    # -- v2 transport ----------------------------------------------------------------
+
+    def _read_loop(self) -> None:
+        """Reader thread: resolve response frames against the pending table."""
+        while True:
+            try:
+                frame = read_any_frame(self._socket)
+                response = Response.decode(frame.payload)
+            except (TimeCryptError, OSError) as exc:
+                self._fail_pending(exc)
+                return
+            with self._pending_lock:
+                future = self._pending.pop(frame.correlation_id, None)
+            self.wire_stats.responses_received += 1
+            if future is not None:
+                future.set_result(response)
+
+    def _fail_pending(self, cause: Exception) -> None:
+        if self._closed:
+            error: Exception = TransportError("connection closed")
+        else:
+            error = TransportError(f"connection to {self._address} failed: {cause}")
+        with self._pending_lock:
+            pending = list(self._pending.values())
+            self._pending.clear()
+        for future in pending:
+            if not future.done():
+                future.set_exception(error)
+
+    def _send_requests(self, requests: Sequence[Request]) -> List["Future[Response]"]:
+        """Frame and write a request batch in one ``sendall``; returns futures."""
+        # Encode outside the pending lock: a multi-megabyte chunk batch must
+        # not stall the reader thread's response resolution while it JSONs.
+        payloads = [request.encode() for request in requests]
+        futures: List["Future[Response]"] = []
+        correlation_ids: List[int] = []
+        with self._pending_lock:
+            for _payload in payloads:
+                correlation_id = next(self._correlation_ids)
+                future: "Future[Response]" = Future()
+                self._pending[correlation_id] = future
+                futures.append(future)
+                correlation_ids.append(correlation_id)
+        buffer = b"".join(
+            encode_frame_v2(correlation_id, payload)
+            for correlation_id, payload in zip(correlation_ids, payloads)
+        )
+        try:
+            with self._lock:
+                self._socket.sendall(buffer)
+        except OSError as exc:
+            self._fail_pending(exc)
+        self.wire_stats.requests_sent += len(requests)
+        return futures
+
+    def _await(self, future: "Future[Response]") -> Response:
+        try:
+            return future.result(timeout=self._timeout)
+        except TimeCryptError:
+            raise
+        except Exception as exc:  # concurrent.futures.TimeoutError et al.
+            raise TransportError(f"request to {self._address} timed out or failed: {exc}") from exc
+
+    # -- calling styles -----------------------------------------------------------------
+
+    def _call(self, request: Request) -> Response:
+        """One request, one round trip; raises the remote error on failure."""
+        if self.protocol_version == 1:
+            response = self._call_lockstep(request)
+        else:
+            future = self._send_requests([request])[0]
+            self.wire_stats.round_trips += 1
+            response = self._await(future)
+        if not response.ok:
+            _raise_remote(response)
+        return response
+
+    def _call_lockstep(self, request: Request) -> Response:
+        with self._lock:
+            try:
+                write_frame(self._socket, request.encode())
+                self.wire_stats.requests_sent += 1
+                self.wire_stats.round_trips += 1
+                response = Response.decode(read_frame(self._socket))
+                self.wire_stats.responses_received += 1
+            except OSError as exc:
+                raise TransportError(f"connection to {self._address} failed: {exc}") from exc
+        return response
+
+    def call_many(self, requests: Sequence[Request]) -> List[Response]:
+        """Ship a request batch in one round trip; responses in request order.
+
+        Unlike :meth:`_call` this does **not** raise on per-request errors —
+        each returned :class:`Response` carries its own outcome, so one
+        failed request inside a batch cannot mask the others.  In v1
+        lockstep mode the batch degrades to sequential round trips.
+        """
+        if not requests:
+            return []
+        if self.protocol_version == 1:
+            return [self._call_lockstep(request) for request in requests]
+        futures = self._send_requests(requests)
+        self.wire_stats.round_trips += 1
+        self.wire_stats.batches_sent += 1
+        return [self._await(future) for future in futures]
+
+    def pipeline(self) -> RequestPipeline:
+        """A deferred-call context; everything inside flushes as one batch."""
+        return RequestPipeline(self)
 
     def ping(self) -> bool:
         return bool(self._call(Request("ping")).result.get("pong"))
@@ -172,14 +598,14 @@ class RemoteServerClient:
     def insert_chunks(self, chunks: Sequence[EncryptedChunk]) -> int:
         """Bulk ingest over one round trip; returns the first appended window index.
 
-        Servers that predate the ``insert_chunks`` wire operation answer with
-        an unsupported-operation error; in that case the batch degrades to
-        per-chunk ``insert_chunk`` calls (and the downgrade is remembered so
-        later batches skip the failed round trip).
+        Dispatchers that predate the ``insert_chunks`` wire operation (not
+        advertised by ``hello``, or rejected at dispatch) get the batch as
+        per-chunk ``insert_chunk`` calls instead; the downgrade is remembered
+        so later batches skip the failed round trip.
         """
         if not chunks:
             raise ProtocolError("insert_chunks requires at least one chunk")
-        if not self._server_supports_bulk_ingest:
+        if self._server_operations is not None and not self.supports_operation("insert_chunks"):
             return self._insert_chunks_one_by_one(chunks)
         try:
             response = self._call(
@@ -194,7 +620,7 @@ class RemoteServerClient:
             message = str(exc)
             if "unsupported operation" not in message and "unknown operation" not in message:
                 raise
-            self._server_supports_bulk_ingest = False
+            self._server_operations = (self._server_operations or frozenset()) - {"insert_chunks"}
             return self._insert_chunks_one_by_one(chunks)
         return int(response.result["window_index"])
 
@@ -273,6 +699,9 @@ class RemoteServerClient:
 
     def put_grant(self, stream_uuid: str, principal_id: str, sealed_token: bytes) -> int:
         return self.token_store.put_grant(stream_uuid, principal_id, sealed_token)
+
+    def put_grants(self, grants: Sequence[Tuple[str, str, bytes]]) -> List[int]:
+        return self.token_store.put_grants(grants)
 
     def fetch_grants(self, stream_uuid: str, principal_id: str) -> List[bytes]:
         return self.token_store.grants_for(stream_uuid, principal_id)

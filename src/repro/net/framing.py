@@ -1,25 +1,53 @@
-"""Length-prefixed framing over byte streams.
+"""Length-prefixed framing over byte streams, in two protocol versions.
 
-Every message on the wire is ``magic (2B) || length (4B, big-endian) ||
-payload``.  The magic bytes catch protocol confusion early; the length prefix
-bounds reads.  Frames are capped at 64 MiB — far above any legitimate
-TimeCrypt message — to stop a malformed or malicious peer from forcing huge
-allocations.
+**v1** (the original lockstep wire): ``magic b"TC" (2B) || length (4B,
+big-endian) || payload``.  Responses implicitly correlate with requests by
+arrival order, so a v1 connection can only have one request in flight.
+
+**v2** (the pipelined wire): ``magic b"T2" (2B) || version (1B) ||
+correlation id (8B, big-endian) || length (4B, big-endian) || payload``.
+Every request carries a connection-unique correlation id that the server
+echoes on the matching response, so many requests can be in flight at once
+and responses may arrive out of order.  The version byte leaves room for
+future header revisions without another magic change.
+
+The two magics are disjoint, so a peer can serve both versions on one
+socket by looking at the first two bytes of each frame —
+:func:`read_any_frame` and :class:`FrameAssembler` do exactly that.  Frames
+are capped at 64 MiB — far above any legitimate TimeCrypt message — to stop
+a malformed or malicious peer from forcing huge allocations.
 """
 
 from __future__ import annotations
 
 import socket
 import struct
-from typing import BinaryIO, Union
+from dataclasses import dataclass
+from typing import BinaryIO, List, Union
 
 from repro.exceptions import ProtocolError, TransportError
 
 MAGIC = b"TC"
+MAGIC_V2 = b"T2"
+PROTOCOL_VERSION = 2
 MAX_FRAME_BYTES = 64 * 1024 * 1024
 _HEADER = struct.Struct(">2sI")
+_HEADER_V2 = struct.Struct(">2sBQI")
 
 Readable = Union[BinaryIO, socket.socket]
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One decoded wire frame: protocol version, correlation id, payload.
+
+    v1 frames have no correlation id on the wire; they decode with
+    ``correlation_id == 0`` and correlate by arrival order instead.
+    """
+
+    version: int
+    correlation_id: int
+    payload: bytes
 
 
 def _read_exact(source: Readable, length: int) -> bytes:
@@ -38,11 +66,7 @@ def _read_exact(source: Readable, length: int) -> bytes:
     return b"".join(chunks)
 
 
-def write_frame(sink: Readable, payload: bytes) -> None:
-    """Write one framed message."""
-    if len(payload) > MAX_FRAME_BYTES:
-        raise ProtocolError(f"frame of {len(payload)} bytes exceeds the {MAX_FRAME_BYTES} cap")
-    data = _HEADER.pack(MAGIC, len(payload)) + payload
+def _send(sink: Readable, data: bytes) -> None:
     if isinstance(sink, socket.socket):
         sink.sendall(data)
     else:
@@ -50,12 +74,118 @@ def write_frame(sink: Readable, payload: bytes) -> None:
         sink.flush()
 
 
+def _check_length(length: int) -> None:
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {length} bytes exceeds the {MAX_FRAME_BYTES} cap")
+
+
+def encode_frame(payload: bytes) -> bytes:
+    """Encode one v1 frame."""
+    _check_length(len(payload))
+    return _HEADER.pack(MAGIC, len(payload)) + payload
+
+
+def encode_frame_v2(correlation_id: int, payload: bytes) -> bytes:
+    """Encode one v2 frame carrying a correlation id."""
+    _check_length(len(payload))
+    if not 0 <= correlation_id < 1 << 64:
+        raise ProtocolError(f"correlation id {correlation_id} outside the 64-bit range")
+    return _HEADER_V2.pack(MAGIC_V2, PROTOCOL_VERSION, correlation_id, len(payload)) + payload
+
+
+def write_frame(sink: Readable, payload: bytes) -> None:
+    """Write one v1 framed message."""
+    _send(sink, encode_frame(payload))
+
+
+def write_frame_v2(sink: Readable, correlation_id: int, payload: bytes) -> None:
+    """Write one v2 framed message."""
+    _send(sink, encode_frame_v2(correlation_id, payload))
+
+
 def read_frame(source: Readable) -> bytes:
-    """Read one framed message; raises on EOF, bad magic, or oversized frames."""
+    """Read one v1 framed message; raises on EOF, bad magic, or oversized frames."""
     header = _read_exact(source, _HEADER.size)
     magic, length = _HEADER.unpack(header)
     if magic != MAGIC:
         raise ProtocolError(f"bad frame magic {magic!r}")
-    if length > MAX_FRAME_BYTES:
-        raise ProtocolError(f"frame of {length} bytes exceeds the {MAX_FRAME_BYTES} cap")
+    _check_length(length)
     return _read_exact(source, length)
+
+
+def read_any_frame(source: Readable) -> Frame:
+    """Read one frame of either protocol version.
+
+    The first two bytes select the header layout; v1 frames come back with
+    ``correlation_id == 0``.
+    """
+    magic = _read_exact(source, 2)
+    if magic == MAGIC:
+        (length,) = struct.unpack(">I", _read_exact(source, 4))
+        _check_length(length)
+        return Frame(version=1, correlation_id=0, payload=_read_exact(source, length))
+    if magic == MAGIC_V2:
+        version, correlation_id, length = struct.unpack(
+            ">BQI", _read_exact(source, _HEADER_V2.size - 2)
+        )
+        if version != PROTOCOL_VERSION:
+            raise ProtocolError(f"unsupported v2 frame version {version}")
+        _check_length(length)
+        return Frame(
+            version=version, correlation_id=correlation_id, payload=_read_exact(source, length)
+        )
+    raise ProtocolError(f"bad frame magic {magic!r}")
+
+
+class FrameAssembler:
+    """Incremental frame parser for non-lockstep servers.
+
+    The selector-driven server reads whatever bytes a socket has ready and
+    feeds them here; :meth:`feed` returns every frame completed by the new
+    bytes (possibly none, possibly several).  Both protocol versions are
+    accepted, interleaved freely on one connection.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> List[Frame]:
+        """Append received bytes; return all frames now complete."""
+        self._buffer += data
+        frames: List[Frame] = []
+        while True:
+            frame = self._try_parse()
+            if frame is None:
+                return frames
+            frames.append(frame)
+
+    def _try_parse(self) -> Union[Frame, None]:
+        buffer = self._buffer
+        if len(buffer) < 2:
+            return None
+        magic = bytes(buffer[:2])
+        if magic == MAGIC:
+            if len(buffer) < _HEADER.size:
+                return None
+            _, length = _HEADER.unpack_from(buffer)
+            _check_length(length)
+            end = _HEADER.size + length
+            if len(buffer) < end:
+                return None
+            payload = bytes(buffer[_HEADER.size : end])
+            del buffer[:end]
+            return Frame(version=1, correlation_id=0, payload=payload)
+        if magic == MAGIC_V2:
+            if len(buffer) < _HEADER_V2.size:
+                return None
+            _, version, correlation_id, length = _HEADER_V2.unpack_from(buffer)
+            if version != PROTOCOL_VERSION:
+                raise ProtocolError(f"unsupported v2 frame version {version}")
+            _check_length(length)
+            end = _HEADER_V2.size + length
+            if len(buffer) < end:
+                return None
+            payload = bytes(buffer[_HEADER_V2.size : end])
+            del buffer[:end]
+            return Frame(version=version, correlation_id=correlation_id, payload=payload)
+        raise ProtocolError(f"bad frame magic {magic!r}")

@@ -1,9 +1,13 @@
 """Request/response messages of the TimeCrypt wire protocol.
 
 The protocol mirrors the server engine's API surface: stream lifecycle,
-chunk ingest, raw range retrieval, statistical queries (single and
-multi-stream), grant/envelope pickup, and rollup.  Messages are encoded as a
-JSON header plus optional binary attachments:
+chunk ingest (scalar and bulk), raw range retrieval, statistical queries
+(single and multi-stream), grant/envelope pickup (scalar and burst), and
+rollup.  ``hello`` negotiates the protocol: the server answers with its
+protocol version and the operations its dispatcher supports, so clients can
+pick the pipelined v2 framing and the ``multi_*``-style batch ops without
+probing.  Messages are encoded as a JSON header plus optional binary
+attachments:
 
 ``frame = varint(header_len) || header_json || attachments``
 
@@ -24,6 +28,7 @@ from repro.util.encoding import decode_varint, encode_varint
 
 #: Operation names accepted by the server dispatcher.
 OPERATIONS = (
+    "hello",
     "create_stream",
     "delete_stream",
     "insert_chunk",
@@ -37,6 +42,7 @@ OPERATIONS = (
     "stream_head",
     "stream_metadata",
     "put_grant",
+    "put_grants",
     "fetch_grants",
     "fetch_envelopes",
     "put_envelopes",

@@ -1,21 +1,46 @@
 """The TCP server exposing a :class:`~repro.server.engine.ServerEngine`.
 
-A thread-per-connection TCP server (the Netty stand-in): each connection
-exchanges framed request/response messages (see :mod:`repro.net.messages`)
-and is dispatched against the in-process server engine.  The dispatcher is
-also usable without sockets through :class:`RequestDispatcher`, which the
-in-process transport and the tests reuse directly.
+The transport is a single-threaded ``selectors`` I/O loop feeding a
+**bounded worker pool** (the Netty stand-in): one thread accepts
+connections and reads bytes, an incremental
+:class:`~repro.net.framing.FrameAssembler` per connection turns them into
+frames, and each complete frame is dispatched on a shared
+``ThreadPoolExecutor`` — so request handling no longer scales one thread
+per connection, and a slow request only occupies one pool slot.
+
+Both framing versions are served on every connection:
+
+* **v2 frames** carry a correlation id; they are dispatched concurrently
+  and their responses are written (under the per-connection write lock)
+  whenever they finish — out of order is expected and correct, the client
+  matches responses by correlation id.
+* **v1 frames** have no correlation id, so their responses must arrive in
+  request order; per connection they run strictly one at a time through a
+  FIFO queue (still on the pool, never blocking the I/O loop).
+
+The dispatcher is also usable without sockets through
+:class:`RequestDispatcher`, which the in-process transport and the tests
+reuse directly.
 """
 
 from __future__ import annotations
 
-import socketserver
+import selectors
+import socket
 import threading
-from typing import Dict, List, Optional, Tuple
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from typing import Deque, Dict, List, Optional, Set, Tuple
 
 from repro.exceptions import ProtocolError, TimeCryptError
-from repro.net.framing import read_frame, write_frame
-from repro.net.messages import Request, Response
+from repro.net.framing import (
+    PROTOCOL_VERSION,
+    Frame,
+    FrameAssembler,
+    encode_frame,
+    encode_frame_v2,
+)
+from repro.net.messages import OPERATIONS, Request, Response
 from repro.server.engine import ServerEngine, _metadata_from_json, _metadata_to_json
 from repro.timeseries.serialization import decode_encrypted_chunk, encode_encrypted_chunk
 from repro.util.timeutil import TimeRange
@@ -36,6 +61,14 @@ class RequestDispatcher:
             return handler(request)
         except TimeCryptError as exc:
             return Response.failure(exc)
+
+    # -- negotiation ---------------------------------------------------------------
+
+    def _op_hello(self, _request: Request) -> Response:
+        """Protocol negotiation: advertise the framing version and operations."""
+        return Response.success(
+            {"protocol": PROTOCOL_VERSION, "operations": list(OPERATIONS)}
+        )
 
     # -- stream lifecycle ----------------------------------------------------------
 
@@ -152,6 +185,19 @@ class RequestDispatcher:
         )
         return Response.success({"grant_id": grant_id})
 
+    def _op_put_grants(self, request: Request) -> Response:
+        """Grant burst: many sealed tokens land in one storage ``multi_put``."""
+        targets: List[Dict] = request.args["grants"]
+        if len(targets) != len(request.attachments):
+            raise ProtocolError("put_grants targets and attachments must align")
+        grant_ids = self._engine.put_grants(
+            [
+                (target["uuid"], target["principal_id"], sealed)
+                for target, sealed in zip(targets, request.attachments)
+            ]
+        )
+        return Response.success({"grant_ids": list(grant_ids)})
+
     def _op_fetch_grants(self, request: Request) -> Response:
         grants = self._engine.fetch_grants(request.args["uuid"], request.args["principal_id"])
         return Response.success({"num_grants": len(grants)}, attachments=list(grants))
@@ -160,10 +206,11 @@ class RequestDispatcher:
         windows: List[int] = request.args["windows"]
         if len(windows) != len(request.attachments):
             raise ProtocolError("envelope windows and attachments must align")
-        for window_index, envelope in zip(windows, request.attachments):
-            self._engine.token_store.put_envelope(
-                request.args["uuid"], request.args["resolution_chunks"], window_index, envelope
-            )
+        self._engine.token_store.put_envelopes(
+            request.args["uuid"],
+            request.args["resolution_chunks"],
+            dict(zip(windows, request.attachments)),
+        )
         return Response.success({"stored": len(windows)})
 
     def _op_fetch_envelopes(self, request: Request) -> Response:
@@ -179,61 +226,234 @@ class RequestDispatcher:
         )
 
 
-class _ConnectionHandler(socketserver.BaseRequestHandler):
-    """One thread per connection; loops over framed requests until EOF."""
+class _Connection:
+    """Per-connection transport state: socket, parser, write lock, v1 FIFO."""
 
-    def handle(self) -> None:  # pragma: no cover - exercised via integration tests
-        dispatcher: RequestDispatcher = self.server.dispatcher  # type: ignore[attr-defined]
-        while True:
-            try:
-                payload = read_frame(self.request)
-            except TimeCryptError:
-                return
-            try:
-                request = Request.decode(payload)
-                response = dispatcher.dispatch(request)
-            except TimeCryptError as exc:
-                response = Response.failure(exc)
-            write_frame(self.request, response.encode())
-
-
-class _ThreadedTCPServer(socketserver.ThreadingTCPServer):
-    allow_reuse_address = True
-    daemon_threads = True
+    def __init__(self, sock: socket.socket, address: Tuple[str, int]) -> None:
+        self.sock = sock
+        self.address = address
+        self.assembler = FrameAssembler()
+        self.write_lock = threading.Lock()
+        #: v1 frames awaiting dispatch; guarded by ``state_lock``.  At most one
+        #: v1 frame per connection is ever on the pool, preserving response order.
+        self.v1_queue: Deque[Frame] = deque()
+        self.v1_active = False
+        self.state_lock = threading.Lock()
+        self.closed = False
 
 
 class TimeCryptTCPServer:
-    """A background-thread TCP server wrapping a server engine."""
+    """A background TCP server: selector I/O loop + bounded dispatch pool.
 
-    def __init__(self, engine: ServerEngine, host: str = "127.0.0.1", port: int = 0) -> None:
+    ``max_workers`` bounds concurrent request execution across *all*
+    connections; accepting another client costs a selector registration,
+    not a thread.  A custom ``dispatcher`` may be injected (tests use this
+    to add slow or failing operations).
+    """
+
+    def __init__(
+        self,
+        engine: ServerEngine,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_workers: int = 8,
+        dispatcher: Optional[RequestDispatcher] = None,
+    ) -> None:
+        if max_workers < 1:
+            raise ValueError("the dispatch pool needs at least one worker")
         self._engine = engine
-        self._dispatcher = RequestDispatcher(engine)
-        self._server = _ThreadedTCPServer((host, port), _ConnectionHandler)
-        self._server.dispatcher = self._dispatcher  # type: ignore[attr-defined]
+        self._dispatcher = dispatcher or RequestDispatcher(engine)
+        self._listener = socket.create_server((host, port), reuse_port=False)
+        self._listener.setblocking(True)
+        self._selector = selectors.DefaultSelector()
+        self._pool = ThreadPoolExecutor(max_workers=max_workers, thread_name_prefix="tc-dispatch")
+        self._connections: Set[_Connection] = set()
+        self._doomed: Deque[_Connection] = deque()
+        self._wakeup_recv, self._wakeup_send = socket.socketpair()
+        self._wakeup_recv.setblocking(False)
+        self._running = False
         self._thread: Optional[threading.Thread] = None
 
     @property
     def address(self) -> Tuple[str, int]:
-        return self._server.server_address  # type: ignore[return-value]
+        return self._listener.getsockname()
 
     @property
     def dispatcher(self) -> RequestDispatcher:
         return self._dispatcher
 
+    # -- lifecycle -----------------------------------------------------------------
+
     def start(self) -> "TimeCryptTCPServer":
-        self._thread = threading.Thread(target=self._server.serve_forever, daemon=True)
+        self._running = True
+        self._selector.register(self._listener, selectors.EVENT_READ, "accept")
+        self._selector.register(self._wakeup_recv, selectors.EVENT_READ, "wakeup")
+        self._thread = threading.Thread(target=self._serve_loop, daemon=True, name="tc-io-loop")
         self._thread.start()
         return self
 
     def stop(self) -> None:
-        self._server.shutdown()
-        self._server.server_close()
+        self._running = False
+        self._wake()
         if self._thread is not None:
             self._thread.join(timeout=5)
             self._thread = None
+        self._pool.shutdown(wait=True)
+        for handle in (self._wakeup_recv, self._wakeup_send, self._listener):
+            try:
+                handle.close()
+            except OSError:
+                pass
 
     def __enter__(self) -> "TimeCryptTCPServer":
         return self.start()
 
     def __exit__(self, *_exc_info: object) -> None:
         self.stop()
+
+    def _wake(self) -> None:
+        try:
+            self._wakeup_send.send(b"\x00")
+        except OSError:
+            pass
+
+    # -- I/O loop --------------------------------------------------------------------
+
+    def _serve_loop(self) -> None:  # pragma: no cover - exercised via integration tests
+        try:
+            while self._running:
+                events = self._selector.select(timeout=1.0)
+                for key, _mask in events:
+                    if key.data == "accept":
+                        self._accept()
+                    elif key.data == "wakeup":
+                        self._drain_wakeup()
+                    else:
+                        self._service(key.data)
+                self._reap_doomed()
+        finally:
+            for connection in list(self._connections):
+                self._close_connection(connection, unregister=True)
+            try:
+                self._selector.unregister(self._listener)
+                self._selector.unregister(self._wakeup_recv)
+            except (KeyError, OSError, ValueError):
+                pass
+            self._selector.close()
+
+    def _accept(self) -> None:
+        try:
+            sock, address = self._listener.accept()
+        except OSError:
+            return
+        sock.setblocking(True)
+        connection = _Connection(sock, address)
+        self._connections.add(connection)
+        self._selector.register(sock, selectors.EVENT_READ, connection)
+
+    def _drain_wakeup(self) -> None:
+        try:
+            while self._wakeup_recv.recv(4096):
+                pass
+        except (BlockingIOError, OSError):
+            pass
+
+    def _service(self, connection: _Connection) -> None:
+        """One readable socket: pull bytes, dispatch every completed frame."""
+        try:
+            data = connection.sock.recv(1 << 16)
+        except OSError:
+            data = b""
+        if not data:
+            self._close_connection(connection, unregister=True)
+            return
+        try:
+            frames = connection.assembler.feed(data)
+        except ProtocolError:
+            # Unrecognizable bytes: the stream cannot be re-synchronised.
+            self._close_connection(connection, unregister=True)
+            return
+        for frame in frames:
+            if frame.version == 1:
+                self._enqueue_v1(connection, frame)
+            else:
+                self._pool.submit(self._handle_frame, connection, frame)
+
+    def _reap_doomed(self) -> None:
+        """Unregister connections a worker thread asked to close."""
+        while True:
+            try:
+                connection = self._doomed.popleft()
+            except IndexError:
+                return
+            self._close_connection(connection, unregister=True)
+
+    def _close_connection(self, connection: _Connection, unregister: bool) -> None:
+        with connection.state_lock:
+            if connection.closed:
+                already_closed = True
+            else:
+                connection.closed = True
+                already_closed = False
+        if unregister:
+            try:
+                self._selector.unregister(connection.sock)
+            except (KeyError, OSError, ValueError):
+                pass
+        if already_closed:
+            return
+        self._connections.discard(connection)
+        # shutdown() promptly errors out any worker blocked mid-sendall (it
+        # does not release the fd, so there is no reuse hazard); only then
+        # close() under the write lock, so the fd number can never be
+        # recycled into a new connection while a worker is still writing.
+        try:
+            connection.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        with connection.write_lock:
+            try:
+                connection.sock.close()
+            except OSError:
+                pass
+
+    # -- dispatch ----------------------------------------------------------------------
+
+    def _enqueue_v1(self, connection: _Connection, frame: Frame) -> None:
+        """Queue a v1 frame; only one per connection runs at a time (ordering)."""
+        with connection.state_lock:
+            connection.v1_queue.append(frame)
+            if connection.v1_active:
+                return
+            connection.v1_active = True
+        self._pool.submit(self._drain_v1, connection)
+
+    def _drain_v1(self, connection: _Connection) -> None:
+        while True:
+            with connection.state_lock:
+                if not connection.v1_queue:
+                    connection.v1_active = False
+                    return
+                frame = connection.v1_queue.popleft()
+            self._handle_frame(connection, frame)
+
+    def _handle_frame(self, connection: _Connection, frame: Frame) -> None:
+        try:
+            request = Request.decode(frame.payload)
+            response = self._dispatcher.dispatch(request)
+        except TimeCryptError as exc:
+            response = Response.failure(exc)
+        payload = response.encode()
+        if frame.version == 1:
+            encoded = encode_frame(payload)
+        else:
+            encoded = encode_frame_v2(frame.correlation_id, payload)
+        try:
+            with connection.write_lock:
+                if connection.closed:
+                    return
+                connection.sock.sendall(encoded)
+        except OSError:
+            # The I/O loop owns selector state; hand the corpse over.
+            self._doomed.append(connection)
+            self._wake()

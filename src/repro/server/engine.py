@@ -396,6 +396,10 @@ class ServerEngine:
     def put_grant(self, stream_uuid: str, principal_id: str, sealed_token: bytes) -> int:
         return self.token_store.put_grant(stream_uuid, principal_id, sealed_token)
 
+    def put_grants(self, grants: Sequence[Tuple[str, str, bytes]]) -> List[int]:
+        """Store a cohort grant burst in one token-store ``multi_put``."""
+        return self.token_store.put_grants(grants)
+
     def fetch_grants(self, stream_uuid: str, principal_id: str) -> List[bytes]:
         return self.token_store.grants_for(stream_uuid, principal_id)
 

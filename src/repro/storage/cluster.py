@@ -14,16 +14,24 @@ Batch operations scatter-gather: ``multi_put``/``multi_get``/``multi_delete``
 group the keys by owning replica via the consistent-hash ring and issue one
 batched call per healthy node, so a write set of n keys over an N-node
 cluster costs at most N (typically ``replication_factor``-ish) backend round
-trips instead of n·RF.  A node whose local store raises mid-``multi_put``/
-``multi_get`` is marked down and its share of the batch is re-routed to the
-surviving replicas — the same mark-down state that ``mark_up`` +
-``repair_node`` later heal; ``multi_delete`` instead propagates node errors,
-because a missed tombstone cannot be repaired after the fact.
+trips instead of n·RF.  The per-node calls **fan out concurrently** through
+a shared, lazily created :class:`~concurrent.futures.ThreadPoolExecutor`
+(remote backends spend their round trip waiting on the network, so the
+fan-out latency is the slowest node, not the sum); outcomes are gathered
+and then applied in deterministic node order, so failure handling behaves
+identically to the former sequential loop.  A node whose local store raises
+mid-``multi_put``/``multi_get`` is marked down and its share of the batch
+is re-routed to the surviving replicas — the same mark-down state that
+``mark_up`` + ``repair_node`` later heal; ``multi_delete`` instead
+propagates node errors (deterministically: the lowest-named failing node's
+error), because a missed tombstone cannot be repaired after the fact.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, Iterator, List, Optional, Set, Tuple
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.exceptions import PartitionError, StorageError
 from repro.storage.kv import KeyValueStore
@@ -45,17 +53,23 @@ class StorageCluster(KeyValueStore):
         replication_factor: int = 2,
         store_factory: Optional[Callable[[str], KeyValueStore]] = None,
         virtual_tokens: int = 64,
+        max_fanout_workers: int = 8,
     ) -> None:
         if num_nodes <= 0:
             raise ValueError("the cluster needs at least one node")
         if replication_factor <= 0:
             raise ValueError("replication_factor must be positive")
+        if max_fanout_workers <= 0:
+            raise ValueError("max_fanout_workers must be positive")
         self._replication_factor = min(replication_factor, num_nodes)
         factory = store_factory or (lambda _name: MemoryStore())
         self._node_names = [f"node-{index}" for index in range(num_nodes)]
         self._stores: Dict[str, KeyValueStore] = {name: factory(name) for name in self._node_names}
         self._down: Set[str] = set()
         self._ring = ConsistentHashRing(self._node_names, virtual_tokens=virtual_tokens)
+        self._max_fanout_workers = min(max_fanout_workers, num_nodes)
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._executor_lock = threading.Lock()
 
     # -- cluster management ---------------------------------------------------
 
@@ -99,6 +113,45 @@ class StorageCluster(KeyValueStore):
                 groups.setdefault(node, []).append(key)
         return groups
 
+    # -- concurrent per-node fan-out -----------------------------------------------
+
+    def _pool(self) -> ThreadPoolExecutor:
+        """The shared fan-out executor (created on first multi-node batch)."""
+        with self._executor_lock:
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self._max_fanout_workers, thread_name_prefix="tc-cluster"
+                )
+            return self._executor
+
+    def _fan_out(
+        self, tasks: Dict[str, Callable[[], Any]]
+    ) -> Dict[str, Tuple[Any, Optional[BaseException]]]:
+        """Run one thunk per node concurrently; gather ``(result, error)`` pairs.
+
+        Nothing is raised and no cluster state is mutated here — callers
+        inspect the outcomes in sorted node order, so mark-downs and error
+        propagation stay deterministic however the threads interleave.  A
+        single-node batch runs inline (no pool hop for the common
+        replication-factor-1 corner and tiny clusters).
+        """
+        outcomes: Dict[str, Tuple[Any, Optional[BaseException]]] = {}
+        if len(tasks) <= 1:
+            for node, thunk in tasks.items():
+                try:
+                    outcomes[node] = (thunk(), None)
+                except Exception as exc:
+                    outcomes[node] = (None, exc)
+            return outcomes
+        pool = self._pool()
+        futures = {node: pool.submit(thunk) for node, thunk in tasks.items()}
+        for node, future in futures.items():
+            try:
+                outcomes[node] = (future.result(), None)
+            except Exception as exc:
+                outcomes[node] = (None, exc)
+        return outcomes
+
     # -- KeyValueStore interface -------------------------------------------------
 
     def get(self, key: bytes) -> Optional[bytes]:
@@ -141,18 +194,28 @@ class StorageCluster(KeyValueStore):
         pending: Dict[bytes, bytes] = {key: value for key, value in items}
         while pending:
             groups = self._group_by_replica(pending)
+            tasks = {
+                node: (
+                    lambda store=self._stores[node], batch=[(key, pending[key]) for key in keys]: (
+                        store.multi_put(batch)
+                    )
+                )
+                for node, keys in groups.items()
+            }
+            outcomes = self._fan_out(tasks)
             acked: Set[bytes] = set()
             any_failure = False
-            for node, keys in groups.items():
-                try:
-                    self._stores[node].multi_put([(key, pending[key]) for key in keys])
-                except PartitionError:
-                    raise
-                except _NODE_FAILURES:
+            for node in sorted(groups):
+                _result, error = outcomes[node]
+                if error is None:
+                    acked.update(groups[node])
+                elif isinstance(error, PartitionError):
+                    raise error
+                elif isinstance(error, _NODE_FAILURES):
                     self.mark_down(node)
                     any_failure = True
                 else:
-                    acked.update(keys)
+                    raise error
             if not any_failure:
                 return
             pending = {key: value for key, value in pending.items() if key not in acked}
@@ -182,15 +245,21 @@ class StorageCluster(KeyValueStore):
                     unresolved.discard(key)  # absent on every healthy replica
                     continue
                 groups.setdefault(untried[0], []).append(key)
-            for node, node_keys in groups.items():
-                try:
-                    found = self._stores[node].multi_get(node_keys)
-                except PartitionError:
-                    raise
-                except _NODE_FAILURES:
-                    self.mark_down(node)
-                    continue
-                for key in node_keys:
+            tasks = {
+                node: (lambda store=self._stores[node], keys=list(node_keys): store.multi_get(keys))
+                for node, node_keys in groups.items()
+            }
+            outcomes = self._fan_out(tasks)
+            for node in sorted(groups):
+                found, error = outcomes[node]
+                if error is not None:
+                    if isinstance(error, PartitionError):
+                        raise error
+                    if isinstance(error, _NODE_FAILURES):
+                        self.mark_down(node)
+                        continue
+                    raise error
+                for key in groups[node]:
                     tried[key].add(node)
                     value = found.get(key)
                     if value is not None:
@@ -206,13 +275,25 @@ class StorageCluster(KeyValueStore):
         backfill a missed *write*, but it cannot propagate a missed
         tombstone — ``repair_node`` would resurrect the key instead.  The
         caller must know the delete did not fully land so it can retry.
+        With the concurrent fan-out several nodes may fail in one batch;
+        the lowest-named node's error is the one raised, so the surfaced
+        failure does not depend on thread timing.
         """
         materialized = set(keys)
         if not materialized:
             return set()
+        groups = self._group_by_replica(materialized)
+        tasks = {
+            node: (lambda store=self._stores[node], keys=list(node_keys): store.multi_delete(keys))
+            for node, node_keys in groups.items()
+        }
+        outcomes = self._fan_out(tasks)
         existed: Set[bytes] = set()
-        for node, node_keys in self._group_by_replica(materialized).items():
-            existed.update(self._stores[node].multi_delete(node_keys))
+        for node in sorted(groups):
+            deleted, error = outcomes[node]
+            if error is not None:
+                raise error
+            existed.update(deleted)
         return existed
 
     def scan_prefix(self, prefix: bytes) -> Iterator[Tuple[bytes, bytes]]:
@@ -252,5 +333,9 @@ class StorageCluster(KeyValueStore):
         return len(missing)
 
     def close(self) -> None:
+        with self._executor_lock:
+            if self._executor is not None:
+                self._executor.shutdown(wait=True)
+                self._executor = None
         for store in self._stores.values():
             store.close()

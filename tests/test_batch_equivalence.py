@@ -440,7 +440,8 @@ def test_remote_client_downgrades_without_bulk_wire_op(monkeypatch, small_config
             uuid = owner.create_stream(metric="m", config=small_config)
             owner.insert_records(uuid, [(t * 100, 2.0) for t in range(100)])
             owner.flush(uuid)
-            assert not remote._server_supports_bulk_ingest
+            # The failed round trip strips the op from the negotiated set.
+            assert not remote.supports_operation("insert_chunks")
             assert remote.stream_head(uuid) == 10
             stats = owner.get_stat_range(uuid, 0, 10_000, operators=("count", "sum"))
             assert stats == {"count": 100, "sum": 200.0}
