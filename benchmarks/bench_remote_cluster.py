@@ -1,0 +1,372 @@
+"""Round trips and throughput of the remote storage node tier.
+
+PR 2 made cluster batches one backend call per owning node; PR 3 pipelined
+the client/engine wire.  This benchmark closes the loop on the storage side:
+a :class:`~repro.storage.cluster.StorageCluster` whose nodes are
+:class:`~repro.storage.remote.RemoteKeyValueStore` clients talking to real
+:class:`~repro.storage.node.StorageNodeServer` TCP processes, so replication
+itself crosses sockets.  Three claims are measured:
+
+1. **Cluster batches** — a ``multi_put``/``multi_get`` of N keys costs at
+   most ``replication_factor``+1 wire round trips *per node* (one
+   ``kv_multi_*`` request per owning replica, plus re-route slack), not
+   n·RF like the scalar loop.
+2. **Ingest** — end-to-end encrypted ingest through a ServerEngine backed
+   by the remote cluster stays within the same per-node round-trip budget
+   per delivered chunk batch, and its throughput is compared against the
+   identical in-process cluster to show the socket tax.
+3. **Reads and grant bursts** — a whole-stream range read, a stat query,
+   and a K-principal grant burst each cost a handful of per-node round
+   trips, independent of K and of the number of chunks touched.
+
+Run as a script to print the tables and refresh ``BENCH_remote.json``:
+
+    PYTHONPATH=src python benchmarks/bench_remote_cluster.py
+
+``--smoke`` shrinks the workload for CI smoke jobs (round-trip counts are
+deterministic, so the assertions still hold); ``BENCH_SCALE`` scales the
+full run.  The assertions also run under plain pytest:
+``pytest benchmarks/bench_remote_cluster.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Dict, Iterator, List, Tuple
+
+from repro import Principal, ServerEngine, TimeCrypt
+from repro.access.keystore import TokenStore
+from repro.bench.reporting import ResultTable, format_duration, write_json_report
+from repro.storage.cluster import StorageCluster
+from repro.storage.memory import MemoryStore
+from repro.storage.node import StorageNodeServer
+from repro.storage.remote import RemoteKeyValueStore
+from repro.timeseries.stream import StreamConfig
+from repro.util.timeutil import TimeRange
+
+from conftest import scaled
+
+NUM_NODES = 3
+REPLICATION_FACTOR = 2
+
+#: Direct KV batch workload.
+KV_KEYS = scaled(2000, minimum=200)
+#: Ingest workload: short chunks so per-chunk overhead dominates.
+INGEST_CHUNKS = scaled(192, minimum=64)
+POINTS_PER_CHUNK = 4
+CHUNK_INTERVAL_MS = 1_000
+CHUNKS_PER_BATCH = 32
+
+GRANT_BURST = scaled(16, minimum=8)
+
+_DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_remote.json"
+
+
+class _RemoteCluster:
+    """NUM_NODES storage-node TCP servers plus a cluster dialing them."""
+
+    def __init__(self) -> None:
+        self.backing = {f"node-{index}": MemoryStore() for index in range(NUM_NODES)}
+        self.servers = {
+            name: StorageNodeServer(store).start() for name, store in self.backing.items()
+        }
+        addresses = {name: server.address for name, server in self.servers.items()}
+        self.cluster = StorageCluster(
+            num_nodes=NUM_NODES,
+            replication_factor=REPLICATION_FACTOR,
+            store_factory=lambda name: RemoteKeyValueStore(*addresses[name], timeout=10.0),
+        )
+
+    def per_node_round_trips(self) -> Dict[str, int]:
+        return {
+            name: self.cluster.node_store(name).wire_stats.round_trips
+            for name in self.cluster.node_names
+        }
+
+    def reset_round_trips(self) -> None:
+        for name in self.cluster.node_names:
+            self.cluster.node_store(name).wire_stats.reset()
+
+    def close(self) -> None:
+        self.cluster.close()
+        for server in self.servers.values():
+            server.stop()
+
+
+@contextmanager
+def _remote_cluster() -> Iterator[_RemoteCluster]:
+    stack = _RemoteCluster()
+    try:
+        yield stack
+    finally:
+        stack.close()
+
+
+def _ingest_records(num_chunks: int) -> List[Tuple[int, float]]:
+    step = CHUNK_INTERVAL_MS // POINTS_PER_CHUNK
+    return [
+        (t, float((t // step) % 100)) for t in range(0, num_chunks * CHUNK_INTERVAL_MS, step)
+    ]
+
+
+def _stream_config() -> StreamConfig:
+    return StreamConfig(chunk_interval=CHUNK_INTERVAL_MS)
+
+
+def _run_kv_batches(stack: _RemoteCluster, num_keys: int, scalar: bool) -> Dict[str, float]:
+    """Direct cluster write/read of ``num_keys``; per-node wire accounting."""
+    items = [(f"kv/{'s' if scalar else 'b'}/{index:06d}".encode(), bytes(64)) for index in range(num_keys)]
+    stack.reset_round_trips()
+    begin = time.perf_counter()
+    if scalar:
+        for key, value in items:
+            stack.cluster.put(key, value)
+        for key, _value in items:
+            stack.cluster.get(key)
+    else:
+        stack.cluster.multi_put(items)
+        stack.cluster.multi_get([key for key, _ in items])
+    elapsed = time.perf_counter() - begin
+    per_node = stack.per_node_round_trips()
+    return {
+        "keys": num_keys,
+        "seconds": elapsed,
+        "keys_per_s": (2 * num_keys) / elapsed if elapsed else 0.0,
+        "max_node_round_trips": max(per_node.values()),
+        "total_round_trips": sum(per_node.values()),
+    }
+
+
+def _run_ingest(cluster, num_chunks: int, stack: _RemoteCluster = None) -> Dict[str, float]:
+    """Encrypted ingest through an engine over ``cluster``; wire accounting optional."""
+    engine = ServerEngine(store=cluster, token_store=TokenStore(cluster))
+    owner = TimeCrypt(server=engine, owner_id="bench")
+    uuid = owner.create_stream(metric="remote-bench", config=_stream_config())
+    records = _ingest_records(num_chunks)
+    batch_records = CHUNKS_PER_BATCH * POINTS_PER_CHUNK
+    num_batches = 0
+    if stack is not None:
+        stack.reset_round_trips()
+    begin = time.perf_counter()
+    for offset in range(0, len(records), batch_records):
+        owner.insert_records(uuid, records[offset : offset + batch_records])
+        num_batches += 1
+    # The batched deliveries are the claim under test; the final flush seals
+    # one trailing partial chunk through the scalar path and is accounted
+    # separately.
+    batch_trips = max(stack.per_node_round_trips().values()) if stack is not None else 0
+    owner.flush(uuid)
+    elapsed = time.perf_counter() - begin
+    result: Dict[str, float] = {
+        "num_chunks": num_chunks,
+        "num_batches": num_batches,
+        "seconds": elapsed,
+        "records_per_s": len(records) / elapsed if elapsed else 0.0,
+        "uuid": uuid,
+        "engine": engine,
+        "owner": owner,
+    }
+    if stack is not None:
+        per_node = stack.per_node_round_trips()
+        result["max_node_round_trips"] = max(per_node.values())
+        result["max_node_round_trips_per_batch"] = batch_trips / num_batches
+        result["flush_round_trips"] = max(per_node.values()) - batch_trips
+    return result
+
+
+def _run_queries(stack: _RemoteCluster, engine, uuid: str, num_chunks: int) -> Dict[str, float]:
+    stack.reset_round_trips()
+    chunks = engine.get_range(uuid, TimeRange(0, num_chunks * CHUNK_INTERVAL_MS))
+    range_trips = max(stack.per_node_round_trips().values())
+    stack.reset_round_trips()
+    engine.stat_range(uuid, TimeRange(0, num_chunks * CHUNK_INTERVAL_MS))
+    stat_trips = max(stack.per_node_round_trips().values())
+    return {
+        "chunks_fetched": len(chunks),
+        "range_max_node_round_trips": range_trips,
+        "stat_max_node_round_trips": stat_trips,
+    }
+
+
+def _run_grant_burst(stack: _RemoteCluster, owner: TimeCrypt, uuid: str, cohort_size: int) -> Dict[str, float]:
+    cohort = [Principal.create(f"principal-{index}") for index in range(cohort_size)]
+    for principal in cohort:
+        owner.register_principal(principal)
+    horizon = 4 * CHUNK_INTERVAL_MS
+    stack.reset_round_trips()
+    begin = time.perf_counter()
+    owner.grant_access_many(uuid, [(p.principal_id, 0, horizon, None) for p in cohort])
+    elapsed = time.perf_counter() - begin
+    per_node = stack.per_node_round_trips()
+    return {
+        "principals": cohort_size,
+        "seconds": elapsed,
+        "max_node_round_trips": max(per_node.values()),
+        "total_round_trips": sum(per_node.values()),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Assertions (collected by pytest, reused by the script)
+# ---------------------------------------------------------------------------
+
+
+def test_cluster_batch_costs_rf_round_trips_per_node():
+    """An N-key cluster batch costs ≤ RF+1 round trips per node, not n·RF."""
+    num_keys = min(KV_KEYS, 400)
+    with _remote_cluster() as stack:
+        batched = _run_kv_batches(stack, num_keys, scalar=False)
+    with _remote_cluster() as stack:
+        scalar = _run_kv_batches(stack, min(num_keys, 200), scalar=True)
+    # One kv_multi_put + one kv_multi_get per node (re-route slack allowed).
+    assert batched["max_node_round_trips"] <= 2 * (REPLICATION_FACTOR + 1), batched
+    # The scalar loop pays roughly one round trip per key per replica.
+    assert scalar["total_round_trips"] >= scalar["keys"], scalar
+
+
+def test_ingest_batches_stay_in_round_trip_budget():
+    """Per delivered chunk batch, each node sees ≤ RF+1 wire round trips."""
+    num_chunks = min(INGEST_CHUNKS, 96)
+    with _remote_cluster() as stack:
+        ingest = _run_ingest(stack.cluster, num_chunks, stack=stack)
+        assert ingest["max_node_round_trips_per_batch"] <= REPLICATION_FACTOR + 1, ingest
+
+
+def test_queries_and_grant_bursts_are_constant_round_trips():
+    """Whole-stream reads and K-principal grant bursts cost O(1) trips/node."""
+    num_chunks = min(INGEST_CHUNKS, 96)
+    cohort = min(GRANT_BURST, 8)
+    with _remote_cluster() as stack:
+        ingest = _run_ingest(stack.cluster, num_chunks, stack=stack)
+        queries = _run_queries(stack, ingest["engine"], ingest["uuid"], num_chunks)
+        assert queries["chunks_fetched"] == num_chunks
+        assert queries["range_max_node_round_trips"] <= REPLICATION_FACTOR + 1
+        assert queries["stat_max_node_round_trips"] <= REPLICATION_FACTOR + 1
+        burst = _run_grant_burst(stack, ingest["owner"], ingest["uuid"], cohort)
+        # One token-store prefix scan page + one multi_put per node, with
+        # slack for paging — but never one round trip per principal.
+        assert burst["max_node_round_trips"] <= REPLICATION_FACTOR + 3, burst
+        assert burst["max_node_round_trips"] < cohort
+
+
+# ---------------------------------------------------------------------------
+# Script entry point: tables + BENCH_remote.json baseline
+# ---------------------------------------------------------------------------
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="reduced-iteration CI mode: tiny workload, same assertions",
+    )
+    parser.add_argument(
+        "--output",
+        default=os.environ.get("BENCH_OUTPUT", str(_DEFAULT_OUTPUT)),
+        help="path of the JSON baseline to write",
+    )
+    args = parser.parse_args(argv)
+    num_keys = 200 if args.smoke else KV_KEYS
+    num_chunks = 64 if args.smoke else INGEST_CHUNKS
+    cohort = 8 if args.smoke else GRANT_BURST
+
+    results: Dict[str, object] = {
+        "smoke": args.smoke,
+        "topology": {"nodes": NUM_NODES, "replication_factor": REPLICATION_FACTOR},
+    }
+
+    # -- direct cluster batches ---------------------------------------------------
+    with _remote_cluster() as stack:
+        batched = _run_kv_batches(stack, num_keys, scalar=False)
+    with _remote_cluster() as stack:
+        scalar = _run_kv_batches(stack, min(num_keys, max(200, num_keys // 10)), scalar=True)
+    kv_table = ResultTable(
+        title=(
+            f"Cluster batch wire round trips — {NUM_NODES} remote TCP nodes, "
+            f"RF={REPLICATION_FACTOR}"
+        ),
+        columns=["path", "keys", "max trips/node", "total trips", "keys/s", "wall clock"],
+    )
+    for label, row in (("scalar put+get loop", scalar), ("multi_put + multi_get", batched)):
+        kv_table.add_row(
+            label,
+            f"{row['keys']:.0f}",
+            f"{row['max_node_round_trips']:.0f}",
+            f"{row['total_round_trips']:.0f}",
+            f"{row['keys_per_s']:.0f}",
+            format_duration(row["seconds"]),
+        )
+    kv_table.add_note(
+        f"target: <= RF+1 = {REPLICATION_FACTOR + 1} round trips per node per batch, not n*RF"
+    )
+    kv_table.print()
+    results["kv_batch"] = {"scalar": scalar, "batched": batched}
+
+    # -- end-to-end ingest: remote vs in-process cluster --------------------------
+    with _remote_cluster() as stack:
+        remote_ingest = _run_ingest(stack.cluster, num_chunks, stack=stack)
+        queries = _run_queries(stack, remote_ingest["engine"], remote_ingest["uuid"], num_chunks)
+        burst = _run_grant_burst(stack, remote_ingest["owner"], remote_ingest["uuid"], cohort)
+    inproc_cluster = StorageCluster(num_nodes=NUM_NODES, replication_factor=REPLICATION_FACTOR)
+    inproc_ingest = _run_ingest(inproc_cluster, num_chunks)
+    inproc_cluster.close()
+    for row in (remote_ingest, inproc_ingest):
+        row.pop("engine"), row.pop("owner"), row.pop("uuid")
+
+    ingest_table = ResultTable(
+        title=(
+            f"Encrypted ingest through the cluster — {num_chunks} chunks, "
+            f"{CHUNKS_PER_BATCH} chunks/batch"
+        ),
+        columns=["cluster", "records/s", "max trips/node/batch", "wall clock"],
+    )
+    ingest_table.add_row(
+        "in-process nodes",
+        f"{inproc_ingest['records_per_s']:.0f}",
+        "-",
+        format_duration(inproc_ingest["seconds"]),
+    )
+    ingest_table.add_row(
+        "remote TCP nodes",
+        f"{remote_ingest['records_per_s']:.0f}",
+        f"{remote_ingest['max_node_round_trips_per_batch']:.2f}",
+        format_duration(remote_ingest["seconds"]),
+    )
+    ingest_table.add_note(
+        "socket tax: "
+        f"{inproc_ingest['records_per_s'] / max(1.0, remote_ingest['records_per_s']):.2f}x "
+        "slower than in-process at identical round-trip counts"
+    )
+    ingest_table.print()
+    results["ingest"] = {"remote": remote_ingest, "in_process": inproc_ingest}
+
+    query_table = ResultTable(
+        title="Read path and grant burst over the remote cluster",
+        columns=["operation", "payload", "max trips/node"],
+    )
+    query_table.add_row(
+        "get_range", f"{queries['chunks_fetched']:.0f} chunks",
+        f"{queries['range_max_node_round_trips']:.0f}",
+    )
+    query_table.add_row(
+        "stat_range", "whole stream", f"{queries['stat_max_node_round_trips']:.0f}"
+    )
+    query_table.add_row(
+        "grant burst", f"{burst['principals']:.0f} principals",
+        f"{burst['max_node_round_trips']:.0f}",
+    )
+    query_table.add_note("targets: constant per-node round trips, independent of payload size")
+    query_table.print()
+    results["queries"] = queries
+    results["grant_burst"] = burst
+
+    print(f"baseline written to {write_json_report(args.output, results)}")
+
+
+if __name__ == "__main__":
+    main()

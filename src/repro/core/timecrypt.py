@@ -37,7 +37,7 @@ from repro.client.keymanager import OwnerKeyManager
 from repro.crypto.prf import resolve_prg
 from repro.client.reader import ConsumerReader
 from repro.client.writer import StreamWriter
-from repro.exceptions import AccessDeniedError, StreamNotFoundError
+from repro.exceptions import AccessDeniedError, StreamNotFoundError, TimeCryptError
 from repro.server.engine import ServerEngine
 from repro.server.query_executor import MultiStreamAggregate
 from repro.timeseries.point import DataPoint, encode_value
@@ -338,32 +338,137 @@ class TimeCryptConsumer:
     principal: Principal
     _readers: Dict[str, ConsumerReader] = field(default_factory=dict, init=False)
     _tokens: Dict[str, AccessToken] = field(default_factory=dict, init=False)
+    #: Per-stream session cache of public stream configuration, so repeated
+    #: queries (and repeated ``fetch_access`` calls) stop refetching stream
+    #: metadata per call site.
+    _configs: Dict[str, StreamConfig] = field(default_factory=dict, init=False)
 
     # -- grant pickup --------------------------------------------------------------
 
-    def fetch_access(self, stream_uuid: str, config: StreamConfig) -> AccessToken:
+    def fetch_access(self, stream_uuid: str, config: Optional[StreamConfig] = None) -> AccessToken:
         """Pick up and decrypt the latest grant for a stream.
 
         The stream configuration is public metadata (chunk interval, digest
-        layout) and is fetched from the server's stream registry by callers
-        that do not already know it.
+        layout); callers that do not already know it may omit it, and it is
+        fetched from the server's stream registry once per session (cached
+        afterwards).  Over a pipelined transport, prefer :meth:`warm_up` —
+        it collapses the whole cold start (grants, metadata, envelopes, for
+        any number of streams) into two wire round trips.
         """
+        if config is None:
+            config = self._config_of(stream_uuid)
         sealed_grants = self.server.fetch_grants(stream_uuid, self.principal.principal_id)
-        if not sealed_grants:
-            raise AccessDeniedError(
-                f"no grant stored for '{self.principal.principal_id}' on stream '{stream_uuid}'"
-            )
-        token = AccessToken.from_bytes(
-            self.principal.decrypt_envelope(sealed_grants[-1], context=stream_uuid.encode("utf-8"))
-        )
+        token = self._unseal_latest(stream_uuid, sealed_grants)
         envelopes: Dict[int, bytes] = {}
         if not token.is_full_resolution:
             envelopes = self.server.fetch_envelopes(
                 stream_uuid, token.resolution_chunks, token.window_start, token.window_end
             )
+        return self._install_access(stream_uuid, token, config, envelopes)
+
+    def warm_up(self, stream_uuids: Sequence[str]) -> Dict[str, AccessToken]:
+        """Cold-start access to many streams in (at most) two round trips.
+
+        Over a pipelined transport (:class:`~repro.net.client
+        .RemoteServerClient` or anything exposing a compatible
+        ``pipeline()``), the first round trip batches every stream's grant
+        pickup together with the stream metadata not already in the session
+        cache; tokens are unsealed locally, and a second round trip batches
+        the key-envelope fetches for whichever tokens turned out to be
+        resolution-restricted (their windows are inside the token, so this
+        round trip cannot be merged into the first).  Full-resolution
+        grants finish in one.  Against a non-pipelined server handle the
+        per-stream scalar path is used instead — same result, more trips.
+
+        Failures are per stream: a stream whose grant is missing, revoked,
+        or otherwise unobtainable is simply absent from the returned
+        mapping, and the remaining streams' access is still installed —
+        one revoked grant must not void a whole dashboard's cold start.
+        Only when *every* requested stream fails is the first error raised.
+        """
+        uuids = list(dict.fromkeys(stream_uuids))
+        tokens: Dict[str, AccessToken] = {}
+        errors: Dict[str, Exception] = {}
+
+        def finish() -> Dict[str, AccessToken]:
+            if uuids and errors and not tokens:
+                raise errors[next(iter(errors))]
+            return tokens
+
+        pipeline_factory = getattr(self.server, "pipeline", None)
+        if pipeline_factory is None:
+            for uuid in uuids:
+                try:
+                    tokens[uuid] = self.fetch_access(uuid)
+                except TimeCryptError as exc:
+                    errors[uuid] = exc
+            return finish()
+        with pipeline_factory() as batch:
+            grant_handles = {
+                uuid: batch.fetch_grants(uuid, self.principal.principal_id) for uuid in uuids
+            }
+            meta_handles = {
+                uuid: batch.stream_metadata(uuid)
+                for uuid in uuids
+                if uuid not in self._configs
+            }
+        restricted: Dict[str, AccessToken] = {}
+        for uuid in uuids:
+            try:
+                if uuid in meta_handles:
+                    self._configs[uuid] = meta_handles[uuid].result().config
+                token = self._unseal_latest(uuid, grant_handles[uuid].result())
+            except TimeCryptError as exc:
+                errors[uuid] = exc
+                continue
+            if token.is_full_resolution:
+                try:
+                    self._install_access(uuid, token, self._configs[uuid], {})
+                except TimeCryptError as exc:
+                    errors[uuid] = exc
+                    continue
+                tokens[uuid] = token
+            else:
+                tokens[uuid] = token
+                restricted[uuid] = token
+        if restricted:
+            with pipeline_factory() as batch:
+                envelope_handles = {
+                    uuid: batch.fetch_envelopes(
+                        uuid, token.resolution_chunks, token.window_start, token.window_end
+                    )
+                    for uuid, token in restricted.items()
+                }
+            for uuid, token in restricted.items():
+                try:
+                    self._install_access(
+                        uuid, token, self._configs[uuid], envelope_handles[uuid].result()
+                    )
+                except TimeCryptError as exc:
+                    errors[uuid] = exc
+                    tokens.pop(uuid, None)
+        return finish()
+
+    def _unseal_latest(self, stream_uuid: str, sealed_grants: Sequence[bytes]) -> AccessToken:
+        if not sealed_grants:
+            raise AccessDeniedError(
+                f"no grant stored for '{self.principal.principal_id}' on stream '{stream_uuid}'"
+            )
+        return AccessToken.from_bytes(
+            self.principal.decrypt_envelope(sealed_grants[-1], context=stream_uuid.encode("utf-8"))
+        )
+
+    def _install_access(
+        self,
+        stream_uuid: str,
+        token: AccessToken,
+        config: StreamConfig,
+        envelopes: Dict[int, bytes],
+    ) -> AccessToken:
         reader = ConsumerReader.from_access_token(token, config, envelopes)
         self._tokens[stream_uuid] = token
         self._readers[stream_uuid] = reader
+        self._configs[stream_uuid] = config
         return token
 
     def reader(self, stream_uuid: str) -> ConsumerReader:
@@ -435,4 +540,8 @@ class TimeCryptConsumer:
         return [point for point in points if start <= point.timestamp < end]
 
     def _config_of(self, stream_uuid: str) -> StreamConfig:
-        return self.server.stream_metadata(stream_uuid).config
+        config = self._configs.get(stream_uuid)
+        if config is None:
+            config = self.server.stream_metadata(stream_uuid).config
+            self._configs[stream_uuid] = config
+        return config

@@ -27,11 +27,12 @@ from repro.net.framing import (
     write_frame_v2,
 )
 from repro.net.messages import Request, Response
-from repro.net.server import RequestDispatcher, TimeCryptTCPServer
+from repro.net.server import RequestDispatcher, TimeCryptTCPServer, WireDispatcher
 
 __all__ = [
     "Request",
     "Response",
+    "WireDispatcher",
     "Frame",
     "FrameAssembler",
     "read_frame",

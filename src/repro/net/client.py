@@ -479,20 +479,28 @@ class RemoteServerClient:
         """Frame and write a request batch in one ``sendall``; returns futures."""
         # Encode outside the pending lock: a multi-megabyte chunk batch must
         # not stall the reader thread's response resolution while it JSONs.
+        # Framing happens *before* any future is registered — an oversized
+        # payload raises here without leaving ghost correlation ids in the
+        # pending table that nothing would ever resolve.
         payloads = [request.encode() for request in requests]
-        futures: List["Future[Response]"] = []
-        correlation_ids: List[int] = []
         with self._pending_lock:
-            for _payload in payloads:
-                correlation_id = next(self._correlation_ids)
-                future: "Future[Response]" = Future()
-                self._pending[correlation_id] = future
-                futures.append(future)
-                correlation_ids.append(correlation_id)
+            correlation_ids = [next(self._correlation_ids) for _payload in payloads]
         buffer = b"".join(
             encode_frame_v2(correlation_id, payload)
             for correlation_id, payload in zip(correlation_ids, payloads)
         )
+        futures: List["Future[Response]"] = []
+        with self._pending_lock:
+            for correlation_id in correlation_ids:
+                future: "Future[Response]" = Future()
+                self._pending[correlation_id] = future
+                futures.append(future)
+        # A reader that died *before* the registration above has already
+        # swept _pending and will never fail these futures; checking after
+        # registration closes the race (a reader dying later sweeps them).
+        if self._reader is not None and not self._reader.is_alive():
+            self._fail_pending(TransportError("reader thread terminated"))
+            return futures
         try:
             with self._lock:
                 self._socket.sendall(buffer)

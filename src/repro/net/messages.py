@@ -3,7 +3,10 @@
 The protocol mirrors the server engine's API surface: stream lifecycle,
 chunk ingest (scalar and bulk), raw range retrieval, statistical queries
 (single and multi-stream), grant/envelope pickup (scalar and burst), and
-rollup.  ``hello`` negotiates the protocol: the server answers with its
+rollup.  A second op family (``kv_*``) carries the raw key-value store
+contract for remote storage nodes, so the same framing/pipelining serves
+both the engine tier and the storage tier.  ``hello`` negotiates the
+protocol: the server answers with its
 protocol version and the operations its dispatcher supports, so clients can
 pick the pipelined v2 framing and the ``multi_*``-style batch ops without
 probing.  Messages are encoded as a JSON header plus optional binary
@@ -26,7 +29,25 @@ from typing import Any, Dict, List, Optional
 from repro.exceptions import ProtocolError
 from repro.util.encoding import decode_varint, encode_varint
 
-#: Operation names accepted by the server dispatcher.
+#: The storage-node op family: the raw :class:`~repro.storage.kv.KeyValueStore`
+#: contract carried over the same framing.  Keys and values are opaque byte
+#: strings, so they always travel as attachments, never inside the JSON
+#: header.  ``kv_scan_page`` is the wire shape of ``scan_prefix``: prefix
+#: scans are paged with an exclusive ``after`` cursor so a remote client can
+#: stream an arbitrarily large keyspace without ever materializing it (or
+#: hitting the frame cap).
+KV_OPERATIONS = (
+    "kv_get",
+    "kv_put",
+    "kv_delete",
+    "kv_multi_get",
+    "kv_multi_put",
+    "kv_multi_delete",
+    "kv_scan_page",
+    "kv_size_bytes",
+)
+
+#: Operation names accepted by the server dispatchers (engine + storage node).
 OPERATIONS = (
     "hello",
     "create_stream",
@@ -47,7 +68,7 @@ OPERATIONS = (
     "fetch_envelopes",
     "put_envelopes",
     "ping",
-)
+) + KV_OPERATIONS
 
 
 def _encode_message(header: Dict[str, Any], attachments: List[bytes]) -> bytes:
@@ -73,7 +94,9 @@ def _decode_message(payload: bytes) -> tuple[Dict[str, Any], List[bytes]]:
                 raise ProtocolError("truncated attachment")
             pos += length
         return header, attachments
-    except (ValueError, KeyError, UnicodeDecodeError) as exc:
+    except (ValueError, KeyError, TypeError, UnicodeDecodeError) as exc:
+        # TypeError included: attacker-shaped headers (e.g. null attachment
+        # lengths) surface as TypeError from the arithmetic above.
         raise ProtocolError("malformed protocol message") from exc
 
 

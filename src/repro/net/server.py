@@ -20,7 +20,10 @@ Both framing versions are served on every connection:
 
 The dispatcher is also usable without sockets through
 :class:`RequestDispatcher`, which the in-process transport and the tests
-reuse directly.
+reuse directly.  The transport itself is dispatcher-agnostic: any
+:class:`WireDispatcher` can sit behind it — the storage-node tier
+(:mod:`repro.storage.node`) serves the raw key-value contract through the
+exact same I/O loop, worker pool, and framing.
 """
 
 from __future__ import annotations
@@ -46,11 +49,19 @@ from repro.timeseries.serialization import decode_encrypted_chunk, encode_encryp
 from repro.util.timeutil import TimeRange
 
 
-class RequestDispatcher:
-    """Maps protocol requests onto server-engine calls."""
+class WireDispatcher:
+    """Shared dispatch machinery: op lookup, ``hello`` negotiation, ``ping``.
 
-    def __init__(self, engine: ServerEngine) -> None:
-        self._engine = engine
+    Concrete dispatchers (the server-engine :class:`RequestDispatcher`, the
+    storage-node dispatcher) add ``_op_<name>`` handlers; ``hello``
+    advertises exactly the operations this instance implements, so a client
+    negotiating against a storage node does not believe it can
+    ``insert_chunks`` there (and vice versa).
+    """
+
+    def supported_operations(self) -> List[str]:
+        """The wire operations this dispatcher actually implements."""
+        return [op for op in OPERATIONS if hasattr(self, f"_op_{op}")]
 
     def dispatch(self, request: Request) -> Response:
         """Execute one request, translating library errors into error responses."""
@@ -61,19 +72,35 @@ class RequestDispatcher:
             return handler(request)
         except TimeCryptError as exc:
             return Response.failure(exc)
+        except Exception as exc:  # noqa: BLE001 — dead air is worse than a broad catch
+            # A non-library exception (malformed args hitting int(), a buggy
+            # handler) must still answer the correlation id: an unanswered
+            # request reads as a peer outage on the client side.
+            return Response.failure(self._unexpected_error(exc))
+
+    def _unexpected_error(self, exc: Exception) -> TimeCryptError:
+        """Classify a non-TimeCryptError escaping a handler (overridable)."""
+        return ProtocolError(f"request failed in dispatch: {type(exc).__name__}: {exc}")
 
     # -- negotiation ---------------------------------------------------------------
 
     def _op_hello(self, _request: Request) -> Response:
         """Protocol negotiation: advertise the framing version and operations."""
         return Response.success(
-            {"protocol": PROTOCOL_VERSION, "operations": list(OPERATIONS)}
+            {"protocol": PROTOCOL_VERSION, "operations": self.supported_operations()}
         )
-
-    # -- stream lifecycle ----------------------------------------------------------
 
     def _op_ping(self, _request: Request) -> Response:
         return Response.success({"pong": True})
+
+
+class RequestDispatcher(WireDispatcher):
+    """Maps protocol requests onto server-engine calls."""
+
+    def __init__(self, engine: ServerEngine) -> None:
+        self._engine = engine
+
+    # -- stream lifecycle ----------------------------------------------------------
 
     def _op_create_stream(self, request: Request) -> Response:
         if not request.attachments:
@@ -253,16 +280,18 @@ class TimeCryptTCPServer:
 
     def __init__(
         self,
-        engine: ServerEngine,
+        engine: Optional[ServerEngine] = None,
         host: str = "127.0.0.1",
         port: int = 0,
         max_workers: int = 8,
-        dispatcher: Optional[RequestDispatcher] = None,
+        dispatcher: Optional[WireDispatcher] = None,
     ) -> None:
         if max_workers < 1:
             raise ValueError("the dispatch pool needs at least one worker")
+        if dispatcher is None and engine is None:
+            raise ValueError("either an engine or a dispatcher is required")
         self._engine = engine
-        self._dispatcher = dispatcher or RequestDispatcher(engine)
+        self._dispatcher = dispatcher if dispatcher is not None else RequestDispatcher(engine)
         self._listener = socket.create_server((host, port), reuse_port=False)
         self._listener.setblocking(True)
         self._selector = selectors.DefaultSelector()
@@ -279,7 +308,7 @@ class TimeCryptTCPServer:
         return self._listener.getsockname()
 
     @property
-    def dispatcher(self) -> RequestDispatcher:
+    def dispatcher(self) -> WireDispatcher:
         return self._dispatcher
 
     # -- lifecycle -----------------------------------------------------------------
@@ -443,11 +472,21 @@ class TimeCryptTCPServer:
             response = self._dispatcher.dispatch(request)
         except TimeCryptError as exc:
             response = Response.failure(exc)
-        payload = response.encode()
-        if frame.version == 1:
-            encoded = encode_frame(payload)
-        else:
-            encoded = encode_frame_v2(frame.correlation_id, payload)
+        except Exception as exc:  # noqa: BLE001 — a worker must never die unanswered
+            # Anything a hostile or buggy peer can make decode/dispatch
+            # raise must still answer the correlation id (and, on a v1
+            # connection, must not kill the drain loop with v1_active stuck).
+            response = Response.failure(
+                ProtocolError(f"malformed request: {type(exc).__name__}: {exc}")
+            )
+        try:
+            encoded = self._encode_response(frame, response)
+        except TimeCryptError as exc:
+            # An unencodable response (e.g. attachments past the frame cap)
+            # must still answer the correlation id — swallowing it here
+            # would leave the client staring at dead air until its timeout,
+            # which a storage client reads as a node outage.
+            encoded = self._encode_response(frame, Response.failure(exc))
         try:
             with connection.write_lock:
                 if connection.closed:
@@ -457,3 +496,10 @@ class TimeCryptTCPServer:
             # The I/O loop owns selector state; hand the corpse over.
             self._doomed.append(connection)
             self._wake()
+
+    @staticmethod
+    def _encode_response(frame: Frame, response: Response) -> bytes:
+        payload = response.encode()
+        if frame.version == 1:
+            return encode_frame(payload)
+        return encode_frame_v2(frame.correlation_id, payload)

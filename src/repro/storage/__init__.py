@@ -13,6 +13,11 @@ an embedded substitute with the same contract:
 * :class:`~repro.storage.cluster.StorageCluster` — consistent-hash
   partitioning over several virtual nodes with N-way replication, modelling
   the distributed deployment.
+* :class:`~repro.storage.node.StorageNodeServer` /
+  :class:`~repro.storage.remote.RemoteKeyValueStore` — the remote storage
+  tier: each node is a TCP server speaking the pipelined ``kv_*`` wire
+  protocol, and the cluster's ``store_factory`` connects to them, so
+  replication crosses real sockets.
 """
 
 from repro.storage.cluster import StorageCluster
@@ -21,10 +26,31 @@ from repro.storage.kv import KeyValueStore
 from repro.storage.memory import MemoryStore
 from repro.storage.partitioner import ConsistentHashRing
 
+#: The remote-tier classes live behind PEP 562 lazy attributes: their modules
+#: pull in :mod:`repro.net` (and through it the server engine), which itself
+#: imports this package — importing them eagerly here would be circular.
+_LAZY_EXPORTS = {
+    "StorageNodeServer": "repro.storage.node",
+    "StorageNodeDispatcher": "repro.storage.node",
+    "RemoteKeyValueStore": "repro.storage.remote",
+}
+
+
+def __getattr__(name):
+    module_name = _LAZY_EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
 __all__ = [
     "KeyValueStore",
     "MemoryStore",
     "AppendLogStore",
     "ConsistentHashRing",
     "StorageCluster",
+    "StorageNodeServer",
+    "StorageNodeDispatcher",
+    "RemoteKeyValueStore",
 ]

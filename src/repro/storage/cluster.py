@@ -8,7 +8,14 @@ exercise replica failover in tests.
 
 The cluster itself implements :class:`~repro.storage.kv.KeyValueStore`, so
 the server engine does not care whether it talks to a single in-memory store
-or a replicated cluster.
+or a replicated cluster.  The nodes themselves are pluggable through
+``store_factory``: in-process :class:`~repro.storage.memory.MemoryStore`
+nodes for tests, or :class:`~repro.storage.remote.RemoteKeyValueStore`
+clients dialing :class:`~repro.storage.node.StorageNodeServer` processes —
+then every per-node batch below is one real wire round trip and
+replication crosses sockets (socket failures surface as
+:class:`~repro.exceptions.StorageError` and feed the same mark-down /
+re-route / repair machinery).
 
 Batch operations scatter-gather: ``multi_put``/``multi_get``/``multi_delete``
 group the keys by owning replica via the consistent-hash ring and issue one
@@ -29,6 +36,7 @@ error), because a missed tombstone cannot be repaired after the fact.
 
 from __future__ import annotations
 
+import heapq
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Set, Tuple
@@ -153,32 +161,20 @@ class StorageCluster(KeyValueStore):
         return outcomes
 
     # -- KeyValueStore interface -------------------------------------------------
+    #
+    # The scalar ops are the batch ops with one key: they inherit the exact
+    # same replica routing, mark-down on node failure, re-route to
+    # survivors, and PartitionError semantics — a dead remote node degrades
+    # a scalar read to its next replica instead of failing the call.
 
     def get(self, key: bytes) -> Optional[bytes]:
-        replicas = self.healthy_replicas(key)
-        if not replicas:
-            raise PartitionError(f"no healthy replica for key {key!r}")
-        for node in replicas:
-            value = self._stores[node].get(key)
-            if value is not None:
-                return value
-        return None
+        return self.multi_get([key])[key]
 
     def put(self, key: bytes, value: bytes) -> None:
-        replicas = self.healthy_replicas(key)
-        if not replicas:
-            raise PartitionError(f"no healthy replica for key {key!r}")
-        for node in replicas:
-            self._stores[node].put(key, value)
+        self.multi_put([(key, value)])
 
     def delete(self, key: bytes) -> bool:
-        replicas = self.healthy_replicas(key)
-        if not replicas:
-            raise PartitionError(f"no healthy replica for key {key!r}")
-        existed = False
-        for node in replicas:
-            existed = self._stores[node].delete(key) or existed
-        return existed
+        return key in self.multi_delete([key])
 
     # -- batch primitives (scatter-gather) ----------------------------------------
 
@@ -297,40 +293,157 @@ class StorageCluster(KeyValueStore):
         return existed
 
     def scan_prefix(self, prefix: bytes) -> Iterator[Tuple[bytes, bytes]]:
-        """Merge prefix scans across nodes, deduplicating replicated keys."""
-        seen: Set[bytes] = set()
-        merged: List[Tuple[bytes, bytes]] = []
-        for name, store in self._stores.items():
-            if name in self._down:
+        """Merge prefix scans across nodes, deduplicating replicated keys.
+
+        A streaming k-way heap merge over the per-node scans (each already
+        sorted by key): duplicates of a replicated key arrive adjacently in
+        the merged order, so dedup only has to remember the last yielded key
+        — O(1) memory however large the keyspace, which is what lets
+        :meth:`repair_node` and :meth:`size_bytes` walk a big (possibly
+        remote) cluster without materializing it.  Replica disagreements
+        (a stale replica holding a different value after a partial failure)
+        resolve deterministically: the *earliest node in cluster order*
+        (``node-0``, ``node-1``, …, the ``_node_names`` construction order
+        — not lexicographic) wins.  Note this tie-break differs from the
+        scalar/batch ``get`` path, which reads replicas in consistent-hash
+        ring order — after a partial failure the two may surface different
+        replicas' values until ``repair_node`` (or an overwrite)
+        reconverges them; scans just guarantee a deterministic choice, not
+        read-your-ring-order.
+        """
+        yield from self._merged_scan(
+            lambda store: store.scan_prefix(prefix), key_of=lambda item: item[0]
+        )
+
+    def _merged_scan(self, make_iterator: Callable[[KeyValueStore], Iterator], key_of) -> Iterator:
+        """Deduplicated merge over the healthy nodes, tolerating node outages.
+
+        Each node's iterator is guarded with the same policy as the batch
+        ops: a node that raises a :data:`_NODE_FAILURES` error mid-scan is
+        marked down and simply stops contributing — the surviving replicas
+        in the same merge cover its replicated keys, so ``size_bytes`` /
+        ``repair_node`` keep working through a node outage rather than
+        failing wholesale.  Like the batch ops, total loss is loud: if no
+        healthy node exists up front, or *every* node scanned fails before
+        the merge finishes, :class:`~repro.exceptions.PartitionError` is
+        raised instead of quietly presenting an empty or truncated keyspace
+        (a caller like engine recovery must not mistake a dead cluster for
+        an empty one).  Keys whose entire replica set fails while other
+        nodes survive are the one case that still slips through silently —
+        the merge cannot know about keys it never saw.  Deterministic
+        caller errors propagate unchanged.
+        """
+        names = [name for name in self._node_names if name not in self._down]
+        if not names:
+            raise PartitionError("no healthy node to scan")
+        failed: List[str] = []
+
+        def guarded(name: str, iterator: Iterator) -> Iterator:
+            try:
+                yield from iterator
+            except PartitionError:
+                raise
+            except _NODE_FAILURES:
+                self.mark_down(name)
+                failed.append(name)
+
+        yield from self._dedup_merge(
+            [guarded(name, make_iterator(self._stores[name])) for name in names], key_of
+        )
+        if len(failed) == len(names):
+            raise PartitionError("every node failed mid-scan; the merged result is incomplete")
+
+    @staticmethod
+    def _dedup_merge(iterators: List[Iterator], key_of: Callable[[Any], bytes]) -> Iterator:
+        """Streaming k-way merge dropping duplicate keys (first iterator wins).
+
+        ``heapq.merge`` is stable: for equal keys the earlier iterator (the
+        earlier node in cluster construction order) yields first, and the
+        later duplicates are skipped by remembering only the last yielded
+        key — O(1) memory.
+        """
+        last_key: Optional[bytes] = None
+        for item in heapq.merge(*iterators, key=key_of):
+            key = key_of(item)
+            if key == last_key:
                 continue
-            for key, value in store.scan_prefix(prefix):
-                if key not in seen:
-                    seen.add(key)
-                    merged.append((key, value))
-        merged.sort(key=lambda item: item[0])
-        return iter(merged)
+            last_key = key
+            yield item
 
     def size_bytes(self) -> int:
-        """Logical size (deduplicated across replicas)."""
-        return sum(len(key) + len(value) for key, value in self.scan_prefix(b""))
+        """Logical size (deduplicated across replicas); streams, never materializes.
+
+        Uses the keys-plus-sizes scan flavour, so over remote nodes this
+        ships key names and integer lengths — not every stored value — to
+        compute one number.
+        """
+        return sum(
+            size
+            for _key, size in self._merged_scan(
+                lambda store: store.scan_key_sizes(b""), key_of=lambda item: item[0]
+            )
+        )
 
     def physical_size_bytes(self) -> int:
         """Raw size including replication overhead."""
         return sum(store.size_bytes() for store in self._stores.values())
 
-    def repair_node(self, name: str) -> int:
-        """Copy any keys a recovered node is missing from its peers; returns count."""
+    def _merged_keys(self, prefix: bytes) -> Iterator[bytes]:
+        """Deduplicated key stream across healthy nodes — no value traffic.
+
+        The keys-only analogue of :meth:`scan_prefix`: over remote nodes
+        this pulls ``keys_only`` scan pages, so membership walks do not
+        drag every value across the wire just to discard it.
+        """
+        yield from self._merged_scan(
+            lambda store: store.scan_keys(prefix), key_of=lambda key: key
+        )
+
+    def repair_node(self, name: str, batch_size: int = 256) -> int:
+        """Copy any keys a recovered node is missing from its peers; returns count.
+
+        Streams the deduplicated *key* space (no values — see
+        :meth:`_merged_keys`) and works in bounded batches: for every
+        ``batch_size`` keys the ring assigns to the recovering node, one
+        ``multi_get`` asks the node what it already holds, and only the
+        confirmed-missing keys have their values fetched from the healthy
+        replicas (one batched ``multi_get``) and backfilled (one
+        ``multi_put``).  Repair traffic is therefore proportional to what
+        the node actually lost, with O(batch) memory — not a full keyspace
+        materialization or a value copy of everything it already holds.
+        The node may still be marked down while it is repaired (its store
+        just has to be reachable); mark it up before or after, reads only
+        return to it once it is both up and healed.
+        """
         if name not in self._stores:
             raise ValueError(f"unknown node '{name}'")
+        if batch_size < 1:
+            raise ValueError("batch_size must be positive")
         target = self._stores[name]
-        missing = [
-            (key, value)
-            for key, value in self.scan_prefix(b"")
-            if name in self._ring.replicas(key, self._replication_factor) and target.get(key) is None
-        ]
-        if missing:
-            target.multi_put(missing)
-        return len(missing)
+
+        def backfill(batch: List[bytes]) -> int:
+            held = target.multi_get(batch)
+            missing = [key for key in batch if held.get(key) is None]
+            if not missing:
+                return 0
+            values = self.multi_get(missing)
+            recovered = [(key, values[key]) for key in missing if values[key] is not None]
+            if recovered:
+                target.multi_put(recovered)
+            return len(recovered)
+
+        repaired = 0
+        batch: List[bytes] = []
+        for key in self._merged_keys(b""):
+            if name not in self._ring.replicas(key, self._replication_factor):
+                continue
+            batch.append(key)
+            if len(batch) >= batch_size:
+                repaired += backfill(batch)
+                batch = []
+        if batch:
+            repaired += backfill(batch)
+        return repaired
 
     def close(self) -> None:
         with self._executor_lock:

@@ -23,7 +23,7 @@ from pathlib import Path
 from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.exceptions import StorageError
-from repro.storage.kv import KeyValueStore
+from repro.storage.kv import KeyValueStore, sorted_keys_from
 from repro.storage.memory import StoreStats
 
 _RECORD_HEADER = struct.Struct(">IIB")  # key length, value length, tombstone flag
@@ -36,6 +36,10 @@ class AppendLogStore(KeyValueStore):
         self._path = Path(path)
         self._path.parent.mkdir(parents=True, exist_ok=True)
         self._index: Dict[bytes, Tuple[int, int]] = {}  # key -> (value offset, length)
+        #: Lazily rebuilt sorted key list backing cursor scans; mutations
+        #: reset it to ``None`` and the next scan builds a *new* list, so an
+        #: in-flight scan keeps iterating its captured snapshot safely.
+        self._sorted_keys: Optional[List[bytes]] = None
         self._sync = sync
         self._file = open(self._path, "a+b")
         self.stats = StoreStats()
@@ -46,6 +50,7 @@ class AppendLogStore(KeyValueStore):
     def _rebuild_index(self) -> None:
         """Replay the log to rebuild the key index after a restart."""
         self._index.clear()
+        self._sorted_keys = None
         self._file.seek(0)
         offset = 0
         while True:
@@ -94,6 +99,8 @@ class AppendLogStore(KeyValueStore):
     def put(self, key: bytes, value: bytes) -> None:
         record = _RECORD_HEADER.pack(len(key), len(value), 0) + key + value
         end = self._append_blob(record)
+        if key not in self._index:
+            self._sorted_keys = None
         self._index[key] = (end - len(value), len(value))
         self.stats.puts += 1
 
@@ -102,6 +109,7 @@ class AppendLogStore(KeyValueStore):
         if existed:
             self._append_blob(_RECORD_HEADER.pack(len(key), 0, 1) + key)
             self._index.pop(key, None)
+            self._sorted_keys = None
         self.stats.deletes += 1
         return existed
 
@@ -112,6 +120,47 @@ class AppendLogStore(KeyValueStore):
                 entry = self._index.get(key)
                 if entry is not None:
                     yield key, self._read_at(entry[0], entry[1], key)
+
+    def _keys_sorted(self) -> List[bytes]:
+        """The cached sorted key list (rebuilt only after a mutation)."""
+        if self._sorted_keys is None:
+            self._sorted_keys = sorted(self._index)
+        return self._sorted_keys
+
+    def _keys_from(self, prefix: bytes, after: Optional[bytes]) -> Iterator[bytes]:
+        """Sorted in-index keys under ``prefix``, resumed strictly after the cursor."""
+        return sorted_keys_from(self._keys_sorted(), prefix, after)
+
+    def scan_from(self, prefix: bytes, after: Optional[bytes] = None) -> Iterator[Tuple[bytes, bytes]]:
+        """Cursor-resumed scan: only values at or past the cursor are read from disk."""
+        self.stats.scans += 1
+        for key in self._keys_from(prefix, after):
+            entry = self._index.get(key)
+            if entry is not None:
+                yield key, self._read_at(entry[0], entry[1], key)
+
+    def scan_keys(self, prefix: bytes) -> Iterator[bytes]:
+        """Keys straight from the in-memory index — no log reads at all."""
+        self.stats.scans += 1
+        return self._keys_from(prefix, None)
+
+    def scan_key_sizes(self, prefix: bytes) -> Iterator[Tuple[bytes, int]]:
+        """Sizes from the index's ``(offset, length)`` entries — no log reads."""
+        self.stats.scans += 1
+        return (
+            (key, len(key) + entry[1])
+            for key in self._keys_from(prefix, None)
+            if (entry := self._index.get(key)) is not None
+        )
+
+    def scan_sizes_from(self, prefix: bytes, after: Optional[bytes] = None) -> Iterator[Tuple[bytes, int]]:
+        """Keys-only page source: value lengths from the index, log untouched."""
+        self.stats.scans += 1
+        return (
+            (key, entry[1])
+            for key in self._keys_from(prefix, after)
+            if (entry := self._index.get(key)) is not None
+        )
 
     def size_bytes(self) -> int:
         return sum(len(key) + length for key, (_offset, length) in self._index.items())
@@ -138,6 +187,7 @@ class AppendLogStore(KeyValueStore):
         base = end - len(blob)
         for key, relative_offset, length in spans:
             self._index[key] = (base + relative_offset, length)
+        self._sorted_keys = None
         self.stats.multi_puts += 1
         self.stats.multi_put_keys += len(materialized)
 
@@ -179,6 +229,7 @@ class AppendLogStore(KeyValueStore):
             self._append_blob(blob)
             for key in existing:
                 self._index.pop(key, None)
+            self._sorted_keys = None
         self.stats.multi_deletes += 1
         self.stats.multi_delete_keys += len(materialized)
         return existing
@@ -213,6 +264,7 @@ class AppendLogStore(KeyValueStore):
         os.replace(compact_path, self._path)
         self._file = open(self._path, "a+b")
         self._index = new_index
+        self._sorted_keys = None
 
     def close(self) -> None:
         if not self._file.closed:

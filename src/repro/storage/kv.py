@@ -18,8 +18,30 @@ backends keep working, but every bundled backend overrides them.
 
 from __future__ import annotations
 
+import bisect
+import itertools
 from abc import ABC, abstractmethod
 from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+
+def sorted_keys_from(keys: List[bytes], prefix: bytes, after: Optional[bytes]) -> Iterator[bytes]:
+    """Walk a *sorted* key list from a prefix/cursor position.
+
+    The shared seek used by the sorted-key-cache backends (memory,
+    append-log): bisect to the prefix (or strictly past the exclusive
+    ``after`` cursor when it lies inside the prefix region) and stop at the
+    first key outside the prefix — the prefix region is contiguous in
+    sorted order, so each page walk is O(log n + page).  ``keys`` must not
+    be mutated while the iterator is live (the cache backends guarantee
+    this by replacing, never mutating, a published list).
+    """
+    from_start = after is None or after < prefix
+    start = bisect.bisect_left(keys, prefix) if from_start else bisect.bisect_right(keys, after)
+    for index in range(start, len(keys)):
+        key = keys[index]
+        if not key.startswith(prefix):
+            break
+        yield key
 
 
 class KeyValueStore(ABC):
@@ -61,6 +83,45 @@ class KeyValueStore(ABC):
         return {key for key in keys if self.delete(key)}
 
     # -- conveniences with default implementations --------------------------------
+
+    def scan_from(self, prefix: bytes, after: Optional[bytes] = None) -> Iterator[Tuple[bytes, bytes]]:
+        """``scan_prefix`` resumed strictly after ``after`` (paged-scan hook).
+
+        Paged remote scans re-enter the keyspace once per page; backends
+        with sorted key access should override this with a real seek so a
+        page costs O(page), not O(keys-before-cursor).  The fallback skips
+        over the prefix scan, which is correct but linear.
+        """
+        scan = self.scan_prefix(prefix)
+        if after is None:
+            return scan
+        return itertools.dropwhile(lambda item, cursor=after: item[0] <= cursor, scan)
+
+    def scan_keys(self, prefix: bytes) -> Iterator[bytes]:
+        """Yield only the keys under ``prefix``, in key order.
+
+        Backends where values are large or remote should override this to
+        avoid materializing (or transferring) values that the caller — key
+        audits, :meth:`~repro.storage.cluster.StorageCluster.repair_node`'s
+        membership pass — will immediately discard.
+        """
+        return (key for key, _value in self.scan_prefix(prefix))
+
+    def scan_key_sizes(self, prefix: bytes) -> Iterator[Tuple[bytes, int]]:
+        """Yield ``(key, stored_bytes)`` pairs (``len(key) + len(value)``).
+
+        The sizing analogue of :meth:`scan_keys`: remote backends override
+        it so size accounting ships key names and integers, not values.
+        """
+        return ((key, len(key) + len(value)) for key, value in self.scan_prefix(prefix))
+
+    def scan_sizes_from(self, prefix: bytes, after: Optional[bytes] = None) -> Iterator[Tuple[bytes, int]]:
+        """Cursor-resumed ``(key, value_length)`` pairs (paged keys-only scans).
+
+        Backends that index value lengths (the append-log store, a remote
+        node) override this so keys-only pages never touch value payloads.
+        """
+        return ((key, len(value)) for key, value in self.scan_from(prefix, after))
 
     def contains(self, key: bytes) -> bool:
         return self.get(key) is not None

@@ -18,7 +18,7 @@ import threading
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, Optional, Set, Tuple
 
-from repro.storage.kv import KeyValueStore
+from repro.storage.kv import KeyValueStore, sorted_keys_from
 
 
 @dataclass
@@ -74,6 +74,11 @@ class MemoryStore(KeyValueStore):
     def __init__(self) -> None:
         self._data: Dict[bytes, bytes] = {}
         self._lock = threading.Lock()
+        #: Lazily rebuilt sorted key list backing cursor scans.  Invariant:
+        #: a published list is never mutated in place — mutations only reset
+        #: this to ``None`` and the next scan builds a *new* list — so an
+        #: in-flight ``scan_from`` can keep iterating its captured snapshot.
+        self._sorted_keys: Optional[list] = None
         self.stats = StoreStats()
 
     def get(self, key: bytes) -> Optional[bytes]:
@@ -84,18 +89,48 @@ class MemoryStore(KeyValueStore):
     def put(self, key: bytes, value: bytes) -> None:
         with self._lock:
             self.stats.puts += 1
+            if key not in self._data:
+                self._sorted_keys = None
             self._data[key] = value
 
     def delete(self, key: bytes) -> bool:
         with self._lock:
             self.stats.deletes += 1
-            return self._data.pop(key, None) is not None
+            existed = self._data.pop(key, None) is not None
+            if existed:
+                self._sorted_keys = None
+            return existed
 
     def scan_prefix(self, prefix: bytes) -> Iterator[Tuple[bytes, bytes]]:
         with self._lock:
             self.stats.scans += 1
             snapshot = [(key, self._data[key]) for key in sorted(self._data) if key.startswith(prefix)]
         yield from snapshot
+
+    def _keys_sorted(self) -> list:
+        """The cached sorted key list (call under ``self._lock``)."""
+        if self._sorted_keys is None:
+            self._sorted_keys = sorted(self._data)
+        return self._sorted_keys
+
+    def scan_from(self, prefix: bytes, after: Optional[bytes] = None) -> Iterator[Tuple[bytes, bytes]]:
+        """Cursor-resumed scan: bisect into the sorted-key cache, values lazy.
+
+        On a quiescent store each page is O(page): the sorted key list is
+        reused across pages (rebuilt only after a write), the cursor is a
+        bisect, the prefix region is contiguous in sorted order, and values
+        are looked up as the consumer advances — a paged reader that stops
+        early never touches the values behind the rest of the keyspace.
+        Keys deleted mid-scan are skipped, matching a fresh ``scan_prefix``.
+        """
+        with self._lock:
+            self.stats.scans += 1
+            keys = self._keys_sorted()
+        for key in sorted_keys_from(keys, prefix, after):
+            with self._lock:
+                value = self._data.get(key)
+            if value is not None:
+                yield key, value
 
     # -- batch primitives ---------------------------------------------------------
 
@@ -116,6 +151,7 @@ class MemoryStore(KeyValueStore):
         with self._lock:
             for key, value in materialized:
                 self._data[key] = value
+            self._sorted_keys = None
             self.stats.multi_puts += 1
             self.stats.multi_put_keys += len(materialized)
 
@@ -125,6 +161,8 @@ class MemoryStore(KeyValueStore):
             return set()
         with self._lock:
             existed = {key for key in materialized if self._data.pop(key, None) is not None}
+            if existed:
+                self._sorted_keys = None
             self.stats.multi_deletes += 1
             self.stats.multi_delete_keys += len(materialized)
         return existed
@@ -139,3 +177,4 @@ class MemoryStore(KeyValueStore):
     def clear(self) -> None:
         with self._lock:
             self._data.clear()
+            self._sorted_keys = None

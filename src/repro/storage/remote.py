@@ -1,0 +1,322 @@
+"""A KeyValueStore client for a remote :class:`StorageNodeServer`.
+
+:class:`RemoteKeyValueStore` implements the full
+:class:`~repro.storage.kv.KeyValueStore` contract over the pipelined
+framing-v2 wire protocol (the ``kv_*`` op family), so a
+:class:`~repro.storage.cluster.StorageCluster` can use it as a node
+``store_factory`` and replicate across real sockets.  Design points:
+
+* **One batch = one round trip.**  ``multi_get``/``multi_put``/
+  ``multi_delete`` ship the whole key set as a single ``kv_multi_*``
+  request; a batch too large for one frame is split by payload size and the
+  parts go out back-to-back through the transport's ``call_many`` — still a
+  single wire round trip.  Combined with the cluster's per-node grouping, a
+  cluster batch of n keys costs one round trip per owning node, not n·RF.
+* **Streaming scans.**  ``scan_prefix`` is a generator that pulls
+  ``kv_scan_page`` pages on demand (exclusive ``after`` cursor), so walking
+  a big remote keyspace — ``repair_node``, ``size_bytes`` on the cluster —
+  never materializes it client-side and never hits the frame cap.
+* **Failures are node outages.**  Connection refusal, timeouts, dropped
+  sockets, and transport-level protocol errors all surface as
+  :class:`~repro.exceptions.StorageError`, which is exactly what the
+  cluster's ``_NODE_FAILURES`` mark-down/re-route/repair machinery treats
+  as a downed node.  Typed remote errors raised *by* the store itself
+  propagate unchanged.
+* **Reconnect.**  The connection is created lazily and dropped on any
+  transport failure; the next operation dials again (one retry per
+  operation), so a node restart heals transparently.  Idempotent KV
+  operations make the at-least-once retry safe; the one observable wrinkle
+  is that a ``delete`` retried across a reconnect can report
+  ``existed=False`` for a key its first, half-lost attempt removed.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.exceptions import ProtocolError, StorageError, TransportError
+from repro.net.client import RemoteServerClient, WireStats, _remote_error
+from repro.net.messages import Request, Response
+from repro.storage.kv import KeyValueStore
+
+#: Soft cap on one request's attachment payload; frames are hard-capped at
+#: 64 MiB, so splitting at 32 MiB leaves ample room for headers and keys.
+DEFAULT_MAX_REQUEST_BYTES = 32 * 1024 * 1024
+#: Keys per kv_multi_get / kv_multi_delete part.
+DEFAULT_MAX_KEYS_PER_REQUEST = 8192
+
+
+class RemoteKeyValueStore(KeyValueStore):
+    """The client half of a remote storage node (see module docstring)."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 10.0,
+        scan_page_size: int = 1024,
+        max_request_bytes: int = DEFAULT_MAX_REQUEST_BYTES,
+        max_keys_per_request: int = DEFAULT_MAX_KEYS_PER_REQUEST,
+        reconnect: bool = True,
+    ) -> None:
+        if scan_page_size < 1:
+            raise ValueError("scan_page_size must be positive")
+        self._address = (host, port)
+        self._timeout = timeout
+        self._scan_page_size = scan_page_size
+        self._max_request_bytes = max_request_bytes
+        self._max_keys_per_request = max_keys_per_request
+        self._reconnect = reconnect
+        self._client: Optional[RemoteServerClient] = None
+        self._client_lock = threading.Lock()
+        #: Wire accounting that survives reconnects: the same WireStats
+        #: object is handed to every underlying client, so per-node
+        #: round-trip counters stay continuous across node restarts.
+        self.wire_stats = WireStats()
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self._address
+
+    # -- connection management -----------------------------------------------------
+
+    def _ensure_client(self) -> RemoteServerClient:
+        """The live transport, dialing (or redialing) if necessary."""
+        with self._client_lock:
+            if self._client is None:
+                try:
+                    client = RemoteServerClient(
+                        self._address[0], self._address[1], timeout=self._timeout
+                    )
+                except (OSError, TransportError) as exc:
+                    raise StorageError(
+                        f"storage node {self._address} unreachable: {exc}"
+                    ) from exc
+                client.wire_stats = self.wire_stats
+                if client.protocol_version != 2:
+                    # The transport's v1 fallback fires when the peer drops
+                    # the connection mid-hello — which is what a *restarting*
+                    # storage node looks like.  There is no v1 mode for the
+                    # kv_* ops, so treat it as the outage it is (retryable,
+                    # cluster marks the node down), not a config error.
+                    client.close()
+                    raise StorageError(
+                        f"storage node {self._address} did not complete v2 negotiation "
+                        "(node restarting or v1-only peer)"
+                    )
+                if not client.supports_operation("kv_multi_put"):
+                    client.close()
+                    # A reachable peer of the wrong tier is a topology /
+                    # configuration error, not an outage: raise the
+                    # non-retryable ProtocolError so callers (and the
+                    # cluster) do not redial or mark the node down.
+                    raise ProtocolError(
+                        f"peer at {self._address} does not serve the kv_* storage-node "
+                        "operations (is it an engine server?)"
+                    )
+                self._client = client
+            return self._client
+
+    def _drop_client(self) -> None:
+        with self._client_lock:
+            client, self._client = self._client, None
+        if client is not None:
+            client.close()
+
+    def connect(self) -> "RemoteKeyValueStore":
+        """Eagerly dial the node (the first operation otherwise does it lazily)."""
+        self._ensure_client()
+        return self
+
+    def ping(self) -> bool:
+        return bool(self._call(Request("ping")).result.get("pong"))
+
+    def close(self) -> None:
+        """Drop the connection.  The store may be reused; the next op redials."""
+        self._drop_client()
+
+    # -- wire plumbing -------------------------------------------------------------
+
+    def _call(self, request: Request) -> Response:
+        """One request, one round trip, with one reconnect retry.
+
+        Transport failures (refused, reset, timed out, unparseable peer)
+        become :class:`StorageError` so the cluster marks the node down;
+        typed errors the remote store raised propagate unchanged.
+        """
+        return self._call_many([request])[0]
+
+    def _call_many(self, requests: Sequence[Request]) -> List[Response]:
+        """A request batch in one round trip, with one reconnect retry."""
+        last_error: Optional[Exception] = None
+        for _attempt in range(2 if self._reconnect else 1):
+            try:
+                client = self._ensure_client()
+                responses = client.call_many(list(requests))
+            except StorageError as exc:  # dial failure from _ensure_client
+                last_error = exc
+                continue
+            except ProtocolError:
+                # Raised locally by frame encoding (e.g. a single value past
+                # the 64 MiB cap): a deterministic caller error no reconnect
+                # can fix.  Propagate it unchanged — wrapping it in
+                # StorageError would make the cluster mark a healthy node
+                # down and replay the same failure on every replica.
+                raise
+            except TransportError as exc:
+                # call_many itself only raises transport-level trouble
+                # (remote per-request errors come back inside responses).
+                self._drop_client()
+                last_error = exc
+                continue
+            for response in responses:
+                if not response.ok:
+                    raise _remote_error(response)
+            return responses
+        raise StorageError(
+            f"storage node {self._address} unreachable: {last_error}"
+        ) from last_error
+
+    # -- KeyValueStore contract ----------------------------------------------------
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        response = self._call(Request("kv_get", {}, [key]))
+        if not response.result.get("found"):
+            return None
+        return response.attachments[0]
+
+    def put(self, key: bytes, value: bytes) -> None:
+        self._call(Request("kv_put", {}, [key, value]))
+
+    def delete(self, key: bytes) -> bool:
+        return bool(self._call(Request("kv_delete", {}, [key])).result.get("existed"))
+
+    # -- batch primitives: one wire round trip per batch ---------------------------
+
+    def _split(self, items: List, size_of: Callable) -> Iterator[List]:
+        """Split a batch by item count and payload size (frame-cap safety)."""
+        part: List = []
+        part_bytes = 0
+        for item in items:
+            item_bytes = size_of(item)
+            if part and (
+                len(part) >= self._max_keys_per_request
+                or part_bytes + item_bytes > self._max_request_bytes
+            ):
+                yield part
+                part, part_bytes = [], 0
+            part.append(item)
+            part_bytes += item_bytes
+        if part:
+            yield part
+
+    def _key_parts(self, keys: List[bytes]) -> Iterator[List[bytes]]:
+        return self._split(keys, len)
+
+    def multi_get(self, keys: Iterable[bytes]) -> Dict[bytes, Optional[bytes]]:
+        materialized = list(keys)
+        if not materialized:
+            return {}
+        result: Dict[bytes, Optional[bytes]] = {key: None for key in materialized}
+        parts = list(self._key_parts(materialized))
+        # The node byte-caps responses and defers the tail (see
+        # ``kv_multi_get`` in storage/node.py); each retry wave re-requests
+        # every deferred key in one further round trip.  The node always
+        # serves at least one value per request, so the loop terminates.
+        while parts:
+            responses = self._call_many([Request("kv_multi_get", {}, part) for part in parts])
+            deferred_keys: List[bytes] = []
+            for part, response in zip(parts, responses):
+                for index, value in zip(response.result["found"], response.attachments):
+                    result[part[index]] = value
+                deferred_keys.extend(
+                    part[index] for index in response.result.get("deferred", ())
+                )
+            parts = list(self._key_parts(deferred_keys)) if deferred_keys else []
+        return result
+
+    def multi_put(self, items: Iterable[Tuple[bytes, bytes]]) -> None:
+        materialized = list(items)
+        if not materialized:
+            return
+        self._call_many(
+            [
+                Request(
+                    "kv_multi_put",
+                    {},
+                    [blob for key_value in part for blob in key_value],
+                )
+                for part in self._split(materialized, lambda item: len(item[0]) + len(item[1]))
+            ]
+        )
+
+    def multi_delete(self, keys: Iterable[bytes]) -> Set[bytes]:
+        materialized = list(keys)
+        if not materialized:
+            return set()
+        parts = list(self._key_parts(materialized))
+        responses = self._call_many(
+            [Request("kv_multi_delete", {}, part) for part in parts]
+        )
+        existed: Set[bytes] = set()
+        for part, response in zip(parts, responses):
+            existed.update(part[index] for index in response.result["existed"])
+        return existed
+
+    # -- scans / sizing ------------------------------------------------------------
+
+    def _paged_scan(self, prefix: bytes, after: Optional[bytes], keys_only: bool):
+        """The shared ``kv_scan_page`` pager behind all scan flavours.
+
+        ``keys_only`` pages yield ``(key, value_length)`` pairs (lengths
+        travel as integers in the header); value pages yield ``(key,
+        value)`` pairs.
+        """
+        args = {"limit": self._scan_page_size}
+        if keys_only:
+            args["keys_only"] = True
+        while True:
+            attachments = [prefix] if after is None else [prefix, after]
+            response = self._call(Request("kv_scan_page", dict(args), attachments))
+            blobs = response.attachments
+            if keys_only:
+                yield from zip(blobs, response.result.get("value_bytes", ()))
+            else:
+                yield from zip(blobs[0::2], blobs[1::2])
+            if not response.result.get("truncated"):
+                return
+            after = blobs[-1] if keys_only else blobs[-2]
+
+    def scan_prefix(self, prefix: bytes) -> Iterator[Tuple[bytes, bytes]]:
+        """Stream ``(key, value)`` pairs page by page; lazy, cursor-driven."""
+        return self._paged_scan(prefix, None, keys_only=False)
+
+    def scan_from(
+        self, prefix: bytes, after: Optional[bytes] = None
+    ) -> Iterator[Tuple[bytes, bytes]]:
+        return self._paged_scan(prefix, after, keys_only=False)
+
+    def scan_keys(self, prefix: bytes) -> Iterator[bytes]:
+        """Stream only the keys under ``prefix`` — no value bytes on the wire."""
+        return (key for key, _size in self._paged_scan(prefix, None, keys_only=True))
+
+    def scan_key_sizes(self, prefix: bytes) -> Iterator[Tuple[bytes, int]]:
+        """Stream ``(key, stored_bytes)`` — sizes as integers, never values."""
+        return (
+            (key, len(key) + value_length)
+            for key, value_length in self._paged_scan(prefix, None, keys_only=True)
+        )
+
+    def scan_sizes_from(self, prefix: bytes, after: Optional[bytes] = None) -> Iterator[Tuple[bytes, int]]:
+        """Cursor-resumed ``(key, value_length)`` pairs via keys-only pages."""
+        return self._paged_scan(prefix, after, keys_only=True)
+
+    def keys_with_prefix(self, prefix: bytes) -> List[bytes]:
+        return list(self.scan_keys(prefix))
+
+    def count_prefix(self, prefix: bytes) -> int:
+        return sum(1 for _ in self.scan_keys(prefix))
+
+    def size_bytes(self) -> int:
+        return int(self._call(Request("kv_size_bytes")).result["bytes"])
