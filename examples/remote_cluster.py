@@ -13,8 +13,11 @@ round trip per owning node per cluster batch.
 
 The demo ingests, queries, onboards a consumer with the pipelined cold-start
 warm-up, then kills a node mid-traffic, shows the cluster re-routing around
-it, restarts it on the same port, and heals it with ``repair_node`` — all
-over sockets.
+it (parking hints for the writes it misses), restarts it on the same port,
+and heals it by replaying the hints on ``mark_up`` — ``repair_node`` then
+confirms there is nothing left to backfill.  Finally it scales the cluster
+out to a fourth node (streaming only the moved ranges) and back in — all
+over sockets, all while the data stays readable.
 
 Run it with ``python examples/remote_cluster.py``.
 """
@@ -77,23 +80,27 @@ def main() -> None:
             consumer.get_stat_range(stream, 0, 450_000, operators=("count", "mean")),
         )
 
-        # -- kill a node: traffic re-routes, the cluster marks it down --------
+        # -- kill a node: traffic re-routes, hints park on the survivors -------
         victim = "node-1"
         servers[victim].stop()
         owner.insert_records(stream, [(t * 1000, 20.0) for t in range(900, 1200)])
         owner.flush(stream)
         print(
             f"{victim} killed mid-ingest: cluster re-routed around it "
-            f"(marked down: {sorted(cluster._down)}), head now {engine.stream_head(stream)}"
+            f"(marked down: {sorted(cluster._down)}), head now {engine.stream_head(stream)}; "
+            "every write it missed parked a hint on a surviving replica"
         )
 
-        # -- restart on the same port and heal over sockets --------------------
+        # -- restart on the same port: mark_up replays the hints ---------------
         servers[victim] = StorageNodeServer(
             backing[victim], port=addresses[victim][1]
         ).start()
-        cluster.mark_up(victim)
+        replayed = cluster.mark_up(victim)
         repaired = cluster.repair_node(victim)
-        print(f"{victim} restarted and repaired: {repaired} keys backfilled over the wire")
+        print(
+            f"{victim} restarted: {replayed} hinted writes replayed over the wire, "
+            f"repair_node then found {repaired} keys left to backfill"
+        )
 
         stats = owner.get_stat_range(stream, 0, 1_200_000, operators=("count", "mean"))
         print("owner query after heal:", {k: round(v, 3) for k, v in stats.items()})
@@ -101,6 +108,30 @@ def main() -> None:
         print(
             f"cluster stores {logical} logical bytes "
             f"({physical} physical, replication factor {REPLICATION_FACTOR})"
+        )
+
+        # -- scale out: a fourth node joins live -------------------------------
+        backing["node-3"] = MemoryStore()
+        servers["node-3"] = StorageNodeServer(backing["node-3"]).start()
+        addresses["node-3"] = servers["node-3"].address
+        cluster.add_node(
+            "node-3", store=RemoteKeyValueStore(*addresses["node-3"], timeout=5.0)
+        )
+        moved = cluster.last_rebalance
+        print(
+            f"node-3 joined live: {moved['moved_keys']} keys changed replicas, "
+            f"{moved['copied_keys']} streamed over in {moved['handoff_batches']} "
+            "bounded batches (reads kept working mid-handoff)"
+        )
+
+        # -- scale back in: the newcomer leaves, survivors re-absorb its ranges
+        cluster.decommission_node("node-3")
+        servers.pop("node-3").stop()
+        stats = owner.get_stat_range(stream, 0, 1_200_000, operators=("count", "mean"))
+        print(
+            f"node-3 decommissioned (cluster back to {cluster.node_names}); "
+            "query after the full cycle:",
+            {k: round(v, 3) for k, v in stats.items()},
         )
     finally:
         cluster.close()

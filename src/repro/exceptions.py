@@ -73,6 +73,10 @@ class PartitionError(StorageError):
     """No healthy replica could serve the requested partition."""
 
 
+class ClusterMembershipError(StorageError):
+    """An invalid cluster topology change (unknown, duplicate, or last node)."""
+
+
 class TransportError(TimeCryptError):
     """The client/server transport failed (framing, connection, timeout)."""
 

@@ -12,7 +12,9 @@ an embedded substitute with the same contract:
   store with an in-memory index (a miniature LSM level).
 * :class:`~repro.storage.cluster.StorageCluster` — consistent-hash
   partitioning over several virtual nodes with N-way replication, modelling
-  the distributed deployment.
+  the distributed deployment; membership is elastic (``add_node`` /
+  ``decommission_node`` stream only the moved key ranges, live) and writes
+  that miss a downed replica park hints replayed on ``mark_up``.
 * :class:`~repro.storage.node.StorageNodeServer` /
   :class:`~repro.storage.remote.RemoteKeyValueStore` — the remote storage
   tier: each node is a TCP server speaking the pipelined ``kv_*`` wire
@@ -20,7 +22,7 @@ an embedded substitute with the same contract:
   replication crosses real sockets.
 """
 
-from repro.storage.cluster import StorageCluster
+from repro.storage.cluster import HINT_PREFIX, StorageCluster
 from repro.storage.disk import AppendLogStore
 from repro.storage.kv import KeyValueStore
 from repro.storage.memory import MemoryStore
@@ -50,6 +52,7 @@ __all__ = [
     "AppendLogStore",
     "ConsistentHashRing",
     "StorageCluster",
+    "HINT_PREFIX",
     "StorageNodeServer",
     "StorageNodeDispatcher",
     "RemoteKeyValueStore",

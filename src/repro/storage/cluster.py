@@ -22,16 +22,39 @@ group the keys by owning replica via the consistent-hash ring and issue one
 batched call per healthy node, so a write set of n keys over an N-node
 cluster costs at most N (typically ``replication_factor``-ish) backend round
 trips instead of n·RF.  The per-node calls **fan out concurrently** through
-a shared, lazily created :class:`~concurrent.futures.ThreadPoolExecutor`
-(remote backends spend their round trip waiting on the network, so the
-fan-out latency is the slowest node, not the sum); outcomes are gathered
-and then applied in deterministic node order, so failure handling behaves
-identically to the former sequential loop.  A node whose local store raises
+a shared :class:`~concurrent.futures.ThreadPoolExecutor` sized against the
+*live* membership (it grows when ``add_node`` outgrows it); outcomes are
+gathered and then applied in deterministic node order, so failure handling
+behaves identically to a sequential loop.  A node whose local store raises
 mid-``multi_put``/``multi_get`` is marked down and its share of the batch
 is re-routed to the surviving replicas — the same mark-down state that
 ``mark_up`` + ``repair_node`` later heal; ``multi_delete`` instead
 propagates node errors (deterministically: the lowest-named failing node's
 error), because a missed tombstone cannot be repaired after the fact.
+
+Two production behaviours of the real Cassandra tier ride on top:
+
+* **Elastic membership** — :meth:`StorageCluster.add_node` and
+  :meth:`StorageCluster.decommission_node` change the topology *live*.  The
+  new ring is built as a copy and swapped in atomically; while the handoff
+  streams the moved key ranges to their new owners (bounded batches, one
+  ``multi_get`` asking each destination what it already holds, one batched
+  read from the *old* owners, one ``multi_put`` per destination — the same
+  shape as :meth:`repair_node`), every operation routes over the **union**
+  of the old and new replica walks: reads fall back to the old owner of a
+  not-yet-moved key, writes land on both owner sets, deletes tombstone
+  both.  Only ~1/N of the keyspace moves on an add (± virtual-token
+  variance), and a read issued mid-handoff is always served correctly.
+
+* **Hinted handoff** — a write that misses a downed replica parks a *hint*
+  (the key and value, under the reserved :data:`HINT_PREFIX` keyspace) on a
+  surviving replica of the same key, and :meth:`mark_up` replays the parked
+  hints straight onto the recovered node before reads return to it.  The
+  hint lives in the surviving node's regular store, so it survives process
+  restarts on persistent backends; :meth:`repair_node` becomes the backstop
+  for cascaded failures (hint host lost too) instead of the only heal path.
+  Hint keys never appear in cluster-level scans, sizes, or repairs, and
+  writing a user key under ``hint/`` is rejected.
 """
 
 from __future__ import annotations
@@ -41,7 +64,7 @@ import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
-from repro.exceptions import PartitionError, StorageError
+from repro.exceptions import ClusterMembershipError, PartitionError, StorageError
 from repro.storage.kv import KeyValueStore
 from repro.storage.memory import MemoryStore
 from repro.storage.partitioner import ConsistentHashRing
@@ -50,6 +73,33 @@ from repro.storage.partitioner import ConsistentHashRing
 #: Deterministic caller errors (bad key/value types, logic bugs) propagate
 #: unchanged instead of marking nodes down — a TypeError is not an outage.
 _NODE_FAILURES = (OSError, StorageError)
+
+#: Reserved keyspace for hinted handoff.  A hint for write ``key`` missed by
+#: downed node ``target`` is stored as ``hint/<target>/<key>`` on a surviving
+#: replica of ``key``.  User keys under this prefix are rejected, and cluster
+#: scans / sizes / repair never surface it.
+HINT_PREFIX = b"hint/"
+
+
+def _hint_key(target: str, key: bytes) -> bytes:
+    return HINT_PREFIX + target.encode("utf-8") + b"/" + key
+
+
+def _hint_prefix_for(target: str) -> bytes:
+    return HINT_PREFIX + target.encode("utf-8") + b"/"
+
+
+def _parse_hint_key(hint_key: bytes) -> Tuple[Optional[str], bytes]:
+    """``(target_node, original_key)`` for a hint key, ``(None, b"")`` if malformed."""
+    body = hint_key[len(HINT_PREFIX):]
+    separator = body.find(b"/")
+    if separator < 1:
+        return None, b""
+    return body[:separator].decode("utf-8", "replace"), body[separator + 1:]
+
+
+class _ReplayTargetDown(Exception):
+    """Internal: the node being hint-replayed went down again mid-replay."""
 
 
 class StorageCluster(KeyValueStore):
@@ -62,6 +112,7 @@ class StorageCluster(KeyValueStore):
         store_factory: Optional[Callable[[str], KeyValueStore]] = None,
         virtual_tokens: int = 64,
         max_fanout_workers: int = 8,
+        hinted_handoff: bool = True,
     ) -> None:
         if num_nodes <= 0:
             raise ValueError("the cluster needs at least one node")
@@ -69,15 +120,32 @@ class StorageCluster(KeyValueStore):
             raise ValueError("replication_factor must be positive")
         if max_fanout_workers <= 0:
             raise ValueError("max_fanout_workers must be positive")
+        self._requested_rf = replication_factor
         self._replication_factor = min(replication_factor, num_nodes)
-        factory = store_factory or (lambda _name: MemoryStore())
+        self._store_factory = store_factory or (lambda _name: MemoryStore())
         self._node_names = [f"node-{index}" for index in range(num_nodes)]
-        self._stores: Dict[str, KeyValueStore] = {name: factory(name) for name in self._node_names}
+        self._stores: Dict[str, KeyValueStore] = {
+            name: self._store_factory(name) for name in self._node_names
+        }
         self._down: Set[str] = set()
         self._ring = ConsistentHashRing(self._node_names, virtual_tokens=virtual_tokens)
-        self._max_fanout_workers = min(max_fanout_workers, num_nodes)
+        #: ``(old_ring, old_rf)`` while a membership change streams its
+        #: handoff; routing unions the old walk behind the new one so reads,
+        #: writes, and deletes stay correct mid-rebalance.
+        self._prev: Optional[Tuple[ConsistentHashRing, int]] = None
+        #: Keys written while a handoff streams (union writes also land on
+        #: range-losing old owners); the post-handoff sweep re-cleans them.
+        self._rebalance_writes: Optional[Set[bytes]] = None
+        self._hinted_handoff = hinted_handoff
+        self._max_fanout_workers = max_fanout_workers
         self._executor: Optional[ThreadPoolExecutor] = None
+        self._executor_workers = 0
         self._executor_lock = threading.Lock()
+        self._membership_lock = threading.RLock()
+        #: Stats of the most recent ``add_node``/``decommission_node``
+        #: (``action``, ``node``, ``moved_keys``, ``copied_keys``,
+        #: ``handoff_batches``) — benchmarks and tests read it.
+        self.last_rebalance: Optional[Dict[str, Any]] = None
 
     # -- cluster management ---------------------------------------------------
 
@@ -99,12 +167,55 @@ class StorageCluster(KeyValueStore):
             raise ValueError(f"unknown node '{name}'")
         self._down.add(name)
 
-    def mark_up(self, name: str) -> None:
-        """Bring a failed node back (it may hold stale data until repaired)."""
+    def _mark_failed(self, name: str) -> None:
+        """Record an observed node failure (tolerates a just-detached node)."""
+        if name in self._stores:
+            self._down.add(name)
+
+    def mark_up(self, name: str, replay_hints: bool = True) -> int:
+        """Bring a failed node back and replay the hints parked for it.
+
+        Returns the number of hinted writes applied.  With ``replay_hints``
+        (the default, and ``hinted_handoff`` enabled), every surviving node
+        is asked for the ``hint/<name>/...`` keys it parked while ``name``
+        was down and the missed writes are applied straight to the
+        recovered node in bounded batches — after which ``repair_node`` has
+        nothing left to heal unless the hints themselves were lost to a
+        cascaded failure.  The node may hold stale data for keys overwritten
+        *before* it went down only if those writes predate the mark-down;
+        hints cover exactly the down window.
+        """
+        if name not in self._stores:
+            raise ValueError(f"unknown node '{name}'")
         self._down.discard(name)
+        if not replay_hints or not self._hinted_handoff:
+            return 0
+        return self._replay_hints(name)
 
     def healthy_replicas(self, key: bytes) -> List[str]:
-        return [node for node in self._ring.replicas(key, self._replication_factor) if node not in self._down]
+        return [
+            node
+            for node in self._replica_walk(key)
+            if node not in self._down and node in self._stores
+        ]
+
+    def _replica_walk(self, key: bytes) -> List[str]:
+        """Ordered replica candidates: new-ring walk, then old-ring extras.
+
+        Outside a rebalance this is exactly the ring's replica set.  During
+        one, the previous topology's replicas are appended (deduplicated)
+        so a key whose range is mid-handoff still resolves to its old owner
+        on reads, still receives writes at both owner sets, and still
+        tombstones both on delete.
+        """
+        replicas = self._ring.replicas(key, self._replication_factor)
+        prev = self._prev
+        if prev is not None:
+            old_ring, old_rf = prev
+            for node in old_ring.replicas(key, old_rf):
+                if node not in replicas:
+                    replicas.append(node)
+        return replicas
 
     def _group_by_replica(self, keys: Iterable[bytes]) -> Dict[str, List[bytes]]:
         """Scatter phase: keys grouped by every healthy replica that owns them.
@@ -121,15 +232,536 @@ class StorageCluster(KeyValueStore):
                 groups.setdefault(node, []).append(key)
         return groups
 
+    # -- elastic membership ---------------------------------------------------
+
+    def _next_node_name(self) -> str:
+        index = len(self._node_names)
+        while f"node-{index}" in self._stores:
+            index += 1
+        return f"node-{index}"
+
+    def add_node(
+        self,
+        name_or_store: Any = None,
+        store: Optional[KeyValueStore] = None,
+        handoff_batch_size: int = 256,
+    ) -> str:
+        """Grow the cluster by one node, live, and stream its ranges to it.
+
+        ``name_or_store`` may be a node name (its store then comes from the
+        cluster's ``store_factory``), a :class:`KeyValueStore` to adopt
+        under an auto-assigned name, or ``None`` for both defaults; pass
+        ``store=`` explicitly to name an adopted store.  Returns the node
+        name.
+
+        The ring gains the node's virtual tokens atomically (a copied ring
+        is swapped in), then the handoff streams the deduplicated keyspace
+        in ``handoff_batch_size``-bounded batches, copying to the new node
+        only the ~1/N of keys whose replica set now includes it — per
+        batch: one ``multi_get`` asking the destination what it already
+        holds, one batched read of the missing values from the old owners,
+        one ``multi_put`` of the backfill.  Traffic keeps flowing the whole
+        time: reads consult the old owner as a fallback until the handoff
+        completes, and writes land on both owner sets, so nothing is lost
+        whichever side of the handoff a key is on.
+        """
+        if isinstance(name_or_store, KeyValueStore) and store is None:
+            name: Optional[str] = None
+            store = name_or_store
+        else:
+            name = name_or_store
+        if handoff_batch_size < 1:
+            raise ValueError("handoff_batch_size must be positive")
+        with self._membership_lock:
+            if name is None:
+                name = self._next_node_name()
+            if not isinstance(name, str) or not name or "/" in name:
+                raise ClusterMembershipError(
+                    f"invalid node name {name!r} (must be a non-empty string without '/')"
+                )
+            if name in self._stores:
+                raise ClusterMembershipError(f"node '{name}' already in the cluster")
+            new_store = store if store is not None else self._store_factory(name)
+            new_ring = self._ring.copy()
+            new_ring.add_node(name)
+            # Publish order matters: the store must exist before any thread
+            # can route to it, so register it, then swap the ring in.
+            self._stores[name] = new_store
+            self._node_names.append(name)
+            old_ring, old_rf = self._ring, self._replication_factor
+            self._rebalance_writes = set()
+            self._prev = (old_ring, old_rf)
+            self._ring = new_ring
+            self._replication_factor = min(self._requested_rf, len(self._node_names))
+            try:
+                stats = self._stream_handoff(handoff_batch_size)
+            finally:
+                recorded, self._rebalance_writes = self._rebalance_writes, None
+                self._prev = None
+            # With the old ring retired, writes stop touching the losing
+            # old owners; sweep the copies that union writes re-created on
+            # them mid-handoff, and re-park hints whose host fell off its
+            # key's replica walk — both would otherwise go stale.
+            self._sweep_rebalance_writes(recorded, old_ring, old_rf)
+            self._rebalance_hints()
+            self.last_rebalance = {"action": "add", "node": name, **stats}
+        return name
+
+    def decommission_node(self, name: str, handoff_batch_size: int = 256) -> Dict[str, Any]:
+        """Remove a node, live, streaming its ranges to their new owners first.
+
+        The ring loses the node's tokens atomically; the handoff then
+        copies every key range the survivors *gain* (for RF>1 most moved
+        keys already have surviving replicas, so only the under-replicated
+        remainder actually transfers) with the same bounded-batch shape as
+        :meth:`add_node`.  The leaving node keeps serving reads and taking
+        writes (old-ring fallback) until the handoff completes, after which
+        it is detached and its store closed — its on-disk contents are left
+        intact, like a Cassandra decommission.  Hints *hosted on* the
+        leaving node are re-parked on survivors; hints *targeted at* it are
+        dropped.  A node that is marked down may also be decommissioned
+        (RF>1 survivors supply the data); whatever only it held is lost, as
+        with any dead node.  Returns the rebalance stats.
+        """
+        if handoff_batch_size < 1:
+            raise ValueError("handoff_batch_size must be positive")
+        with self._membership_lock:
+            if name not in self._stores:
+                raise ClusterMembershipError(f"unknown node '{name}'")
+            if len(self._node_names) <= 1:
+                raise ClusterMembershipError("cannot decommission the last node")
+            new_ring = self._ring.copy()
+            new_ring.remove_node(name)
+            old_ring, old_rf = self._ring, self._replication_factor
+            self._rebalance_writes = set()
+            self._prev = (old_ring, old_rf)
+            self._ring = new_ring
+            self._replication_factor = min(self._requested_rf, len(self._node_names) - 1)
+            try:
+                stats = self._stream_handoff(handoff_batch_size)
+            finally:
+                recorded, self._rebalance_writes = self._rebalance_writes, None
+                self._prev = None
+            self._sweep_rebalance_writes(recorded, old_ring, old_rf)
+            # After _prev is cleared the leaving node is off every replica
+            # walk, so the hint rebalance below moves every hint it hosts
+            # onto the survivors and can never place one back on it.
+            self._rebalance_hints()
+            self._node_names.remove(name)
+            leaving = self._stores.pop(name)
+            self._down.discard(name)
+            self._drop_hints_for(name)
+            leaving.close()
+            self.last_rebalance = {"action": "decommission", "node": name, **stats}
+            return dict(self.last_rebalance)
+
+    def _stream_handoff(self, batch_size: int) -> Dict[str, int]:
+        """Stream every moved key range to its new owners in bounded batches.
+
+        Walks the deduplicated merged keyspace once (O(batch) memory, the
+        same k-way scan :meth:`repair_node` uses) and compares each key's
+        old and new replica sets; keys that gained owners are batched and
+        copied by :meth:`_handoff_batch`.
+        """
+        assert self._prev is not None
+        old_ring, old_rf = self._prev
+        new_ring, new_rf = self._ring, self._replication_factor
+        moved_keys = copied_keys = handoff_batches = 0
+        batch: Dict[bytes, Tuple[List[str], List[str]]] = {}
+        for key in self._merged_keys(b""):
+            old_replicas = old_ring.replicas(key, old_rf)
+            new_replicas = new_ring.replicas(key, new_rf)
+            gained = [node for node in new_replicas if node not in old_replicas]
+            lost = [node for node in old_replicas if node not in new_replicas]
+            if not gained and not lost:
+                continue
+            moved_keys += 1
+            batch[key] = (gained, lost)
+            if len(batch) >= batch_size:
+                copied_keys += self._handoff_batch(batch, old_ring, old_rf)
+                handoff_batches += 1
+                batch = {}
+        if batch:
+            copied_keys += self._handoff_batch(batch, old_ring, old_rf)
+            handoff_batches += 1
+        return {
+            "moved_keys": moved_keys,
+            "copied_keys": copied_keys,
+            "handoff_batches": handoff_batches,
+        }
+
+    def _handoff_batch(
+        self,
+        batch: Dict[bytes, Tuple[List[str], List[str]]],
+        old_ring: ConsistentHashRing,
+        old_rf: int,
+    ) -> int:
+        """Copy one bounded batch of moved keys to the nodes that gained them.
+
+        Per destination: one ``multi_get`` (what does it already hold — a
+        fresher write that landed mid-rebalance must never be clobbered by
+        the handoff copy), then one batched value read from the *old*
+        owners for the union of missing keys, then one ``multi_put`` per
+        destination.  A destination that fails is marked down and skipped
+        (``repair_node`` is its backstop).  Once every gaining replica of a
+        key confirmed holding it, the key is *cleaned up* from the nodes
+        that lost the range (Cassandra's post-bootstrap cleanup, folded
+        into the handoff): without it the loser's copy would go stale on
+        the next overwrite and the deterministic scan tie-break could
+        surface the stale value.  A node leaving the ring is never cleaned
+        — a decommissioned node keeps its data — and a downed loser's copy
+        is unreachable anyway.
+        """
+        wanted: Dict[str, List[bytes]] = {}
+        for key, (gained, _lost) in batch.items():
+            for destination in gained:
+                if destination not in self._down and destination in self._stores:
+                    wanted.setdefault(destination, []).append(key)
+        # Keys safe to clean from the losing nodes: every gaining replica
+        # ended up holding them.  A key with a skipped (downed) destination
+        # is not settled — the loser's copy may be the only one left.
+        settled: Set[bytes] = {
+            key
+            for key, (gained, _lost) in batch.items()
+            if all(node in wanted for node in gained)
+        }
+        copied: Set[bytes] = set()
+        if wanted:
+            tasks = {
+                node: (lambda store=self._stores[node], keys=list(node_keys): store.multi_get(keys))
+                for node, node_keys in wanted.items()
+            }
+            outcomes = self._fan_out(tasks)
+            missing: Dict[str, List[bytes]] = {}
+            needed: Set[bytes] = set()
+            for node in sorted(wanted):
+                held, error = outcomes[node]
+                if error is not None:
+                    if isinstance(error, PartitionError):
+                        raise error
+                    if isinstance(error, _NODE_FAILURES):
+                        self._mark_failed(node)
+                        settled.difference_update(wanted[node])
+                        continue
+                    raise error
+                gap = [key for key in wanted[node] if held.get(key) is None]
+                if gap:
+                    missing[node] = gap
+                    needed.update(gap)
+            if needed:
+                values = self._multi_get_over(
+                    sorted(needed),
+                    lambda key: old_ring.replicas(key, old_rf),
+                    strict=False,
+                )
+                puts: Dict[str, List[Tuple[bytes, bytes]]] = {}
+                for node, keys in missing.items():
+                    items: List[Tuple[bytes, bytes]] = []
+                    for key in keys:
+                        value = values.get(key)
+                        if value is None:
+                            settled.discard(key)  # no old owner could serve it
+                        else:
+                            items.append((key, value))
+                    if items:
+                        puts[node] = items
+                if puts:
+                    tasks = {
+                        node: (
+                            lambda store=self._stores[node], items=list(node_items): (
+                                store.multi_put(items)
+                            )
+                        )
+                        for node, node_items in puts.items()
+                    }
+                    outcomes = self._fan_out(tasks)
+                    for node in sorted(puts):
+                        _result, error = outcomes[node]
+                        if error is None:
+                            copied.update(key for key, _value in puts[node])
+                        elif isinstance(error, PartitionError):
+                            raise error
+                        elif isinstance(error, _NODE_FAILURES):
+                            self._mark_failed(node)
+                            settled.difference_update(key for key, _value in puts[node])
+                        else:
+                            raise error
+        self._cleanup_lost(batch, settled)
+        return len(copied)
+
+    def _cleanup_lost(
+        self, batch: Dict[bytes, Tuple[List[str], List[str]]], settled: Set[bytes]
+    ) -> None:
+        """Delete settled moved keys from the nodes that lost their range."""
+        still_in_ring = set(self._ring.nodes)
+        removals: Dict[str, List[bytes]] = {}
+        for key, (_gained, lost) in batch.items():
+            if key not in settled:
+                continue
+            for node in lost:
+                if node in still_in_ring and node not in self._down and node in self._stores:
+                    removals.setdefault(node, []).append(key)
+        if not removals:
+            return
+        tasks = {
+            node: (lambda store=self._stores[node], keys=list(node_keys): store.multi_delete(keys))
+            for node, node_keys in removals.items()
+        }
+        outcomes = self._fan_out(tasks)
+        for node in sorted(removals):
+            _result, error = outcomes[node]
+            if error is not None:
+                if isinstance(error, PartitionError):
+                    raise error
+                if isinstance(error, _NODE_FAILURES):
+                    self._mark_failed(node)  # the stale copy dies with the outage
+                else:
+                    raise error
+
+    # -- hinted handoff -------------------------------------------------------
+
+    def _park_hints(self, hints: Dict[Tuple[str, bytes], bytes]) -> None:
+        """Park ``(target, key) -> value`` hints on surviving replicas.
+
+        Each hint is written to the first healthy replica of its *original*
+        key (never the downed target itself), so the hint sits next to live
+        data the recovered node will be read-repaired against and survives
+        restarts on persistent backends.  A host failing mid-park is marked
+        down and the hint re-picks the next survivor; a hint with no
+        surviving host is dropped — ``repair_node`` remains the backstop.
+        """
+        pending = dict(hints)
+        while pending:
+            by_host: Dict[str, List[Tuple[Tuple[str, bytes], bytes]]] = {}
+            unplaceable: List[Tuple[str, bytes]] = []
+            for (target, key), value in pending.items():
+                hosts = [node for node in self.healthy_replicas(key) if node != target]
+                if not hosts:
+                    unplaceable.append((target, key))
+                    continue
+                by_host.setdefault(hosts[0], []).append(((target, key), value))
+            for entry in unplaceable:
+                pending.pop(entry)
+            if not by_host:
+                return
+            tasks = {
+                host: (
+                    lambda store=self._stores[host], items=[
+                        (_hint_key(target, key), value)
+                        for (target, key), value in entries
+                    ]: store.multi_put(items)
+                )
+                for host, entries in by_host.items()
+            }
+            outcomes = self._fan_out(tasks)
+            progressed = False
+            for host in sorted(by_host):
+                _result, error = outcomes[host]
+                if error is None:
+                    for entry, _value in by_host[host]:
+                        pending.pop(entry, None)
+                    progressed = True
+                elif isinstance(error, _NODE_FAILURES):
+                    self._mark_failed(host)  # the retry loop re-picks hosts
+                    progressed = True
+                else:
+                    # Deterministic error: drop rather than loop forever.
+                    for entry, _value in by_host[host]:
+                        pending.pop(entry, None)
+            if not progressed:
+                return
+
+    def _replay_hints(self, name: str, batch_size: int = 256) -> int:
+        """Apply every hint parked for ``name`` and delete the consumed hints.
+
+        Scans each surviving node's local store for ``hint/<name>/...``
+        (hints are host-placed, so no ring math applies) and applies the
+        missed writes in bounded batches.  If the recovered node fails
+        again mid-replay it is re-marked down and the unapplied hints stay
+        parked for the next :meth:`mark_up`.
+        """
+        prefix = _hint_prefix_for(name)
+        replayed = 0
+        for host in list(self._node_names):
+            if host == name or host in self._down:
+                continue
+            store = self._stores.get(host)
+            if store is None:
+                continue
+            try:
+                batch: List[Tuple[bytes, bytes]] = []
+                for hint_key, value in store.scan_prefix(prefix):
+                    batch.append((hint_key, value))
+                    if len(batch) >= batch_size:
+                        replayed += self._apply_hints(name, store, batch)
+                        batch = []
+                if batch:
+                    replayed += self._apply_hints(name, store, batch)
+            except _ReplayTargetDown:
+                return replayed
+            except PartitionError:
+                raise
+            except _NODE_FAILURES:
+                self._mark_failed(host)  # host died mid-scan; its hints stay parked
+        return replayed
+
+    def _apply_hints(
+        self, name: str, host_store: KeyValueStore, batch: List[Tuple[bytes, bytes]]
+    ) -> int:
+        """Apply one batch of hints to the recovered node, then consume them."""
+        direct: List[Tuple[bytes, bytes]] = []
+        rerouted: Dict[bytes, bytes] = {}
+        for hint_key, value in batch:
+            key = hint_key[len(_hint_prefix_for(name)):]
+            if name in self._replica_walk(key):
+                direct.append((key, value))
+            else:
+                # Membership changed while the node was down: the range
+                # moved away from it, so route the write normally instead.
+                rerouted[key] = value
+        target_store = self._stores.get(name)
+        if direct and target_store is not None:
+            try:
+                target_store.multi_put(direct)
+            except PartitionError:
+                raise
+            except _NODE_FAILURES as exc:
+                self._mark_failed(name)
+                raise _ReplayTargetDown() from exc
+        if rerouted:
+            self._multi_put_core(rerouted)
+        host_store.multi_delete([hint_key for hint_key, _value in batch])
+        return len(batch)
+
+    def _rebalance_hints(self) -> None:
+        """Re-park hints whose host is no longer a replica of their key.
+
+        Hints are host-placed on a replica of the original key, and
+        :meth:`multi_delete` relies on that invariant to tombstone them:
+        after a membership change shifts a key's replica walk, a hint
+        stranded on an ex-replica would dodge those tombstones and a later
+        replay could resurrect a deleted key.  So every topology change
+        ends by walking each healthy node's (normally tiny) hint keyspace
+        and moving mis-hosted hints onto a current replica; hints whose
+        target no longer exists are dropped.  Hints sitting on a *downed*
+        host cannot be moved (or tombstoned) until it returns — the one
+        resurrection window left, closed for good only by per-write
+        versions (see ROADMAP).
+        """
+        if not self._hinted_handoff:
+            return
+        for host in list(self._node_names):
+            if host in self._down:
+                continue
+            store = self._stores.get(host)
+            if store is None:
+                continue
+            moved: Dict[Tuple[str, bytes], bytes] = {}
+            stale: List[bytes] = []
+            try:
+                for hint_key, value in store.scan_prefix(HINT_PREFIX):
+                    target, key = _parse_hint_key(hint_key)
+                    if target is None or target not in self._stores:
+                        stale.append(hint_key)  # malformed or target gone
+                        continue
+                    walk = self._replica_walk(key)
+                    if target not in walk:
+                        # The key's range moved off the target: the current
+                        # owners already hold its latest value (the handoff
+                        # streamed it), so the hint is obsolete — and
+                        # replaying it would redeliver a write the key may
+                        # since have had deleted.
+                        stale.append(hint_key)
+                        continue
+                    hosts = [
+                        node
+                        for node in walk
+                        if node != target and node not in self._down and node in self._stores
+                    ]
+                    if host in hosts:
+                        continue  # still correctly placed
+                    moved[(target, key)] = value
+                    stale.append(hint_key)
+                if moved:
+                    self._park_hints(moved)
+                if stale:
+                    store.multi_delete(stale)
+            except _NODE_FAILURES:
+                self._mark_failed(host)
+
+    def _sweep_rebalance_writes(
+        self, recorded: Optional[Set[bytes]], old_ring: ConsistentHashRing, old_rf: int
+    ) -> None:
+        """Re-clean keys written mid-handoff from the range-losing old owners.
+
+        While a handoff streams, writes land on the union of old and new
+        owners — including old owners whose handoff batch (and its cleanup)
+        already passed.  Those copies would go permanently stale on the
+        next post-handoff overwrite and the scan tie-break could surface
+        them, so after the old ring retires the recorded write set is
+        pushed back through :meth:`_handoff_batch`: the held-check confirms
+        the new owners have each key (copying it if a destination outage
+        left a gap) and the cleanup drops the loser copies.  Memory is
+        bounded by the writes issued during the handoff window, not the
+        keyspace.
+        """
+        if not recorded:
+            return
+        new_ring, new_rf = self._ring, self._replication_factor
+        batch: Dict[bytes, Tuple[List[str], List[str]]] = {}
+        for key in sorted(recorded):
+            if key.startswith(HINT_PREFIX):
+                continue
+            old_replicas = old_ring.replicas(key, old_rf)
+            new_replicas = new_ring.replicas(key, new_rf)
+            gained = [node for node in new_replicas if node not in old_replicas]
+            lost = [node for node in old_replicas if node not in new_replicas]
+            if not gained and not lost:
+                continue
+            batch[key] = (gained, lost)
+            if len(batch) >= 256:
+                self._handoff_batch(batch, old_ring, old_rf)
+                batch = {}
+        if batch:
+            self._handoff_batch(batch, old_ring, old_rf)
+
+    def _drop_hints_for(self, name: str) -> None:
+        """Delete hints targeted at a node that no longer exists."""
+        prefix = _hint_prefix_for(name)
+        for host in list(self._node_names):
+            if host in self._down:
+                continue
+            store = self._stores.get(host)
+            if store is None:
+                continue
+            try:
+                stale = list(store.scan_keys(prefix))
+                if stale:
+                    store.multi_delete(stale)
+            except _NODE_FAILURES:
+                self._mark_failed(host)
+
     # -- concurrent per-node fan-out -----------------------------------------------
 
     def _pool(self) -> ThreadPoolExecutor:
-        """The shared fan-out executor (created on first multi-node batch)."""
+        """The shared fan-out executor, sized against the live membership.
+
+        Created on first multi-node batch; when ``add_node`` grows the
+        cluster past the current pool a wider one is swapped in (in-flight
+        futures on the retiring pool run to completion), so a 3→8-node
+        cluster really fans out 8 wide instead of keeping the width it was
+        born with.
+        """
+        desired = min(self._max_fanout_workers, max(1, len(self._node_names)))
         with self._executor_lock:
+            if self._executor is not None and self._executor_workers < desired:
+                retiring, self._executor = self._executor, None
+                retiring.shutdown(wait=False)
             if self._executor is None:
                 self._executor = ThreadPoolExecutor(
-                    max_workers=self._max_fanout_workers, thread_name_prefix="tc-cluster"
+                    max_workers=desired, thread_name_prefix="tc-cluster"
                 )
+                self._executor_workers = desired
             return self._executor
 
     def _fan_out(
@@ -152,7 +784,18 @@ class StorageCluster(KeyValueStore):
                     outcomes[node] = (None, exc)
             return outcomes
         pool = self._pool()
-        futures = {node: pool.submit(thunk) for node, thunk in tasks.items()}
+        futures = {}
+        for node, thunk in tasks.items():
+            while True:
+                try:
+                    futures[node] = pool.submit(thunk)
+                    break
+                except RuntimeError:
+                    # A concurrent add_node retired this pool between our
+                    # _pool() call and the submit; take the replacement.
+                    # Futures already submitted on the retiring pool still
+                    # run to completion (shutdown cancels nothing queued).
+                    pool = self._pool()
         for node, future in futures.items():
             try:
                 outcomes[node] = (future.result(), None)
@@ -183,12 +826,41 @@ class StorageCluster(KeyValueStore):
 
         A node whose store raises is marked down; keys that reached no
         replica at all are re-routed to the survivors (the ring re-grouping
-        excludes downed nodes).  Keys acked by at least one replica but
-        under-replicated because of the failure are left for ``repair_node``,
-        matching the state a scalar-write outage leaves behind.
+        excludes downed nodes).  Keys the downed replica missed — whether it
+        was already down or failed mid-batch — get a *hint* parked on a
+        surviving replica, replayed by :meth:`mark_up`; ``repair_node``
+        remains the backstop when the hints themselves are lost.
         """
         pending: Dict[bytes, bytes] = {key: value for key, value in items}
+        for key in pending:
+            if key.startswith(HINT_PREFIX):
+                raise ValueError(
+                    f"key {key!r} is in the reserved hinted-handoff keyspace {HINT_PREFIX!r}"
+                )
+        self._multi_put_core(pending)
+
+    def _multi_put_core(self, pending: Dict[bytes, bytes]) -> None:
+        """The replicated write loop (assumes reserved-prefix validation done)."""
+        recorded = self._rebalance_writes
+        if recorded is not None:
+            # A membership change is streaming its handoff: remember the
+            # write set so the post-handoff sweep can clean the copies this
+            # write leaves on range-losing old owners (see add_node).
+            recorded.update(pending)
+        hints: Dict[Tuple[str, bytes], bytes] = {}
         while pending:
+            if self._hinted_handoff and self._down:
+                # Replicas that are *already* marked down miss this write
+                # entirely (grouping skips them): park a hint per miss.
+                # Guarded on the down-set — with every node healthy this
+                # pre-pass can never produce a hint, so the steady-state
+                # write path skips the second ring walk per key.
+                for key, value in pending.items():
+                    if key.startswith(HINT_PREFIX):
+                        continue
+                    for node in self._replica_walk(key):
+                        if node in self._down:
+                            hints[(node, key)] = value
             groups = self._group_by_replica(pending)
             tasks = {
                 node: (
@@ -208,13 +880,21 @@ class StorageCluster(KeyValueStore):
                 elif isinstance(error, PartitionError):
                     raise error
                 elif isinstance(error, _NODE_FAILURES):
-                    self.mark_down(node)
+                    self._mark_failed(node)
                     any_failure = True
+                    if self._hinted_handoff:
+                        # The node failed mid-batch: every key routed to it
+                        # this round missed it.
+                        for key in groups[node]:
+                            if not key.startswith(HINT_PREFIX):
+                                hints[(node, key)] = pending[key]
                 else:
                     raise error
             if not any_failure:
-                return
+                break
             pending = {key: value for key, value in pending.items() if key not in acked}
+        if hints:
+            self._park_hints(hints)
 
     def multi_get(self, keys: Iterable[bytes]) -> Dict[bytes, Optional[bytes]]:
         """Group reads by first healthy replica; one ``multi_get`` per node.
@@ -224,18 +904,44 @@ class StorageCluster(KeyValueStore):
         raises is marked down and its keys are re-routed.  A key resolves to
         ``None`` only once every healthy replica has denied it, and raises
         :class:`~repro.exceptions.PartitionError` when no healthy replica
-        remains — both matching the scalar read path.
+        remains — both matching the scalar read path.  During a rebalance
+        the fallback chain extends through the previous topology's owners,
+        so a key whose range is still mid-handoff reads from where it lives.
         """
-        materialized = list(keys)
+        return self._multi_get_over(list(keys), self._replica_walk, strict=True)
+
+    def _multi_get_over(
+        self,
+        materialized: List[bytes],
+        candidates_of: Callable[[bytes], List[str]],
+        strict: bool,
+    ) -> Dict[bytes, Optional[bytes]]:
+        """The batched read loop over an arbitrary replica-candidate walk.
+
+        ``candidates_of`` returns the ordered, *unfiltered* candidate list
+        for a key; downed and detached nodes are filtered each round (so
+        mid-loop mark-downs re-route).  ``strict`` raises
+        :class:`PartitionError` when a key has no healthy candidate (the
+        public read contract); the handoff's old-owner reads pass ``False``
+        and let such keys resolve to ``None`` instead of failing the
+        whole membership change.
+        """
         result: Dict[bytes, Optional[bytes]] = {key: None for key in materialized}
         tried: Dict[bytes, Set[str]] = {key: set() for key in result}
         unresolved: Set[bytes] = set(result)
         while unresolved:
             groups: Dict[str, List[bytes]] = {}
             for key in list(unresolved):
-                replicas = self.healthy_replicas(key)
+                replicas = [
+                    node
+                    for node in candidates_of(key)
+                    if node not in self._down and node in self._stores
+                ]
                 if not replicas:
-                    raise PartitionError(f"no healthy replica for key {key!r}")
+                    if strict:
+                        raise PartitionError(f"no healthy replica for key {key!r}")
+                    unresolved.discard(key)
+                    continue
                 untried = [node for node in replicas if node not in tried[key]]
                 if not untried:
                     unresolved.discard(key)  # absent on every healthy replica
@@ -252,7 +958,7 @@ class StorageCluster(KeyValueStore):
                     if isinstance(error, PartitionError):
                         raise error
                     if isinstance(error, _NODE_FAILURES):
-                        self.mark_down(node)
+                        self._mark_failed(node)
                         continue
                     raise error
                 for key in groups[node]:
@@ -273,12 +979,27 @@ class StorageCluster(KeyValueStore):
         caller must know the delete did not fully land so it can retry.
         With the concurrent fan-out several nodes may fail in one batch;
         the lowest-named node's error is the one raised, so the surfaced
-        failure does not depend on thread timing.
+        failure does not depend on thread timing.  During a rebalance the
+        tombstone lands on both the old and new owner sets, so the old-ring
+        read fallback cannot resurrect a deleted key.  Hints parked for the
+        deleted keys (a downed replica missed an earlier write) are dropped
+        in the same per-node batches, so a later hint replay cannot
+        resurrect the value either.
         """
         materialized = set(keys)
         if not materialized:
             return set()
         groups = self._group_by_replica(materialized)
+        if self._hinted_handoff and self._down:
+            # A hint for (down_target, key) may sit on any healthy replica
+            # of key; tombstone the candidate hint keys alongside the data.
+            for key in materialized:
+                walk = self._replica_walk(key)
+                stale = [_hint_key(target, key) for target in walk if target in self._down]
+                if stale:
+                    for node in walk:
+                        if node in groups:
+                            groups[node].extend(stale)
         tasks = {
             node: (lambda store=self._stores[node], keys=list(node_keys): store.multi_delete(keys))
             for node, node_keys in groups.items()
@@ -289,7 +1010,7 @@ class StorageCluster(KeyValueStore):
             deleted, error = outcomes[node]
             if error is not None:
                 raise error
-            existed.update(deleted)
+            existed.update(key for key in deleted if key in materialized)
         return existed
 
     def scan_prefix(self, prefix: bytes) -> Iterator[Tuple[bytes, bytes]]:
@@ -300,7 +1021,8 @@ class StorageCluster(KeyValueStore):
         the merged order, so dedup only has to remember the last yielded key
         — O(1) memory however large the keyspace, which is what lets
         :meth:`repair_node` and :meth:`size_bytes` walk a big (possibly
-        remote) cluster without materializing it.  Replica disagreements
+        remote) cluster without materializing it.  Keys in the reserved
+        hinted-handoff keyspace are never surfaced.  Replica disagreements
         (a stale replica holding a different value after a partial failure)
         resolve deterministically: the *earliest node in cluster order*
         (``node-0``, ``node-1``, …, the ``_node_names`` construction order
@@ -330,7 +1052,9 @@ class StorageCluster(KeyValueStore):
         (a caller like engine recovery must not mistake a dead cluster for
         an empty one).  Keys whose entire replica set fails while other
         nodes survive are the one case that still slips through silently —
-        the merge cannot know about keys it never saw.  Deterministic
+        the merge cannot know about keys it never saw.  Parked hint keys
+        (the reserved :data:`HINT_PREFIX` keyspace) are filtered out: they
+        are host-placed bookkeeping, not cluster data.  Deterministic
         caller errors propagate unchanged.
         """
         names = [name for name in self._node_names if name not in self._down]
@@ -344,12 +1068,15 @@ class StorageCluster(KeyValueStore):
             except PartitionError:
                 raise
             except _NODE_FAILURES:
-                self.mark_down(name)
+                self._mark_failed(name)
                 failed.append(name)
 
-        yield from self._dedup_merge(
+        for item in self._dedup_merge(
             [guarded(name, make_iterator(self._stores[name])) for name in names], key_of
-        )
+        ):
+            if key_of(item).startswith(HINT_PREFIX):
+                continue
+            yield item
         if len(failed) == len(names):
             raise PartitionError("every node failed mid-scan; the merged result is incomplete")
 
@@ -375,7 +1102,8 @@ class StorageCluster(KeyValueStore):
 
         Uses the keys-plus-sizes scan flavour, so over remote nodes this
         ships key names and integer lengths — not every stored value — to
-        compute one number.
+        compute one number.  Parked hints are bookkeeping, not data, and
+        are excluded.
         """
         return sum(
             size
@@ -385,7 +1113,7 @@ class StorageCluster(KeyValueStore):
         )
 
     def physical_size_bytes(self) -> int:
-        """Raw size including replication overhead."""
+        """Raw size including replication overhead (and any parked hints)."""
         return sum(store.size_bytes() for store in self._stores.values())
 
     def _merged_keys(self, prefix: bytes) -> Iterator[bytes]:
@@ -413,7 +1141,10 @@ class StorageCluster(KeyValueStore):
         materialization or a value copy of everything it already holds.
         The node may still be marked down while it is repaired (its store
         just has to be reachable); mark it up before or after, reads only
-        return to it once it is both up and healed.
+        return to it once it is both up and healed.  With hinted handoff
+        on, :meth:`mark_up` replays the down-window writes first, so this
+        is the backstop for lost hints and cold disks, not the routine
+        heal path.
         """
         if name not in self._stores:
             raise ValueError(f"unknown node '{name}'")
@@ -450,5 +1181,6 @@ class StorageCluster(KeyValueStore):
             if self._executor is not None:
                 self._executor.shutdown(wait=True)
                 self._executor = None
+                self._executor_workers = 0
         for store in self._stores.values():
             store.close()

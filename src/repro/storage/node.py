@@ -32,8 +32,14 @@ value travels as a binary attachment, never inside the JSON header.
 The node server deliberately does **not** own its store's lifetime: the
 store is the node's disk, the server is the node's process.  Stopping the
 server (a crash, a restart) leaves the store's contents intact, which is
-exactly what the cluster's mark-down → ``mark_up`` → ``repair_node`` cycle
-expects to heal.
+exactly what the cluster's mark-down → ``mark_up`` → hint-replay →
+``repair_node`` cycle expects to heal — parked hints for the node live in
+*other* nodes' stores under the reserved ``hint/`` keyspace, so on a
+persistent backend they survive restarts of the hosting node too.  The
+same store-outlives-process property is what makes live topology changes
+safe: ``StorageCluster.add_node`` can dial a node that just started empty
+and stream its ranges to it, and ``decommission_node`` leaves the detached
+node's contents on disk, exactly like a Cassandra decommission.
 """
 
 from __future__ import annotations

@@ -4,6 +4,15 @@ Keys are hashed onto a ring; each physical node owns several virtual tokens
 so that adding or removing a node only moves a small fraction of the keys.
 Replica sets are the N distinct nodes encountered walking clockwise from the
 key's position — the same token-ring design Cassandra and Dynamo use.
+Ownership is *inclusive*: the first token whose position is greater than or
+equal to the key's hash owns the key (the Dynamo/Cassandra convention), so a
+key whose hash collides exactly with a virtual token belongs to that token's
+node, not its successor.
+
+Rings are cheap to :meth:`~ConsistentHashRing.copy`: a cluster performing a
+live membership change builds the *new* ring as a copy, mutates the copy,
+and swaps it in atomically, so concurrent readers always see either the old
+or the new topology — never a ring mid-mutation.
 """
 
 from __future__ import annotations
@@ -54,6 +63,18 @@ class ConsistentHashRing:
         del self._nodes[node]
         self._tokens = [(pos, name) for pos, name in self._tokens if name != node]
 
+    def copy(self) -> "ConsistentHashRing":
+        """An independent ring with the same tokens and membership.
+
+        Used for live topology changes: mutate the copy, then publish it in
+        one reference assignment so in-flight placements never observe a
+        half-updated token list.
+        """
+        clone = ConsistentHashRing(virtual_tokens=self._virtual_tokens)
+        clone._tokens = list(self._tokens)
+        clone._nodes = dict(self._nodes)
+        return clone
+
     # -- placement ----------------------------------------------------------------
 
     def primary(self, key: bytes) -> str:
@@ -69,7 +90,13 @@ class ConsistentHashRing:
         available = len(self._nodes)
         wanted = min(replication_factor, available)
         position = _hash_to_ring(key)
-        start = bisect.bisect_right(self._tokens, (position, "￿"))
+        # Inclusive clockwise seek: the first token with position >= hash(key)
+        # owns the key.  Node names are non-empty, so (position, "") sorts
+        # before every real token at that position and bisect_left lands on
+        # it — a bisect_right past (position, "￿") would skip a token
+        # whose position equals the key's hash and hand the key to the next
+        # token's node instead.
+        start = bisect.bisect_left(self._tokens, (position, ""))
         replicas: List[str] = []
         for step in range(len(self._tokens)):
             _token, node = self._tokens[(start + step) % len(self._tokens)]

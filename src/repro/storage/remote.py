@@ -28,6 +28,11 @@ framing-v2 wire protocol (the ``kv_*`` op family), so a
   operations make the at-least-once retry safe; the one observable wrinkle
   is that a ``delete`` retried across a reconnect can report
   ``existed=False`` for a key its first, half-lost attempt removed.
+* **Elastic membership.**  A client is cheap before its first operation
+  (no socket until then), so ``StorageCluster.add_node`` can adopt a
+  ``RemoteKeyValueStore`` for a node that is still booting; the handoff's
+  first batch dials it.  ``decommission_node`` calls :meth:`close`, which
+  only drops the connection — the detached node keeps its data.
 """
 
 from __future__ import annotations

@@ -217,10 +217,11 @@ class TestClusterScatterGather:
         # ... and every key is still readable from the survivors.
         for key, value in items:
             assert cluster.get(key) == value
-        # Recovery path: node comes back, repair backfills it.
+        # Recovery path: node comes back and mark_up replays the hints the
+        # failed writes parked on the survivors — repair has nothing left.
         stores["node-2"].failing = False
-        cluster.mark_up("node-2")
-        assert cluster.repair_node("node-2") > 0
+        assert cluster.mark_up("node-2") > 0
+        assert cluster.repair_node("node-2") == 0
 
     def test_multi_get_marks_failing_node_down_and_retries(self):
         stores = {}
