@@ -86,16 +86,41 @@ class GrantManager:
         """
         if not policies:
             return []
-        sealed_batch: List[Tuple[str, str, bytes]] = []
-        envelope_batches: Dict[int, Dict[int, bytes]] = {}
+        window_bounds: List[Tuple[int, int]] = []
         for policy in policies:
             if policy.stream_uuid != self.stream_uuid:
                 raise ConfigurationError("policy addresses a different stream")
             window_start, window_end = self._windows_for(policy.time_range)
             if window_end <= window_start:
                 raise ConfigurationError("the granted time range covers no chunk window")
+            window_bounds.append((window_start, window_end))
+        # One shared subtree-cover traversal for every full-resolution policy
+        # in the cohort: overlapping ranges (the common burst shape — many
+        # principals granted the same recent window) derive shared cover
+        # nodes once instead of once per grant.
+        full_slots = [slot for slot, policy in enumerate(policies) if policy.resolution.is_full]
+        cohort_tokens = dict(
+            zip(
+                full_slots,
+                self.key_tree.tokens_for_ranges(
+                    [
+                        (
+                            window_bounds[slot][0],
+                            min(window_bounds[slot][1] + 1, self.key_tree.num_keys),
+                        )
+                        for slot in full_slots
+                    ]
+                ),
+            )
+        )
+        sealed_batch: List[Tuple[str, str, bytes]] = []
+        envelope_batches: Dict[int, Dict[int, bytes]] = {}
+        for slot, policy in enumerate(policies):
+            window_start, window_end = window_bounds[slot]
             if policy.resolution.is_full:
-                token = self._full_resolution_token(policy, window_start, window_end)
+                token = self._full_resolution_token(
+                    policy, window_start, window_end, tree_tokens=cohort_tokens[slot]
+                )
             else:
                 token, envelopes = self._restricted_resolution_token(
                     policy, window_start, window_end
@@ -118,13 +143,20 @@ class GrantManager:
         return grants
 
     def _full_resolution_token(
-        self, policy: AccessPolicy, window_start: int, window_end: int
+        self,
+        policy: AccessPolicy,
+        window_start: int,
+        window_end: int,
+        tree_tokens: Optional[List] = None,
     ) -> AccessToken:
         # HEAC decryption of window w needs keys k_w and k_{w+1}, so the shared
         # keystream segment extends one position past the last granted window.
-        tree_tokens = self.key_tree.tokens_for_range(
-            window_start, min(window_end + 1, self.key_tree.num_keys)
-        )
+        # A cohort burst passes tokens pre-derived by the shared traversal in
+        # tokens_for_ranges; the scalar path derives its own.
+        if tree_tokens is None:
+            tree_tokens = self.key_tree.tokens_for_range(
+                window_start, min(window_end + 1, self.key_tree.num_keys)
+            )
         return AccessToken(
             stream_uuid=self.stream_uuid,
             principal_id=policy.principal_id,

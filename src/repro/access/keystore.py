@@ -9,8 +9,8 @@ of resolution keystreams (wrapped outer keys), which are equally opaque.
 Persistence goes through the storage batch primitives: a cohort grant burst
 (:meth:`TokenStore.put_grants`) costs one prefix scan per involved stream
 plus one ``multi_put``, an envelope publication is one ``multi_put``, and
-grant deletion is one scan plus one ``multi_delete`` — instead of one
-round trip per record each.
+grant deletion is a single ``delete_prefix`` (erased server-side on remote
+backends) — instead of one round trip per record each.
 """
 
 from __future__ import annotations
@@ -111,12 +111,10 @@ class TokenStore:
     def delete_grants(self, stream_uuid: str, principal_id: Optional[str] = None) -> int:
         """Remove stored grants (all of a stream's, or one principal's).
 
-        One prefix scan plus one ``multi_delete``, however many grants fall.
+        A single ``delete_prefix``: remote/cluster backends erase server-side
+        in one round trip, however many grants fall.
         """
-        keys = self._store.keys_with_prefix(_grant_prefix(stream_uuid, principal_id))
-        if keys:
-            self._store.multi_delete(keys)
-        return len(keys)
+        return self._store.delete_prefix(_grant_prefix(stream_uuid, principal_id))
 
     # -- resolution key envelopes -----------------------------------------------
 
@@ -147,12 +145,16 @@ class TokenStore:
         self, stream_uuid: str, resolution_chunks: int, window_start: int, window_end: int
     ) -> Dict[int, bytes]:
         """Envelopes for aligned boundaries within ``[window_start, window_end]``."""
+        # %016x keys sort lexicographically in numeric order, so the inclusive
+        # window bounds translate directly into a key-range scan — which
+        # remote/cluster backends filter server-side instead of shipping the
+        # stream's whole envelope history.
         envelopes: Dict[int, bytes] = {}
         prefix = f"envelope/{stream_uuid}/{resolution_chunks:08d}/".encode("utf-8")
-        for key, value in self._store.scan_prefix(prefix):
-            window_index = int(key.rsplit(b"/", 1)[-1], 16)
-            if window_start <= window_index <= window_end:
-                envelopes[window_index] = value
+        lo = _envelope_key(stream_uuid, resolution_chunks, window_start)
+        hi = _envelope_key(stream_uuid, resolution_chunks, window_end)
+        for key, value in self._store.scan_range(prefix, lo, hi):
+            envelopes[int(key.rsplit(b"/", 1)[-1], 16)] = value
         return envelopes
 
     # -- introspection ---------------------------------------------------------------

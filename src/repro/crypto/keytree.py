@@ -238,6 +238,63 @@ class KeyDerivationTree:
             for depth, index in _aligned_cover(start, end, self._height)
         ]
 
+    def tokens_for_ranges(self, ranges: Sequence[Tuple[int, int]]) -> List[TreeToken]:
+        """Token covers for many ranges sharing one traversal (cohort grants).
+
+        Per-range output is bit-identical to :meth:`tokens_for_range`, but a
+        cohort of overlapping ranges (a burst of grants over the same recent
+        window) derives each cover node once and reuses every path node
+        walked for an earlier range in the batch, the way :meth:`leaf_range`
+        amortizes the per-leaf walk — instead of one independent
+        root-to-node traversal per grant.  Returns one token list per input
+        range, in input order.
+        """
+        covers: List[List[Tuple[int, int]]] = []
+        for start, end in ranges:
+            if not 0 <= start <= end <= self.num_keys:
+                raise KeyDerivationError(
+                    f"key range [{start}, {end}) outside keystream of {self.num_keys} keys"
+                )
+            covers.append(list(_aligned_cover(start, end, self._height)))
+        # Derive the union of cover nodes shallow-to-deep through a batch-local
+        # memo: every node on a walked path is remembered, so a later range
+        # restarts from the deepest shared ancestor already derived.
+        memo: Dict[Tuple[int, int], bytes] = {}
+        values: Dict[Tuple[int, int], bytes] = {}
+        for depth, index in sorted({coord for cover in covers for coord in cover}):
+            values[(depth, index)] = self._node_via(depth, index, memo)
+        return [
+            [
+                TreeToken(depth=depth, index=index, value=values[(depth, index)], height=self._height)
+                for depth, index in cover
+            ]
+            for cover in covers
+        ]
+
+    def _node_via(self, depth: int, index: int, memo: Dict[Tuple[int, int], bytes]) -> bytes:
+        """:meth:`_node` variant memoising every node on the walked path."""
+        cached = memo.get((depth, index)) or self._node_cache.get((depth, index))
+        if cached is not None:
+            return cached
+        value = self._seed
+        start_depth = 0
+        for ancestor_depth in range(depth - 1, 0, -1):
+            ancestor_index = index >> (depth - ancestor_depth)
+            hit = memo.get((ancestor_depth, ancestor_index)) or self._node_cache.get(
+                (ancestor_depth, ancestor_index)
+            )
+            if hit is not None:
+                value = hit
+                start_depth = ancestor_depth
+                break
+        for level in range(start_depth + 1, depth + 1):
+            node_index = index >> (depth - level)
+            value = self._prg.child(value, node_index & 1)
+            memo[(level, node_index)] = value
+            if level <= self._cache_levels:
+                self._node_cache[(level, node_index)] = value
+        return value
+
     def root_token(self) -> TreeToken:
         """Token granting the entire keystream (the root seed)."""
         return TreeToken(depth=0, index=0, value=self._seed, height=self._height)

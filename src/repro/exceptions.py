@@ -77,6 +77,16 @@ class ClusterMembershipError(StorageError):
     """An invalid cluster topology change (unknown, duplicate, or last node)."""
 
 
+class WrongShardError(TimeCryptError):
+    """The stream addressed by a request is owned by a different engine shard.
+
+    Carried over the wire as a typed redirect: the response's ``result``
+    names the owning shard and the routing-table epoch the answering engine
+    observed, so a client with a stale table can refresh and re-route
+    instead of guessing.
+    """
+
+
 class TransportError(TimeCryptError):
     """The client/server transport failed (framing, connection, timeout)."""
 

@@ -37,7 +37,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.crypto.heac import HEACCiphertext
-from repro.exceptions import ProtocolError, TimeCryptError, TransportError
+from repro.exceptions import ProtocolError, QueryError, TimeCryptError, TransportError
 from repro.net.framing import (
     PROTOCOL_VERSION,
     encode_frame_v2,
@@ -46,7 +46,7 @@ from repro.net.framing import (
     write_frame,
     write_frame_v2,
 )
-from repro.net.messages import Request, Response
+from repro.net.messages import Request, Response, ShardRoutingTable
 from repro.server.engine import _metadata_from_json, _metadata_to_json
 from repro.server.query_executor import MultiStreamAggregate, StatQueryResult
 from repro.timeseries.serialization import (
@@ -374,6 +374,9 @@ class RemoteServerClient:
         self._correlation_ids = itertools.count(1)
         self._reader: Optional[threading.Thread] = None
         self._server_operations: Optional[frozenset] = None
+        #: The full ``hello`` result: capability fields beyond the op list
+        #: (e.g. a shard routing table). Empty for v1 peers.
+        self.hello_info: Dict[str, Any] = {}
         self.protocol_version = protocol_version
         if protocol_version == PROTOCOL_VERSION:
             self._negotiate()
@@ -404,6 +407,7 @@ class RemoteServerClient:
             if not response.ok or int(response.result.get("protocol", 1)) < PROTOCOL_VERSION:
                 raise ProtocolError("peer does not speak protocol v2")
             self._server_operations = frozenset(response.result.get("operations", ()))
+            self.hello_info = dict(response.result)
         except socket.timeout as exc:
             raise TransportError(
                 f"hello negotiation with {self._address} timed out: {exc}"
@@ -720,3 +724,451 @@ class RemoteServerClient:
         return self.token_store.envelopes_for_range(
             stream_uuid, resolution_chunks, window_start, window_end
         )
+
+
+class _ShardedTokenStore:
+    """Token-store facade routing grant/envelope traffic to the owning shard."""
+
+    def __init__(self, client: "ShardedServerClient") -> None:
+        self._client = client
+
+    def put_grant(self, stream_uuid: str, principal_id: str, sealed_token: bytes) -> int:
+        return self._client.put_grant(stream_uuid, principal_id, sealed_token)
+
+    def put_grants(self, grants: Sequence[Tuple[str, str, bytes]]) -> List[int]:
+        return self._client.put_grants(grants)
+
+    def grants_for(self, stream_uuid: str, principal_id: str) -> List[bytes]:
+        return self._client.fetch_grants(stream_uuid, principal_id)
+
+    def put_envelopes(
+        self, stream_uuid: str, resolution_chunks: int, envelopes: Dict[int, bytes]
+    ) -> None:
+        windows = sorted(envelopes)
+        self._client._call(
+            stream_uuid,
+            Request(
+                "put_envelopes",
+                {
+                    "uuid": stream_uuid,
+                    "resolution_chunks": resolution_chunks,
+                    "windows": windows,
+                },
+                [envelopes[window] for window in windows],
+            ),
+        )
+
+    def envelopes_for_range(
+        self, stream_uuid: str, resolution_chunks: int, window_start: int, window_end: int
+    ) -> Dict[int, bytes]:
+        return self._client.fetch_envelopes(
+            stream_uuid, resolution_chunks, window_start, window_end
+        )
+
+
+class ShardedServerClient:
+    """A routing-aware client for the sharded engine tier.
+
+    Dials the :class:`~repro.server.router.StreamRouter`, learns the shard
+    routing table from its ``hello``, and from then on sends every stream
+    operation *directly* to the owning engine over one multiplexed
+    connection per shard — the router is only revisited to refresh the
+    table.  A ``WrongShardError`` redirect (the client's table was stale)
+    triggers a refresh and a bounded re-route; an engine that died
+    mid-workload surfaces as a transport error, which likewise refreshes
+    the table and redials, so a membership change needs no client restart.
+    """
+
+    _MAX_ROUTE_ATTEMPTS = 5
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+        self._router_address = (host, port)
+        self._timeout = timeout
+        self._lock = threading.Lock()
+        self._router: Optional[RemoteServerClient] = None
+        self._engines: Dict[str, Tuple[Tuple[str, int], RemoteServerClient]] = {}
+        self._table = self._table_from_hello(self._router_client())
+        self.token_store = _ShardedTokenStore(self)
+
+    # -- table management -------------------------------------------------------
+
+    def _table_from_hello(self, client: RemoteServerClient) -> ShardRoutingTable:
+        payload = client.hello_info.get("routing")
+        if payload is None:
+            raise ProtocolError(
+                f"peer at {self._router_address} did not advertise a shard routing table"
+            )
+        return ShardRoutingTable.from_payload(payload)
+
+    @property
+    def routing_table(self) -> ShardRoutingTable:
+        return self._table
+
+    @property
+    def routing_epoch(self) -> int:
+        return self._table.epoch
+
+    def _fetch_table(self, client: RemoteServerClient) -> Optional[ShardRoutingTable]:
+        """Ask one peer for its current table; ``None`` on any failure."""
+        try:
+            response = client.call_many([Request("routing_table")])[0]
+        except (TransportError, OSError):
+            return None
+        payload = response.result.get("routing") if response.ok else None
+        if payload is None:
+            return None
+        try:
+            return ShardRoutingTable.from_payload(payload)
+        except ProtocolError:
+            return None
+
+    def _adopt_table(self, table: Optional[ShardRoutingTable]) -> bool:
+        """Adopt a strictly newer table; returns whether the epoch advanced."""
+        if table is None or table.epoch <= self._table.epoch:
+            return False
+        self._table = table
+        return True
+
+    def _refresh_table(self) -> bool:
+        """Refresh from the router (redialling once), else from any live shard."""
+        for _attempt in range(2):
+            try:
+                client = self._router_client()
+            except (TransportError, OSError):
+                self._drop_router()
+                continue
+            table = self._fetch_table(client)
+            if table is None:
+                self._drop_router()
+                continue
+            return self._adopt_table(table)
+        for name in self._table.engine_names:
+            with self._lock:
+                cached = self._engines.get(name)
+            if cached is None:
+                continue
+            table = self._fetch_table(cached[1])
+            if table is not None:
+                return self._adopt_table(table)
+        return False
+
+    # -- connections ------------------------------------------------------------
+
+    def _router_client(self) -> RemoteServerClient:
+        with self._lock:
+            if self._router is None:
+                self._router = RemoteServerClient(
+                    self._router_address[0], self._router_address[1], timeout=self._timeout
+                )
+            return self._router
+
+    def _drop_router(self) -> None:
+        with self._lock:
+            router, self._router = self._router, None
+        if router is not None:
+            router.close()
+
+    def _engine_client(self, name: str) -> RemoteServerClient:
+        address = self._table.address_of(name)
+        with self._lock:
+            cached = self._engines.get(name)
+            if cached is not None and cached[0] == address:
+                return cached[1]
+            stale = self._engines.pop(name, None)
+        if stale is not None:
+            stale[1].close()
+        client = RemoteServerClient(address[0], address[1], timeout=self._timeout)
+        with self._lock:
+            self._engines[name] = (address, client)
+        return client
+
+    def _drop_engine(self, name: str) -> None:
+        with self._lock:
+            cached = self._engines.pop(name, None)
+        if cached is not None:
+            cached[1].close()
+
+    def close(self) -> None:
+        self._drop_router()
+        with self._lock:
+            engines = [client for _address, client in self._engines.values()]
+            self._engines.clear()
+        for client in engines:
+            client.close()
+
+    def __enter__(self) -> "ShardedServerClient":
+        return self
+
+    def __exit__(self, *_exc_info: object) -> None:
+        self.close()
+
+    @property
+    def wire_stats(self) -> WireStats:
+        """Aggregate wire accounting across the router and all shard connections."""
+        total = WireStats()
+        with self._lock:
+            clients = [client for _address, client in self._engines.values()]
+            if self._router is not None:
+                clients.append(self._router)
+        for client in clients:
+            stats = client.wire_stats
+            total.requests_sent += stats.requests_sent
+            total.responses_received += stats.responses_received
+            total.round_trips += stats.round_trips
+            total.batches_sent += stats.batches_sent
+        return total
+
+    # -- routing ----------------------------------------------------------------
+
+    def _routed(self, stream_uuid: str, request: Request) -> Response:
+        """Send one request to the stream's owner, chasing redirects boundedly.
+
+        Transport loss drops the shard connection, refreshes the table and
+        retries; a ``wrong_shard`` redirect refreshes the table, falling back
+        to the redirect's owner hint only when no newer table materialises.
+        A topology that never converges (peers answering for each other's
+        shards) is reported as a protocol error instead of looping forever.
+        """
+        owner_hint: Optional[str] = None
+        for _attempt in range(self._MAX_ROUTE_ATTEMPTS):
+            table = self._table
+            if owner_hint is not None and owner_hint in table.engine_names:
+                owner = owner_hint
+            else:
+                owner = table.owner_of(stream_uuid)
+            owner_hint = None
+            try:
+                client = self._engine_client(owner)
+                response = client.call_many([request])[0]
+            except (TransportError, OSError):
+                self._drop_engine(owner)
+                self._refresh_table()
+                continue
+            if response.ok or response.error_type != "WrongShardError":
+                return response
+            progressed = self._refresh_table()
+            if not progressed and self._table.epoch == table.epoch:
+                hinted = response.result.get("owner")
+                if hinted in table.engine_names and hinted != owner:
+                    owner_hint = hinted
+        raise ProtocolError(
+            f"shard routing for stream '{stream_uuid}' did not converge after "
+            f"{self._MAX_ROUTE_ATTEMPTS} attempts"
+        )
+
+    def _call(self, stream_uuid: str, request: Request) -> Response:
+        response = self._routed(stream_uuid, request)
+        if not response.ok:
+            _raise_remote(response)
+        return response
+
+    def ping(self) -> bool:
+        """Liveness of the tier: the router, or failing that any live shard."""
+        try:
+            return self._router_client().ping()
+        except (TimeCryptError, OSError):
+            self._drop_router()
+        for name in self._table.engine_names:
+            try:
+                return self._engine_client(name).ping()
+            except (TimeCryptError, OSError):
+                self._drop_engine(name)
+        return False
+
+    # -- ServerEngine-compatible surface ----------------------------------------
+
+    def create_stream(self, metadata: StreamMetadata) -> None:
+        self._call(metadata.uuid, Request("create_stream", {}, [_metadata_to_json(metadata)]))
+
+    def delete_stream(self, stream_uuid: str) -> None:
+        self._call(stream_uuid, Request("delete_stream", {"uuid": stream_uuid}))
+
+    def stream_metadata(self, stream_uuid: str) -> StreamMetadata:
+        response = self._call(stream_uuid, Request("stream_metadata", {"uuid": stream_uuid}))
+        if not response.attachments:
+            raise ProtocolError("stream_metadata response missing attachment")
+        return _metadata_from_json(response.attachments[0])
+
+    def stream_head(self, stream_uuid: str) -> int:
+        response = self._call(stream_uuid, Request("stream_head", {"uuid": stream_uuid}))
+        return int(response.result["head"])
+
+    def rollup_stream(
+        self, stream_uuid: str, resolution_windows: int, before_time: Optional[int] = None
+    ) -> int:
+        response = self._call(
+            stream_uuid,
+            Request(
+                "rollup_stream",
+                {
+                    "uuid": stream_uuid,
+                    "resolution_windows": resolution_windows,
+                    "before_time": before_time,
+                },
+            ),
+        )
+        return int(response.result["deleted"])
+
+    def insert_chunk(self, chunk: EncryptedChunk) -> int:
+        response = self._call(
+            chunk.stream_uuid, Request("insert_chunk", {}, [encode_encrypted_chunk(chunk)])
+        )
+        return int(response.result["window_index"])
+
+    def insert_chunks(self, chunks: Sequence[EncryptedChunk]) -> int:
+        if not chunks:
+            raise ProtocolError("insert_chunks requires at least one chunk")
+        response = self._call(
+            chunks[0].stream_uuid,
+            Request("insert_chunks", {}, [encode_encrypted_chunk(chunk) for chunk in chunks]),
+        )
+        return int(response.result["window_index"])
+
+    def get_range(self, stream_uuid: str, time_range: TimeRange) -> List[EncryptedChunk]:
+        response = self._call(
+            stream_uuid,
+            Request(
+                "get_range",
+                {"uuid": stream_uuid, "start": time_range.start, "end": time_range.end},
+            ),
+        )
+        return [decode_encrypted_chunk(blob) for blob in response.attachments]
+
+    def delete_range(self, stream_uuid: str, time_range: TimeRange) -> int:
+        response = self._call(
+            stream_uuid,
+            Request(
+                "delete_range",
+                {"uuid": stream_uuid, "start": time_range.start, "end": time_range.end},
+            ),
+        )
+        return int(response.result["deleted"])
+
+    def stat_range(self, stream_uuid: str, time_range: TimeRange) -> StatQueryResult:
+        response = self._call(
+            stream_uuid,
+            Request(
+                "stat_range",
+                {"uuid": stream_uuid, "start": time_range.start, "end": time_range.end},
+            ),
+        )
+        return RemoteServerClient._stat_from_json(response.result["stat"])
+
+    def stat_series(
+        self, stream_uuid: str, time_range: TimeRange, granularity_windows: int
+    ) -> List[StatQueryResult]:
+        response = self._call(
+            stream_uuid,
+            Request(
+                "stat_series",
+                {
+                    "uuid": stream_uuid,
+                    "start": time_range.start,
+                    "end": time_range.end,
+                    "granularity_windows": granularity_windows,
+                },
+            ),
+        )
+        return [RemoteServerClient._stat_from_json(item) for item in response.result["series"]]
+
+    def stat_range_multi(
+        self, stream_uuids: Sequence[str], time_range: TimeRange
+    ) -> MultiStreamAggregate:
+        """Inter-stream query: forwarded whole when one shard owns every
+        stream, otherwise per-stream ``stat_range`` calls recombined exactly
+        as a single engine would (:meth:`MultiStreamAggregate.combine` over
+        results in request order)."""
+        uuids = list(stream_uuids)
+        if not uuids:
+            raise QueryError("an inter-stream query needs at least one stream")
+        table = self._table
+        owners = {table.owner_of(stream_uuid) for stream_uuid in uuids}
+        if len(owners) == 1:
+            response = self._call(
+                uuids[0],
+                Request(
+                    "stat_range_multi",
+                    {"uuids": uuids, "start": time_range.start, "end": time_range.end},
+                ),
+            )
+            return MultiStreamAggregate(
+                values=tuple(response.result["values"]),
+                component_names=tuple(response.result["component_names"]),
+                per_stream_intervals=tuple(
+                    (item[0], item[1], item[2])
+                    for item in response.result["per_stream_intervals"]
+                ),
+            )
+        return MultiStreamAggregate.combine(
+            [self.stat_range(stream_uuid, time_range) for stream_uuid in uuids]
+        )
+
+    # -- grant / envelope passthrough -------------------------------------------
+
+    def put_grant(self, stream_uuid: str, principal_id: str, sealed_token: bytes) -> int:
+        response = self._call(
+            stream_uuid,
+            Request(
+                "put_grant", {"uuid": stream_uuid, "principal_id": principal_id}, [sealed_token]
+            ),
+        )
+        return int(response.result["grant_id"])
+
+    def put_grants(self, grants: Sequence[Tuple[str, str, bytes]]) -> List[int]:
+        """A grant burst, split into one ``put_grants`` per owning shard.
+
+        Ids are stitched back into input order.  A membership change racing
+        the burst can strand a sub-batch on a shard that no longer owns one
+        of its streams; that surfaces as the redirect error rather than a
+        silent partial write.
+        """
+        if not grants:
+            return []
+        table = self._table
+        slots_by_owner: Dict[str, List[int]] = {}
+        for slot, (stream_uuid, _principal, _sealed) in enumerate(grants):
+            slots_by_owner.setdefault(table.owner_of(stream_uuid), []).append(slot)
+        grant_ids: List[int] = [0] * len(grants)
+        for owner in sorted(slots_by_owner):
+            slots = slots_by_owner[owner]
+            subset = [grants[slot] for slot in slots]
+            response = self._call(
+                subset[0][0],
+                Request(
+                    "put_grants",
+                    {
+                        "grants": [
+                            {"uuid": stream_uuid, "principal_id": principal_id}
+                            for stream_uuid, principal_id, _sealed in subset
+                        ]
+                    },
+                    [sealed for _uuid, _principal, sealed in subset],
+                ),
+            )
+            for slot, grant_id in zip(slots, response.result["grant_ids"]):
+                grant_ids[slot] = int(grant_id)
+        return grant_ids
+
+    def fetch_grants(self, stream_uuid: str, principal_id: str) -> List[bytes]:
+        response = self._call(
+            stream_uuid,
+            Request("fetch_grants", {"uuid": stream_uuid, "principal_id": principal_id}),
+        )
+        return list(response.attachments)
+
+    def fetch_envelopes(
+        self, stream_uuid: str, resolution_chunks: int, window_start: int, window_end: int
+    ) -> Dict[int, bytes]:
+        response = self._call(
+            stream_uuid,
+            Request(
+                "fetch_envelopes",
+                {
+                    "uuid": stream_uuid,
+                    "resolution_chunks": resolution_chunks,
+                    "window_start": window_start,
+                    "window_end": window_end,
+                },
+            ),
+        )
+        return dict(zip(response.result["windows"], response.attachments))

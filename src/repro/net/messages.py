@@ -35,7 +35,11 @@ from repro.util.encoding import decode_varint, encode_varint
 #: header.  ``kv_scan_page`` is the wire shape of ``scan_prefix``: prefix
 #: scans are paged with an exclusive ``after`` cursor so a remote client can
 #: stream an arbitrarily large keyspace without ever materializing it (or
-#: hitting the frame cap).
+#: hitting the frame cap).  ``kv_scan_prefix`` and ``kv_delete_prefix`` are
+#: the scan-offload ops: the node walks its own keyspace (optionally
+#: key-range-filtered) and ships only matching items — or just a deletion
+#: count — so bulk erase and recovery stop paging the keyspace through the
+#: engine one ``kv_scan_page`` at a time.
 KV_OPERATIONS = (
     "kv_get",
     "kv_put",
@@ -44,6 +48,8 @@ KV_OPERATIONS = (
     "kv_multi_put",
     "kv_multi_delete",
     "kv_scan_page",
+    "kv_scan_prefix",
+    "kv_delete_prefix",
     "kv_size_bytes",
 )
 
@@ -67,6 +73,7 @@ OPERATIONS = (
     "fetch_grants",
     "fetch_envelopes",
     "put_envelopes",
+    "routing_table",
     "ping",
 ) + KV_OPERATIONS
 
@@ -158,3 +165,125 @@ class Response:
     @staticmethod
     def failure(error: Exception) -> "Response":
         return Response(ok=False, error=str(error), error_type=type(error).__name__)
+
+
+class ShardRoutingTable:
+    """The engine-shard routing capability advertised in ``hello``.
+
+    Streams are sharded across engine processes by consistent-hashing the
+    stream uuid onto the named engines (the same
+    :class:`~repro.storage.partitioner.ConsistentHashRing` machinery the
+    storage tier places keys with), so client and server agree on ownership
+    by construction — the table is just ``(name, host, port)`` triples plus
+    an ``epoch`` that increases on every membership change.  A client that
+    learned the table at ``hello`` routes stream ops straight to the owner
+    with no router hop; a client holding a stale epoch gets a typed
+    ``wrong_shard`` redirect carrying the answering engine's epoch and
+    refreshes.  Tables are immutable: membership changes produce a *new*
+    table (epoch + 1), so concurrent readers never observe a half-updated
+    topology.
+    """
+
+    def __init__(
+        self,
+        engines: Any = (),
+        epoch: int = 0,
+        virtual_tokens: int = 64,
+    ) -> None:
+        self._engines: Dict[str, tuple[str, int]] = {}
+        for name, host, port in engines:
+            if name in self._engines:
+                raise ProtocolError(f"duplicate engine shard '{name}' in routing table")
+            self._engines[str(name)] = (str(host), int(port))
+        self._epoch = int(epoch)
+        self._virtual_tokens = int(virtual_tokens)
+        self._ring: Optional[Any] = None
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        return self._epoch
+
+    @property
+    def virtual_tokens(self) -> int:
+        return self._virtual_tokens
+
+    @property
+    def engine_names(self) -> List[str]:
+        return sorted(self._engines)
+
+    def __len__(self) -> int:
+        return len(self._engines)
+
+    def address_of(self, name: str) -> tuple[str, int]:
+        try:
+            return self._engines[name]
+        except KeyError:
+            raise ProtocolError(f"unknown engine shard '{name}'") from None
+
+    def owner_of(self, stream_uuid: str) -> str:
+        """The engine shard owning ``stream_uuid`` under this table."""
+        if not self._engines:
+            raise ProtocolError("the routing table has no engine shards")
+        if self._ring is None:
+            # Deferred import: messages is the bottom of the net layer and
+            # the ring only pulls in repro.exceptions, so this cannot cycle —
+            # but tables are decoded far more often than they place streams.
+            from repro.storage.partitioner import ConsistentHashRing
+
+            self._ring = ConsistentHashRing(sorted(self._engines), virtual_tokens=self._virtual_tokens)
+        return self._ring.primary(stream_uuid.encode("utf-8"))
+
+    # -- evolution (immutable: each change returns a new table, epoch + 1) -----
+
+    def _entries(self) -> List[tuple[str, str, int]]:
+        return [(name, host, port) for name, (host, port) in sorted(self._engines.items())]
+
+    def with_engines(self, engines: Any, epoch: Optional[int] = None) -> "ShardRoutingTable":
+        """A new table with this membership replaced (epoch bumped)."""
+        return ShardRoutingTable(
+            engines,
+            epoch=self._epoch + 1 if epoch is None else epoch,
+            virtual_tokens=self._virtual_tokens,
+        )
+
+    def with_engine(self, name: str, host: str, port: int) -> "ShardRoutingTable":
+        if name in self._engines:
+            raise ProtocolError(f"engine shard '{name}' already in the routing table")
+        return self.with_engines(self._entries() + [(name, host, port)])
+
+    def without_engine(self, name: str) -> "ShardRoutingTable":
+        if name not in self._engines:
+            raise ProtocolError(f"unknown engine shard '{name}'")
+        return self.with_engines([entry for entry in self._entries() if entry[0] != name])
+
+    # -- wire form -------------------------------------------------------------
+
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON-safe form carried in ``hello`` and ``routing_table`` responses."""
+        return {
+            "epoch": self._epoch,
+            "virtual_tokens": self._virtual_tokens,
+            "engines": [
+                {"name": name, "host": host, "port": port}
+                for name, host, port in self._entries()
+            ],
+        }
+
+    @staticmethod
+    def from_payload(payload: Dict[str, Any]) -> "ShardRoutingTable":
+        try:
+            return ShardRoutingTable(
+                engines=[
+                    (entry["name"], entry["host"], int(entry["port"]))
+                    for entry in payload.get("engines", [])
+                ],
+                epoch=int(payload.get("epoch", 0)),
+                virtual_tokens=int(payload.get("virtual_tokens", 64)),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ProtocolError(f"malformed routing-table payload: {exc}") from exc
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ShardRoutingTable(epoch={self._epoch}, engines={self.engine_names})"

@@ -84,21 +84,58 @@ class WireDispatcher:
 
     # -- negotiation ---------------------------------------------------------------
 
+    def hello_extras(self) -> Dict:
+        """Extra capability fields merged into the ``hello`` response.
+
+        Overridden by dispatchers that advertise more than the op list — the
+        sharded engine tier announces its routing table here, so clients
+        learn stream placement during negotiation with no extra round trip.
+        """
+        return {}
+
     def _op_hello(self, _request: Request) -> Response:
         """Protocol negotiation: advertise the framing version and operations."""
-        return Response.success(
-            {"protocol": PROTOCOL_VERSION, "operations": self.supported_operations()}
-        )
+        payload = {"protocol": PROTOCOL_VERSION, "operations": self.supported_operations()}
+        payload.update(self.hello_extras())
+        return Response.success(payload)
 
     def _op_ping(self, _request: Request) -> Response:
         return Response.success({"pong": True})
 
 
 class RequestDispatcher(WireDispatcher):
-    """Maps protocol requests onto server-engine calls."""
+    """Maps protocol requests onto server-engine calls.
+
+    Engine state (the stream registry, the index node cache, query stats) is
+    not thread-safe, so engine-touching operations are serialised behind one
+    lock: a single engine is deliberately serial, and scaling comes from
+    running *several* engines behind the shard router
+    (:mod:`repro.server.router`), not from intra-engine concurrency.
+    ``hello``/``ping`` stay lock-free so negotiation and liveness probes are
+    never queued behind a long-running query.
+    """
+
+    #: Operations dispatched without taking the engine lock.
+    _LOCK_FREE_OPS = frozenset({"hello", "ping"})
 
     def __init__(self, engine: ServerEngine) -> None:
         self._engine = engine
+        self._engine_lock = threading.Lock()
+
+    def dispatch(self, request: Request) -> Response:
+        if request.operation in self._LOCK_FREE_OPS:
+            return super().dispatch(request)
+        try:
+            with self._engine_lock:
+                return self._dispatch_engine(request)
+        except TimeCryptError as exc:
+            return Response.failure(exc)
+        except Exception as exc:  # noqa: BLE001 — dead air is worse than a broad catch
+            return Response.failure(self._unexpected_error(exc))
+
+    def _dispatch_engine(self, request: Request) -> Response:
+        """One engine-touching request, already under the engine lock."""
+        return super().dispatch(request)
 
     # -- stream lifecycle ----------------------------------------------------------
 

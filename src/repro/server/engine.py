@@ -169,20 +169,28 @@ class ServerEngine:
         """Register a new stream (CreateStream)."""
         if metadata.uuid in self._streams:
             raise StreamExistsError(f"stream '{metadata.uuid}' already exists")
+        # The registry only covers streams this engine has seen; with several
+        # engines over shared storage the metadata record is the authority.
+        if self.store.contains(metadata_storage_key(metadata.uuid)):
+            raise StreamExistsError(f"stream '{metadata.uuid}' already exists in storage")
         self.store.put(metadata_storage_key(metadata.uuid), _metadata_to_json(metadata))
         self._streams[metadata.uuid] = self._make_state(metadata)
 
     def delete_stream(self, stream_uuid: str) -> None:
-        """Drop a stream with all chunks, index nodes, grants and envelopes."""
+        """Drop a stream with all chunks, index nodes, grants and envelopes.
+
+        Bulk erase is pushed down as prefix deletes, so on a remote or
+        clustered store this costs a fixed handful of round trips instead of
+        paging every chunk and index key through the engine first.
+        """
         state = self._state(stream_uuid)
-        doomed: List[bytes] = []
-        for prefix in (
-            f"chunk/{stream_uuid}/".encode("ascii"),
-            f"index/{stream_uuid}/".encode("ascii"),
-        ):
-            doomed.extend(self.store.keys_with_prefix(prefix))
-        doomed.append(metadata_storage_key(stream_uuid))
-        self.store.multi_delete(doomed)
+        self.store.delete_prefixes(
+            [
+                f"chunk/{stream_uuid}/".encode("ascii"),
+                f"index/{stream_uuid}/".encode("ascii"),
+            ]
+        )
+        self.store.delete(metadata_storage_key(stream_uuid))
         self.token_store.delete_grants(stream_uuid)
         state.index.cache.clear()
         del self._streams[stream_uuid]
@@ -200,8 +208,35 @@ class ServerEngine:
     def _state(self, stream_uuid: str) -> StreamState:
         state = self._streams.get(stream_uuid)
         if state is None:
+            state = self._load_state(stream_uuid)
+        if state is None:
             raise StreamNotFoundError(f"unknown stream '{stream_uuid}'")
         return state
+
+    def _load_state(self, stream_uuid: str) -> Optional[StreamState]:
+        """Lazily adopt a stream created by a peer engine over shared storage.
+
+        Engines are stateless apart from storage, so a registry miss is not
+        authoritative: another engine (or a previous incarnation) may have
+        written the stream's metadata record.  One storage ``get`` settles it.
+        """
+        blob = self.store.get(metadata_storage_key(stream_uuid))
+        if blob is None:
+            return None
+        state = self._make_state(_metadata_from_json(blob))
+        state.num_chunks = state.index.num_windows
+        self._streams[stream_uuid] = state
+        return state
+
+    def reset_stream_cache(self) -> None:
+        """Drop all in-memory stream state (indexes rebuild lazily from storage).
+
+        Called when shard ownership changes: a stream this engine used to own
+        may have advanced under a different owner, so cached index heads and
+        node caches are no longer trustworthy.
+        """
+        self._streams.clear()
+        self._cache.clear()
 
     # -- ingest --------------------------------------------------------------------
 

@@ -1037,6 +1037,70 @@ class StorageCluster(KeyValueStore):
             lambda store: store.scan_prefix(prefix), key_of=lambda item: item[0]
         )
 
+    def scan_range(self, prefix: bytes, lo: bytes, hi: bytes) -> Iterator[Tuple[bytes, bytes]]:
+        """Range-filtered merged scan: each node filters locally (or, for
+        remote nodes, server-side), so only ``[lo, hi]`` keys reach the merge."""
+        yield from self._merged_scan(
+            lambda store: store.scan_range(prefix, lo, hi), key_of=lambda item: item[0]
+        )
+
+    def delete_prefix(self, prefix: bytes, batch_size: int = 4096) -> int:
+        return self.delete_prefixes([prefix])
+
+    def delete_prefixes(self, prefixes: Iterable[bytes]) -> int:
+        """Erase whole keyspaces: one ``delete_prefixes`` per healthy node.
+
+        The bulk-erase analogue of :meth:`multi_delete`, with the same
+        loud-failure contract (a missed tombstone cannot be repaired, so a
+        node error propagates — lowest-named node first — instead of a
+        mark-down).  Every healthy node is asked, not just the current
+        owners: replication, rings retired by membership changes, and
+        not-yet-swept rebalance copies mean matching keys may sit anywhere.
+        Hints parked for keys under the prefixes are erased alongside the
+        data (the same ``hint/<target>/<key>`` tombstoning ``multi_delete``
+        does, expressed as one hint-prefix per known node), so a later
+        replay cannot resurrect erased keys.  Hints parked *on* a downed
+        node remain the known resurrection window, exactly as for
+        ``multi_delete``.  Returns the summed per-node physical deletion
+        count (replica copies counted once per node holding them).
+        """
+        materialized = [bytes(prefix) for prefix in prefixes]
+        if not materialized:
+            return 0
+        for prefix in materialized:
+            if not prefix:
+                raise ValueError("refusing to delete-prefix the entire keyspace")
+            if prefix.startswith(HINT_PREFIX) or HINT_PREFIX.startswith(prefix):
+                raise ValueError(
+                    f"prefix {prefix!r} overlaps the reserved hinted-handoff keyspace {HINT_PREFIX!r}"
+                )
+        expanded = list(materialized)
+        if self._hinted_handoff:
+            expanded.extend(
+                _hint_prefix_for(target) + prefix
+                for target in self._node_names
+                for prefix in materialized
+            )
+        names = [name for name in self._node_names if name not in self._down]
+        if not names:
+            raise PartitionError("no healthy node to delete from")
+        tasks = {
+            name: (
+                lambda store=self._stores[name], targets=list(expanded): (
+                    store.delete_prefixes(targets)
+                )
+            )
+            for name in names
+        }
+        outcomes = self._fan_out(tasks)
+        deleted = 0
+        for name in sorted(names):
+            count, error = outcomes[name]
+            if error is not None:
+                raise error
+            deleted += int(count)
+        return deleted
+
     def _merged_scan(self, make_iterator: Callable[[KeyValueStore], Iterator], key_of) -> Iterator:
         """Deduplicated merge over the healthy nodes, tolerating node outages.
 

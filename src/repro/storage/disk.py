@@ -23,23 +23,24 @@ from pathlib import Path
 from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.exceptions import StorageError
-from repro.storage.kv import KeyValueStore, sorted_keys_from
+from repro.storage.kv import KeyValueStore, SortedKeyCache
 from repro.storage.memory import StoreStats
 
 _RECORD_HEADER = struct.Struct(">IIB")  # key length, value length, tombstone flag
 
 
-class AppendLogStore(KeyValueStore):
-    """Log-structured persistent store with an in-memory key index."""
+class AppendLogStore(SortedKeyCache, KeyValueStore):
+    """Log-structured persistent store with an in-memory key index.
+
+    Cursor scans lean on :class:`SortedKeyCache` over the offset index, so
+    paged readers bisect a cached sorted key list instead of re-sorting the
+    keyspace per page.
+    """
 
     def __init__(self, path: str | os.PathLike, sync: bool = False) -> None:
         self._path = Path(path)
         self._path.parent.mkdir(parents=True, exist_ok=True)
         self._index: Dict[bytes, Tuple[int, int]] = {}  # key -> (value offset, length)
-        #: Lazily rebuilt sorted key list backing cursor scans; mutations
-        #: reset it to ``None`` and the next scan builds a *new* list, so an
-        #: in-flight scan keeps iterating its captured snapshot safely.
-        self._sorted_keys: Optional[List[bytes]] = None
         self._sync = sync
         self._file = open(self._path, "a+b")
         self.stats = StoreStats()
@@ -50,7 +51,7 @@ class AppendLogStore(KeyValueStore):
     def _rebuild_index(self) -> None:
         """Replay the log to rebuild the key index after a restart."""
         self._index.clear()
-        self._sorted_keys = None
+        self._invalidate_sorted_keys()
         self._file.seek(0)
         offset = 0
         while True:
@@ -100,7 +101,7 @@ class AppendLogStore(KeyValueStore):
         record = _RECORD_HEADER.pack(len(key), len(value), 0) + key + value
         end = self._append_blob(record)
         if key not in self._index:
-            self._sorted_keys = None
+            self._invalidate_sorted_keys()
         self._index[key] = (end - len(value), len(value))
         self.stats.puts += 1
 
@@ -109,7 +110,7 @@ class AppendLogStore(KeyValueStore):
         if existed:
             self._append_blob(_RECORD_HEADER.pack(len(key), 0, 1) + key)
             self._index.pop(key, None)
-            self._sorted_keys = None
+            self._invalidate_sorted_keys()
         self.stats.deletes += 1
         return existed
 
@@ -121,15 +122,8 @@ class AppendLogStore(KeyValueStore):
                 if entry is not None:
                     yield key, self._read_at(entry[0], entry[1], key)
 
-    def _keys_sorted(self) -> List[bytes]:
-        """The cached sorted key list (rebuilt only after a mutation)."""
-        if self._sorted_keys is None:
-            self._sorted_keys = sorted(self._index)
-        return self._sorted_keys
-
-    def _keys_from(self, prefix: bytes, after: Optional[bytes]) -> Iterator[bytes]:
-        """Sorted in-index keys under ``prefix``, resumed strictly after the cursor."""
-        return sorted_keys_from(self._keys_sorted(), prefix, after)
+    def _live_keys(self) -> Iterable[bytes]:
+        return self._index
 
     def scan_from(self, prefix: bytes, after: Optional[bytes] = None) -> Iterator[Tuple[bytes, bytes]]:
         """Cursor-resumed scan: only values at or past the cursor are read from disk."""
@@ -187,7 +181,7 @@ class AppendLogStore(KeyValueStore):
         base = end - len(blob)
         for key, relative_offset, length in spans:
             self._index[key] = (base + relative_offset, length)
-        self._sorted_keys = None
+        self._invalidate_sorted_keys()
         self.stats.multi_puts += 1
         self.stats.multi_put_keys += len(materialized)
 
@@ -229,7 +223,7 @@ class AppendLogStore(KeyValueStore):
             self._append_blob(blob)
             for key in existing:
                 self._index.pop(key, None)
-            self._sorted_keys = None
+            self._invalidate_sorted_keys()
         self.stats.multi_deletes += 1
         self.stats.multi_delete_keys += len(materialized)
         return existing
@@ -264,7 +258,7 @@ class AppendLogStore(KeyValueStore):
         os.replace(compact_path, self._path)
         self._file = open(self._path, "a+b")
         self._index = new_index
-        self._sorted_keys = None
+        self._invalidate_sorted_keys()
 
     def close(self) -> None:
         if not self._file.closed:

@@ -44,6 +44,42 @@ def sorted_keys_from(keys: List[bytes], prefix: bytes, after: Optional[bytes]) -
         yield key
 
 
+class SortedKeyCache:
+    """Mixin owning the lazily rebuilt sorted-key list behind cursor scans.
+
+    Backends with an in-memory key set (memory, append-log) share the same
+    pattern: keep ``sorted(keys)`` around so paged scans bisect instead of
+    re-sorting, and throw the list away whenever the key *set* changes (a
+    value overwrite keeps it valid).  Invariant: a published list is never
+    mutated in place — mutations only call :meth:`_invalidate_sorted_keys`
+    and the next scan builds a *new* list — so an in-flight iterator can
+    keep walking its captured snapshot.
+
+    Subclasses implement :meth:`_live_keys` and call the cache accessors
+    under whatever lock guards their key set; the mixin itself adds none.
+    """
+
+    _sorted_keys: Optional[List[bytes]] = None
+
+    def _live_keys(self) -> Iterable[bytes]:
+        """The current key set (called to rebuild the cache)."""
+        raise NotImplementedError
+
+    def _invalidate_sorted_keys(self) -> None:
+        """Drop the cache; call whenever a key is added or removed."""
+        self._sorted_keys = None
+
+    def _keys_sorted(self) -> List[bytes]:
+        """The cached sorted key list (call under the subclass's lock)."""
+        if self._sorted_keys is None:
+            self._sorted_keys = sorted(self._live_keys())
+        return self._sorted_keys
+
+    def _keys_from(self, prefix: bytes, after: Optional[bytes] = None) -> Iterator[bytes]:
+        """Seek into the cached sorted keys (call under the subclass's lock)."""
+        return sorted_keys_from(self._keys_sorted(), prefix, after)
+
+
 class KeyValueStore(ABC):
     """Abstract key-value store."""
 
@@ -122,6 +158,43 @@ class KeyValueStore(ABC):
         node) override this so keys-only pages never touch value payloads.
         """
         return ((key, len(value)) for key, value in self.scan_from(prefix, after))
+
+    def scan_range(self, prefix: bytes, lo: bytes, hi: bytes) -> Iterator[Tuple[bytes, bytes]]:
+        """``(key, value)`` pairs under ``prefix`` with ``lo <= key <= hi``.
+
+        The range-filtered scan behind windowed lookups (envelope ranges,
+        shard recovery).  Remote backends override this so the filter runs
+        on the node and only matching items cross the wire; the local
+        default filters in-loop and stops at the first key past ``hi``.
+        """
+        for key, value in self.scan_from(prefix):
+            if key > hi:
+                break
+            if key >= lo:
+                yield key, value
+
+    def delete_prefix(self, prefix: bytes, batch_size: int = 4096) -> int:
+        """Delete every key under ``prefix``; returns how many existed.
+
+        The bulk-erase primitive behind ``delete_stream`` and grant
+        revocation.  Remote backends override this with a single
+        server-side operation; the default materializes the key list first
+        (so the walk never races its own deletes) and removes it in
+        bounded batches.
+        """
+        keys = list(self.scan_keys(prefix))
+        deleted = 0
+        for start in range(0, len(keys), batch_size):
+            deleted += len(self.multi_delete(keys[start : start + batch_size]))
+        return deleted
+
+    def delete_prefixes(self, prefixes: Iterable[bytes]) -> int:
+        """Delete every key under each prefix; returns the total removed.
+
+        Batched so remote backends can erase several keyspaces (a stream's
+        chunks *and* index nodes) in one round trip per node.
+        """
+        return sum(self.delete_prefix(prefix) for prefix in prefixes)
 
     def contains(self, key: bytes) -> bool:
         return self.get(key) is not None

@@ -18,7 +18,7 @@ import threading
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, Optional, Set, Tuple
 
-from repro.storage.kv import KeyValueStore, sorted_keys_from
+from repro.storage.kv import KeyValueStore, SortedKeyCache, sorted_keys_from
 
 
 @dataclass
@@ -68,18 +68,21 @@ class StoreStats:
         self.multi_delete_keys = 0
 
 
-class MemoryStore(KeyValueStore):
-    """A dict-backed store with ordered prefix scans and single-lock bulk ops."""
+class MemoryStore(SortedKeyCache, KeyValueStore):
+    """A dict-backed store with ordered prefix scans and single-lock bulk ops.
+
+    Cursor scans lean on :class:`SortedKeyCache`: the sorted key list is
+    rebuilt lazily after key-set changes and published lists are never
+    mutated, so in-flight scans keep iterating their captured snapshot.
+    """
 
     def __init__(self) -> None:
         self._data: Dict[bytes, bytes] = {}
         self._lock = threading.Lock()
-        #: Lazily rebuilt sorted key list backing cursor scans.  Invariant:
-        #: a published list is never mutated in place — mutations only reset
-        #: this to ``None`` and the next scan builds a *new* list — so an
-        #: in-flight ``scan_from`` can keep iterating its captured snapshot.
-        self._sorted_keys: Optional[list] = None
         self.stats = StoreStats()
+
+    def _live_keys(self) -> Iterable[bytes]:
+        return self._data
 
     def get(self, key: bytes) -> Optional[bytes]:
         with self._lock:
@@ -90,7 +93,7 @@ class MemoryStore(KeyValueStore):
         with self._lock:
             self.stats.puts += 1
             if key not in self._data:
-                self._sorted_keys = None
+                self._invalidate_sorted_keys()
             self._data[key] = value
 
     def delete(self, key: bytes) -> bool:
@@ -98,7 +101,7 @@ class MemoryStore(KeyValueStore):
             self.stats.deletes += 1
             existed = self._data.pop(key, None) is not None
             if existed:
-                self._sorted_keys = None
+                self._invalidate_sorted_keys()
             return existed
 
     def scan_prefix(self, prefix: bytes) -> Iterator[Tuple[bytes, bytes]]:
@@ -106,12 +109,6 @@ class MemoryStore(KeyValueStore):
             self.stats.scans += 1
             snapshot = [(key, self._data[key]) for key in sorted(self._data) if key.startswith(prefix)]
         yield from snapshot
-
-    def _keys_sorted(self) -> list:
-        """The cached sorted key list (call under ``self._lock``)."""
-        if self._sorted_keys is None:
-            self._sorted_keys = sorted(self._data)
-        return self._sorted_keys
 
     def scan_from(self, prefix: bytes, after: Optional[bytes] = None) -> Iterator[Tuple[bytes, bytes]]:
         """Cursor-resumed scan: bisect into the sorted-key cache, values lazy.
@@ -151,7 +148,7 @@ class MemoryStore(KeyValueStore):
         with self._lock:
             for key, value in materialized:
                 self._data[key] = value
-            self._sorted_keys = None
+            self._invalidate_sorted_keys()
             self.stats.multi_puts += 1
             self.stats.multi_put_keys += len(materialized)
 
@@ -162,7 +159,7 @@ class MemoryStore(KeyValueStore):
         with self._lock:
             existed = {key for key in materialized if self._data.pop(key, None) is not None}
             if existed:
-                self._sorted_keys = None
+                self._invalidate_sorted_keys()
             self.stats.multi_deletes += 1
             self.stats.multi_delete_keys += len(materialized)
         return existed
@@ -177,4 +174,4 @@ class MemoryStore(KeyValueStore):
     def clear(self) -> None:
         with self._lock:
             self._data.clear()
-            self._sorted_keys = None
+            self._invalidate_sorted_keys()

@@ -27,6 +27,15 @@ value travels as a binary attachment, never inside the JSON header.
   or ``[prefix, after]`` (exclusive cursor) → ``{num_items, truncated}`` +
   ``[k0, v0, k1, v1, ...]`` (keys only when ``keys_only``); clients stream
   big scans page by page, bounded per page by count and bytes
+* ``kv_scan_prefix`` — args ``{limit?, keys_only?, cursor?, range?}``,
+  attachments ``[prefix] (+ [after] when cursor) (+ [lo, hi] when range)``
+  → same result shape as ``kv_scan_page``, but the node walks the whole
+  prefix region (range-filtered, byte-capped) in one response instead of
+  one default-sized page — the scan-offload read op
+* ``kv_delete_prefix`` — attachments = one or more non-empty prefixes →
+  ``{deleted}``; the node erases the keyspaces locally in bounded batches,
+  so bulk erase is one round trip instead of a paged scan-then-delete
+  driven by the engine
 * ``kv_size_bytes`` — → ``{bytes}``
 
 The node server deliberately does **not** own its store's lifetime: the
@@ -236,6 +245,88 @@ class StorageNodeDispatcher(WireDispatcher):
         if keys_only:
             result["value_bytes"] = value_bytes
         return Response.success(result, attachments)
+
+    def _op_kv_scan_prefix(self, request: Request) -> Response:
+        """One server-side prefix walk: filter, cap, and ship only matches.
+
+        The scan-offload read op.  Unlike ``kv_scan_page`` there is no
+        default item limit — the response is bounded by bytes (and any
+        explicit ``limit``), so a typical prefix region arrives in one round
+        trip; oversized regions set ``truncated`` and the client resumes
+        from the last returned key.  With the ``range`` flag only keys in
+        ``[lo, hi]`` (inclusive) are served: the node walks key/size pairs
+        first and fetches just the matching values, so filtered-out values
+        never leave the backend at all.
+        """
+        attachments = list(request.attachments)
+        if not attachments:
+            raise ProtocolError("kv_scan_prefix requires a prefix attachment")
+        prefix = attachments.pop(0)
+        after: Optional[bytes] = None
+        if request.args.get("cursor"):
+            if not attachments:
+                raise ProtocolError("kv_scan_prefix cursor flag set without a cursor attachment")
+            after = attachments.pop(0)
+        lo: Optional[bytes] = None
+        hi: Optional[bytes] = None
+        if request.args.get("range"):
+            if len(attachments) != 2:
+                raise ProtocolError("kv_scan_prefix range flag needs lo and hi attachments")
+            lo, hi = attachments
+        elif attachments:
+            raise ProtocolError("kv_scan_prefix got unexpected attachments")
+        limit = request.args.get("limit")
+        if limit is not None:
+            limit = int(limit)
+            if limit < 1:
+                raise ProtocolError(f"kv_scan_prefix limit must be positive, got {limit}")
+        keys_only = bool(request.args.get("keys_only", False))
+        matched: List[bytes] = []
+        sizes: List[int] = []
+        page_bytes = 0
+        truncated = False
+        for key, value_length in self._store.scan_sizes_from(prefix, after):
+            if hi is not None and key > hi:
+                break
+            if lo is not None and key < lo:
+                continue
+            item_bytes = len(key) if keys_only else len(key) + value_length
+            if (limit is not None and len(matched) == limit) or (
+                matched and page_bytes + item_bytes > RESPONSE_BYTE_CAP
+            ):
+                truncated = True
+                break
+            matched.append(key)
+            sizes.append(value_length)
+            page_bytes += item_bytes
+        if keys_only:
+            return Response.success(
+                {"num_items": len(matched), "truncated": truncated, "value_bytes": sizes},
+                matched,
+            )
+        # All kv_ ops run under the dispatcher's store lock, so the values of
+        # the keys matched above cannot vanish between the size walk and this
+        # fetch; the .get guard below is belt-and-braces only.
+        found = self._store.multi_get(matched) if matched else {}
+        attachments = []
+        num_items = 0
+        for key in matched:
+            value = found.get(key)
+            if value is None:
+                continue
+            attachments.extend((key, value))
+            num_items += 1
+        return Response.success({"num_items": num_items, "truncated": truncated}, attachments)
+
+    def _op_kv_delete_prefix(self, request: Request) -> Response:
+        """Server-side bulk erase of one or more keyspaces (scan offload)."""
+        if not request.attachments:
+            raise ProtocolError("kv_delete_prefix requires at least one prefix attachment")
+        for prefix in request.attachments:
+            if not prefix:
+                raise ProtocolError("kv_delete_prefix refuses an empty prefix")
+        deleted = self._store.delete_prefixes(request.attachments)
+        return Response.success({"deleted": int(deleted)})
 
     def _op_kv_size_bytes(self, request: Request) -> Response:
         return Response.success({"bytes": int(self._store.size_bytes())})

@@ -12,10 +12,14 @@ framing-v2 wire protocol (the ``kv_*`` op family), so a
   parts go out back-to-back through the transport's ``call_many`` — still a
   single wire round trip.  Combined with the cluster's per-node grouping, a
   cluster batch of n keys costs one round trip per owning node, not n·RF.
-* **Streaming scans.**  ``scan_prefix`` is a generator that pulls
-  ``kv_scan_page`` pages on demand (exclusive ``after`` cursor), so walking
-  a big remote keyspace — ``repair_node``, ``size_bytes`` on the cluster —
-  never materializes it client-side and never hits the frame cap.
+* **Streaming scans, offloaded when possible.**  ``scan_prefix`` is a
+  generator that streams the keyspace on demand without materializing it
+  client-side or hitting the frame cap.  Against a peer that advertises
+  ``kv_scan_prefix`` it pulls byte-capped *regions* (one round trip for a
+  typical prefix, range filters applied on the node); against an older
+  peer it falls back to fixed-size ``kv_scan_page`` pages.  Likewise
+  ``delete_prefix`` is one ``kv_delete_prefix`` round trip on a current
+  peer and a paged scan-then-``multi_delete`` walk on an old one.
 * **Failures are node outages.**  Connection refusal, timeouts, dropped
   sockets, and transport-level protocol errors all surface as
   :class:`~repro.exceptions.StorageError`, which is exactly what the
@@ -64,9 +68,15 @@ class RemoteKeyValueStore(KeyValueStore):
         max_request_bytes: int = DEFAULT_MAX_REQUEST_BYTES,
         max_keys_per_request: int = DEFAULT_MAX_KEYS_PER_REQUEST,
         reconnect: bool = True,
+        prefix_ops: bool = True,
     ) -> None:
         if scan_page_size < 1:
             raise ValueError("scan_page_size must be positive")
+        #: When False, never use the kv_scan_prefix / kv_delete_prefix
+        #: offload ops even against a peer that advertises them — the
+        #: legacy-pager escape hatch (and the before/after lever the
+        #: sharding benchmark uses to measure the offload).
+        self._prefix_ops = prefix_ops
         self._address = (host, port)
         self._timeout = timeout
         self._scan_page_size = scan_page_size
@@ -271,8 +281,84 @@ class RemoteKeyValueStore(KeyValueStore):
 
     # -- scans / sizing ------------------------------------------------------------
 
+    def _offload_supported(self, operation: str) -> bool:
+        """Whether the scan-offload fast path applies for ``operation``."""
+        if not self._prefix_ops:
+            return False
+        try:
+            return self._ensure_client().supports_operation(operation)
+        except StorageError:
+            # Node unreachable: claim support and let the actual call do the
+            # reconnect-retry dance (and surface the outage as usual).
+            return True
+
+    def _scan(
+        self,
+        prefix: bytes,
+        after: Optional[bytes],
+        keys_only: bool,
+        lo: Optional[bytes] = None,
+        hi: Optional[bytes] = None,
+    ):
+        """The chooser behind all scan flavours: offload when the peer can.
+
+        Yields ``(key, value_length)`` pairs when ``keys_only`` else
+        ``(key, value)`` pairs, optionally restricted to ``lo <= key <= hi``.
+        """
+        if self._offload_supported("kv_scan_prefix"):
+            yield from self._offload_scan(prefix, after, keys_only, lo, hi)
+            return
+        scan = self._paged_scan(prefix, after, keys_only)
+        if lo is None:
+            yield from scan
+            return
+        # Legacy peer: the range filter runs client-side, which still stops
+        # the page walk at the first key past ``hi``.
+        for key, payload in scan:
+            if key > hi:
+                return
+            if key >= lo:
+                yield key, payload
+
+    def _offload_scan(
+        self,
+        prefix: bytes,
+        after: Optional[bytes],
+        keys_only: bool,
+        lo: Optional[bytes],
+        hi: Optional[bytes],
+    ):
+        """The ``kv_scan_prefix`` fast path: node-side filtering per region.
+
+        ``scan_page_size`` still bounds the items per round trip (laziness is
+        part of the scan contract); the win over ``kv_scan_page`` is that
+        range filters run on the node, so skipped keys never cross the wire.
+        """
+        while True:
+            args: Dict = {"limit": self._scan_page_size}
+            attachments = [prefix]
+            if after is not None:
+                args["cursor"] = True
+                attachments.append(after)
+            if lo is not None and hi is not None:
+                args["range"] = True
+                attachments.extend((lo, hi))
+            if keys_only:
+                args["keys_only"] = True
+            response = self._call(Request("kv_scan_prefix", args, attachments))
+            blobs = response.attachments
+            if keys_only:
+                yield from zip(blobs, response.result.get("value_bytes", ()))
+            else:
+                yield from zip(blobs[0::2], blobs[1::2])
+            if not response.result.get("truncated"):
+                return
+            if not blobs:
+                raise ProtocolError("kv_scan_prefix returned a truncated empty region")
+            after = blobs[-1] if keys_only else blobs[-2]
+
     def _paged_scan(self, prefix: bytes, after: Optional[bytes], keys_only: bool):
-        """The shared ``kv_scan_page`` pager behind all scan flavours.
+        """The legacy ``kv_scan_page`` pager (peers without scan offload).
 
         ``keys_only`` pages yield ``(key, value_length)`` pairs (lengths
         travel as integers in the header); value pages yield ``(key,
@@ -294,31 +380,66 @@ class RemoteKeyValueStore(KeyValueStore):
             after = blobs[-1] if keys_only else blobs[-2]
 
     def scan_prefix(self, prefix: bytes) -> Iterator[Tuple[bytes, bytes]]:
-        """Stream ``(key, value)`` pairs page by page; lazy, cursor-driven."""
-        return self._paged_scan(prefix, None, keys_only=False)
+        """Stream ``(key, value)`` pairs lazily; one round trip per region/page."""
+        return self._scan(prefix, None, keys_only=False)
 
     def scan_from(
         self, prefix: bytes, after: Optional[bytes] = None
     ) -> Iterator[Tuple[bytes, bytes]]:
-        return self._paged_scan(prefix, after, keys_only=False)
+        return self._scan(prefix, after, keys_only=False)
+
+    def scan_range(self, prefix: bytes, lo: bytes, hi: bytes) -> Iterator[Tuple[bytes, bytes]]:
+        """Range-filtered scan: on a current peer the filter runs node-side,
+        so only keys in ``[lo, hi]`` ever cross the wire."""
+        return self._scan(prefix, None, keys_only=False, lo=lo, hi=hi)
 
     def scan_keys(self, prefix: bytes) -> Iterator[bytes]:
         """Stream only the keys under ``prefix`` — no value bytes on the wire."""
-        return (key for key, _size in self._paged_scan(prefix, None, keys_only=True))
+        return (key for key, _size in self._scan(prefix, None, keys_only=True))
 
     def scan_key_sizes(self, prefix: bytes) -> Iterator[Tuple[bytes, int]]:
         """Stream ``(key, stored_bytes)`` — sizes as integers, never values."""
         return (
             (key, len(key) + value_length)
-            for key, value_length in self._paged_scan(prefix, None, keys_only=True)
+            for key, value_length in self._scan(prefix, None, keys_only=True)
         )
 
     def scan_sizes_from(self, prefix: bytes, after: Optional[bytes] = None) -> Iterator[Tuple[bytes, int]]:
-        """Cursor-resumed ``(key, value_length)`` pairs via keys-only pages."""
-        return self._paged_scan(prefix, after, keys_only=True)
+        """Cursor-resumed ``(key, value_length)`` pairs via keys-only scans."""
+        return self._scan(prefix, after, keys_only=True)
 
     def keys_with_prefix(self, prefix: bytes) -> List[bytes]:
         return list(self.scan_keys(prefix))
+
+    # -- bulk erase ----------------------------------------------------------------
+
+    def delete_prefix(self, prefix: bytes, batch_size: int = 4096) -> int:
+        return self.delete_prefixes([prefix])
+
+    def delete_prefixes(self, prefixes: Iterable[bytes]) -> int:
+        """Erase whole keyspaces in one ``kv_delete_prefix`` round trip.
+
+        Against a peer that predates the op, fall back to the client-driven
+        walk: stream the keys and ``multi_delete`` them in request-sized
+        batches (the O(pages) behaviour the offload exists to remove).
+        """
+        materialized = list(prefixes)
+        if not materialized:
+            return 0
+        if self._offload_supported("kv_delete_prefix"):
+            response = self._call(Request("kv_delete_prefix", {}, materialized))
+            return int(response.result["deleted"])
+        deleted = 0
+        for prefix in materialized:
+            batch: List[bytes] = []
+            for key in self.scan_keys(prefix):
+                batch.append(key)
+                if len(batch) >= self._max_keys_per_request:
+                    deleted += len(self.multi_delete(batch))
+                    batch = []
+            if batch:
+                deleted += len(self.multi_delete(batch))
+        return deleted
 
     def count_prefix(self, prefix: bytes) -> int:
         return sum(1 for _ in self.scan_keys(prefix))

@@ -113,6 +113,22 @@ def decode_encrypted_chunk(blob: bytes) -> EncryptedChunk:
     )
 
 
+def peek_chunk_stream_uuid(blob: bytes) -> str:
+    """The stream uuid of an encoded chunk, without decoding the chunk.
+
+    The shard router needs only the uuid to place an ingest request; the
+    encoding puts it right after the magic so routing costs one varint and a
+    short slice instead of a full digest/payload decode.
+    """
+    if blob[:4] != _MAGIC_CHUNK:
+        raise ChunkError("not an encrypted chunk blob")
+    uuid_len, pos = decode_varint(blob, 4)
+    uuid_bytes = blob[pos : pos + uuid_len]
+    if len(uuid_bytes) != uuid_len:
+        raise ChunkError("truncated chunk blob")
+    return uuid_bytes.decode("utf-8")
+
+
 def chunk_storage_key(stream_uuid: str, window_index: int) -> bytes:
     """Storage key of a chunk: stream id plus the window encoding."""
     return f"chunk/{stream_uuid}/{window_index:016x}".encode("ascii")

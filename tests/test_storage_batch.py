@@ -433,7 +433,9 @@ class TestEngineBatchRoundTrips:
         server.insert_chunks(chunks)
         store.stats.reset()
         server.delete_stream(metadata.uuid)
-        assert store.stats.multi_deletes == 1 and store.stats.deletes == 0
+        # Bulk erase is two prefix deletes (chunks, index) plus the scalar
+        # metadata delete — constant round trips, never one per key.
+        assert store.stats.multi_deletes == 2 and store.stats.deletes == 1
         assert len(store) == 0
 
 
