@@ -8,6 +8,8 @@ ciphertext.
 
 from __future__ import annotations
 
+from typing import Optional
+
 
 class TimeCryptError(Exception):
     """Base class for all errors raised by this library."""
@@ -85,6 +87,22 @@ class WrongShardError(TimeCryptError):
     observed, so a client with a stale table can refresh and re-route
     instead of guessing.
     """
+
+
+class OverloadedError(TimeCryptError):
+    """The server shed the request because a dispatch queue was full.
+
+    This is the typed backpressure signal: the wire response carries a
+    ``retry_after_ms`` hint, and clients retry with capped exponential
+    backoff before surfacing the error.  Deliberately *not* a
+    :class:`TransportError` — the connection is healthy, the server is just
+    saturated, so the storage cluster's mark-down machinery should only see
+    it once client-side retries are exhausted.
+    """
+
+    def __init__(self, message: str = "server overloaded", retry_after_ms: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.retry_after_ms = retry_after_ms
 
 
 class TransportError(TimeCryptError):

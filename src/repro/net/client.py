@@ -25,6 +25,15 @@ connection, and the client transparently reconnects in v1 mode — one locked
 request/response exchange per operation, exactly the original wire
 behaviour.  :class:`WireStats` counts requests and round trips either way,
 which is what the network benchmarks assert against.
+
+Two backpressure mechanisms ride on the v2 transport (see
+:mod:`repro.net.server`): servers advertise a per-connection **credit
+window** in ``hello`` and return one credit per response, and the client
+blocks frame submission on the window (``flow_control=False`` floods like a
+legacy client); a server shedding under load answers with a typed
+``overloaded`` error, which the client retries with capped exponential
+backoff (``overload_retries``) before surfacing
+:class:`~repro.exceptions.OverloadedError` to the caller.
 """
 
 from __future__ import annotations
@@ -32,12 +41,19 @@ from __future__ import annotations
 import itertools
 import socket
 import threading
+import time
 from concurrent.futures import Future
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.crypto.heac import HEACCiphertext
-from repro.exceptions import ProtocolError, QueryError, TimeCryptError, TransportError
+from repro.exceptions import (
+    OverloadedError,
+    ProtocolError,
+    QueryError,
+    TimeCryptError,
+    TransportError,
+)
 from repro.net.framing import (
     PROTOCOL_VERSION,
     encode_frame_v2,
@@ -78,11 +94,20 @@ _register_error_types()
 
 def _remote_error(response: Response) -> TimeCryptError:
     error_cls = _ERROR_TYPES.get(response.error_type or "", TimeCryptError)
-    return error_cls(response.error or "remote error")
+    error = error_cls(response.error or "remote error")
+    if isinstance(error, OverloadedError) and isinstance(response.result, dict):
+        hint = response.result.get("retry_after_ms")
+        if isinstance(hint, (int, float)) and hint > 0:
+            error.retry_after_ms = int(hint)
+    return error
 
 
 def _raise_remote(response: Response) -> None:
     raise _remote_error(response)
+
+
+def _is_overloaded(response: Response) -> bool:
+    return (not response.ok) and response.error_type == "OverloadedError"
 
 
 @dataclass
@@ -99,12 +124,68 @@ class WireStats:
     responses_received: int = 0
     round_trips: int = 0
     batches_sent: int = 0
+    #: Times frame submission found the credit window empty and had to wait.
+    credit_stalls: int = 0
+    #: Requests re-sent after the server shed them with a typed ``overloaded``.
+    overload_retries: int = 0
 
     def reset(self) -> None:
         self.requests_sent = 0
         self.responses_received = 0
         self.round_trips = 0
         self.batches_sent = 0
+        self.credit_stalls = 0
+        self.overload_retries = 0
+
+
+class _CreditGate:
+    """The client half of credit-based flow control.
+
+    Initialised from the window the server advertised in ``hello``; every
+    accepted frame costs one credit and every response returns the credits
+    the server piggybacked.  ``available`` can never go negative (credits
+    are taken under the condition lock, at most what is there) and never
+    exceeds the window (grants are clamped, so refunds after a connection
+    failure cannot inflate it).
+    """
+
+    def __init__(self, window: int) -> None:
+        self._window = max(1, int(window))
+        self._available = self._window
+        self._cond = threading.Condition()
+
+    @property
+    def window(self) -> int:
+        return self._window
+
+    @property
+    def available(self) -> int:
+        with self._cond:
+            return self._available
+
+    def acquire(self, upto: int, timeout: float) -> int:
+        """Block until at least one credit is free; take up to ``upto``.
+
+        Returns how many credits were taken, or 0 if the window never
+        refilled within ``timeout`` seconds.
+        """
+        deadline = time.monotonic() + timeout
+        with self._cond:
+            while self._available <= 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return 0
+                self._cond.wait(remaining)
+            taken = min(max(1, int(upto)), self._available)
+            self._available -= taken
+            return taken
+
+    def grant(self, count: int) -> None:
+        if count <= 0:
+            return
+        with self._cond:
+            self._available = min(self._window, self._available + int(count))
+            self._cond.notify_all()
 
 
 class PipelineResult:
@@ -355,10 +436,24 @@ class RemoteServerClient:
     ``protocol_version=1`` forces lockstep mode (one locked request/response
     exchange per call), which is also what legacy deployments of this
     client did on every call.
+
+    ``flow_control`` (default on) honours the credit window the server
+    advertised in ``hello``: frame submission blocks once window-many frames
+    are unanswered.  ``overload_retries`` bounds how often a request the
+    server shed with a typed ``overloaded`` response is re-sent (capped
+    exponential backoff seeded by the server's retry-after hint) before the
+    error surfaces to the caller.
     """
 
     def __init__(
-        self, host: str, port: int, timeout: float = 30.0, protocol_version: int = PROTOCOL_VERSION
+        self,
+        host: str,
+        port: int,
+        timeout: float = 30.0,
+        protocol_version: int = PROTOCOL_VERSION,
+        flow_control: bool = True,
+        overload_retries: int = 4,
+        overload_backoff_cap: float = 0.25,
     ) -> None:
         if protocol_version not in (1, 2):
             raise ProtocolError(f"unsupported protocol version {protocol_version}")
@@ -374,6 +469,10 @@ class RemoteServerClient:
         self._correlation_ids = itertools.count(1)
         self._reader: Optional[threading.Thread] = None
         self._server_operations: Optional[frozenset] = None
+        self._flow_control = bool(flow_control)
+        self._credits: Optional[_CreditGate] = None
+        self._overload_retries = max(0, int(overload_retries))
+        self._overload_backoff_cap = max(0.0, float(overload_backoff_cap))
         #: The full ``hello`` result: capability fields beyond the op list
         #: (e.g. a shard routing table). Empty for v1 peers.
         self.hello_info: Dict[str, Any] = {}
@@ -381,6 +480,13 @@ class RemoteServerClient:
         if protocol_version == PROTOCOL_VERSION:
             self._negotiate()
         if self.protocol_version == PROTOCOL_VERSION:
+            window = self.hello_info.get("credits")
+            if self._flow_control and isinstance(window, int) and window > 0:
+                # Created before the reader starts, so every piggybacked
+                # grant the reader ever sees lands in the gate.  (The hello
+                # exchange itself was synchronous — its grant is already
+                # accounted for by starting at the full window.)
+                self._credits = _CreditGate(window)
             # Idle connections must not kill the reader thread: per-request
             # deadlines are enforced on the futures, not on the socket.
             self._socket.settimeout(None)
@@ -388,6 +494,15 @@ class RemoteServerClient:
                 target=self._read_loop, daemon=True, name="tc-client-reader"
             )
             self._reader.start()
+
+    @property
+    def credit_window(self) -> int:
+        """The negotiated flow-control window (0 when flow control is off)."""
+        return self._credits.window if self._credits is not None else 0
+
+    @property
+    def credits_available(self) -> int:
+        return self._credits.available if self._credits is not None else 0
 
     # -- connection management ---------------------------------------------------------
 
@@ -463,6 +578,10 @@ class RemoteServerClient:
                 return
             with self._pending_lock:
                 future = self._pending.pop(frame.correlation_id, None)
+            if self._credits is not None and response.credit_grant:
+                # Replenish before resolving the future: a caller chaining
+                # sends off the result must see the returned credit.
+                self._credits.grant(response.credit_grant)
             self.wire_stats.responses_received += 1
             if future is not None:
                 future.set_result(response)
@@ -475,6 +594,12 @@ class RemoteServerClient:
         with self._pending_lock:
             pending = list(self._pending.values())
             self._pending.clear()
+        if self._credits is not None and pending:
+            # Responses that will never arrive must still return their
+            # credits, or every sender blocked on the window hangs until its
+            # timeout.  (grant() clamps at the window, so requests that never
+            # consumed a credit cannot inflate it.)
+            self._credits.grant(len(pending))
         for future in pending:
             if not future.done():
                 future.set_exception(error)
@@ -489,10 +614,10 @@ class RemoteServerClient:
         payloads = [request.encode() for request in requests]
         with self._pending_lock:
             correlation_ids = [next(self._correlation_ids) for _payload in payloads]
-        buffer = b"".join(
+        frames = [
             encode_frame_v2(correlation_id, payload)
             for correlation_id, payload in zip(correlation_ids, payloads)
-        )
+        ]
         futures: List["Future[Response]"] = []
         with self._pending_lock:
             for correlation_id in correlation_ids:
@@ -505,12 +630,46 @@ class RemoteServerClient:
         if self._reader is not None and not self._reader.is_alive():
             self._fail_pending(TransportError("reader thread terminated"))
             return futures
-        try:
-            with self._lock:
-                self._socket.sendall(buffer)
-        except OSError as exc:
-            self._fail_pending(exc)
-        self.wire_stats.requests_sent += len(requests)
+        if self._credits is None:
+            try:
+                with self._lock:
+                    self._socket.sendall(b"".join(frames))
+            except OSError as exc:
+                self._fail_pending(exc)
+            self.wire_stats.requests_sent += len(requests)
+            return futures
+        # Flow-controlled path: the batch goes out in credit-sized bursts, so
+        # at most window-many frames are ever unanswered on this connection.
+        sent = 0
+        while sent < len(frames):
+            if self._credits.available <= 0:
+                self.wire_stats.credit_stalls += 1
+            granted = self._credits.acquire(len(frames) - sent, self._timeout)
+            if granted == 0:
+                # The window never refilled within the deadline.  Fail only
+                # the unsent tail — its correlation ids never hit the wire;
+                # the frames already sent may still be answered normally.
+                error = TransportError(
+                    f"timed out waiting for flow-control credits from {self._address}"
+                )
+                with self._pending_lock:
+                    stale = [
+                        self._pending.pop(correlation_id)
+                        for correlation_id in correlation_ids[sent:]
+                        if correlation_id in self._pending
+                    ]
+                for future in stale:
+                    if not future.done():
+                        future.set_exception(error)
+                return futures
+            try:
+                with self._lock:
+                    self._socket.sendall(b"".join(frames[sent : sent + granted]))
+            except OSError as exc:
+                self._fail_pending(exc)
+                return futures
+            sent += granted
+            self.wire_stats.requests_sent += granted
         return futures
 
     def _await(self, future: "Future[Response]") -> Response:
@@ -531,9 +690,37 @@ class RemoteServerClient:
             future = self._send_requests([request])[0]
             self.wire_stats.round_trips += 1
             response = self._await(future)
+            if _is_overloaded(response):
+                response = self._retry_overloaded([request], [response])[0]
         if not response.ok:
             _raise_remote(response)
         return response
+
+    def _overload_delay(self, response: Response, attempt: int) -> float:
+        """Backoff before re-sending a shed request: server hint × 2^attempt, capped."""
+        hint = response.result.get("retry_after_ms") if isinstance(response.result, dict) else None
+        base = (hint if isinstance(hint, (int, float)) and hint > 0 else 10.0) / 1000.0
+        return min(self._overload_backoff_cap, base * (2 ** attempt))
+
+    def _retry_overloaded(self, requests: List[Request], responses: List[Response]) -> List[Response]:
+        """Re-send requests the server shed, with capped exponential backoff.
+
+        Only the shed slots are retried (successes and real errors keep
+        their responses); a request still overloaded after the retry budget
+        keeps its ``overloaded`` response, which callers surface as
+        :class:`~repro.exceptions.OverloadedError`.
+        """
+        for attempt in range(self._overload_retries):
+            slots = [index for index, response in enumerate(responses) if _is_overloaded(response)]
+            if not slots:
+                break
+            time.sleep(self._overload_delay(responses[slots[0]], attempt))
+            self.wire_stats.overload_retries += len(slots)
+            futures = self._send_requests([requests[index] for index in slots])
+            self.wire_stats.round_trips += 1
+            for slot, future in zip(slots, futures):
+                responses[slot] = self._await(future)
+        return responses
 
     def _call_lockstep(self, request: Request) -> Response:
         with self._lock:
@@ -562,7 +749,8 @@ class RemoteServerClient:
         futures = self._send_requests(requests)
         self.wire_stats.round_trips += 1
         self.wire_stats.batches_sent += 1
-        return [self._await(future) for future in futures]
+        responses = [self._await(future) for future in futures]
+        return self._retry_overloaded(list(requests), responses)
 
     def pipeline(self) -> RequestPipeline:
         """A deferred-call context; everything inside flushes as one batch."""
@@ -781,9 +969,18 @@ class ShardedServerClient:
 
     _MAX_ROUTE_ATTEMPTS = 5
 
-    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 30.0,
+        flow_control: bool = True,
+        overload_retries: int = 4,
+    ) -> None:
         self._router_address = (host, port)
         self._timeout = timeout
+        self._flow_control = bool(flow_control)
+        self._overload_retries = max(0, int(overload_retries))
         self._lock = threading.Lock()
         self._router: Optional[RemoteServerClient] = None
         self._engines: Dict[str, Tuple[Tuple[str, int], RemoteServerClient]] = {}
@@ -858,7 +1055,11 @@ class ShardedServerClient:
         with self._lock:
             if self._router is None:
                 self._router = RemoteServerClient(
-                    self._router_address[0], self._router_address[1], timeout=self._timeout
+                    self._router_address[0],
+                    self._router_address[1],
+                    timeout=self._timeout,
+                    flow_control=self._flow_control,
+                    overload_retries=self._overload_retries,
                 )
             return self._router
 
@@ -877,7 +1078,13 @@ class ShardedServerClient:
             stale = self._engines.pop(name, None)
         if stale is not None:
             stale[1].close()
-        client = RemoteServerClient(address[0], address[1], timeout=self._timeout)
+        client = RemoteServerClient(
+            address[0],
+            address[1],
+            timeout=self._timeout,
+            flow_control=self._flow_control,
+            overload_retries=self._overload_retries,
+        )
         with self._lock:
             self._engines[name] = (address, client)
         return client
@@ -916,6 +1123,8 @@ class ShardedServerClient:
             total.responses_received += stats.responses_received
             total.round_trips += stats.round_trips
             total.batches_sent += stats.batches_sent
+            total.credit_stalls += stats.credit_stalls
+            total.overload_retries += stats.overload_retries
         return total
 
     # -- routing ----------------------------------------------------------------

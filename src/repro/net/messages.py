@@ -77,6 +77,55 @@ OPERATIONS = (
     "ping",
 ) + KV_OPERATIONS
 
+#: Operations that move bulk payloads (ingest batches, grant bursts, prefix
+#: deletes, repair scans).  Everything else — small stats, metadata, grant
+#: pickup, liveness — is interactive.  The server's two-class scheduler
+#: drains the classes from separate bounded queues so a small ``stat_range``
+#: never waits behind a whole ingest burst; ``kv_multi_get`` stays
+#: interactive because query fetches (index covers, chunk reads) ride on it
+#: and are byte-capped.
+BULK_OPERATIONS = frozenset(
+    {
+        "insert_chunk",
+        "insert_chunks",
+        "delete_stream",
+        "delete_range",
+        "rollup_stream",
+        "put_grants",
+        "put_envelopes",
+        "kv_multi_put",
+        "kv_multi_delete",
+        "kv_scan_page",
+        "kv_scan_prefix",
+        "kv_delete_prefix",
+    }
+)
+
+
+def classify_operation(operation: Optional[str]) -> str:
+    """``"bulk"`` or ``"interactive"`` — the scheduler class of an operation.
+
+    Unknown or unparseable operations classify interactive so they reach the
+    dispatcher, which answers them with the proper typed error.
+    """
+    return "bulk" if operation in BULK_OPERATIONS else "interactive"
+
+
+def peek_operation(payload: bytes) -> Optional[str]:
+    """The operation name of an encoded request, without decoding attachments.
+
+    The server's I/O loop classifies every frame before enqueueing it, so
+    this parses only the varint-prefixed JSON header.  Returns ``None`` for
+    malformed payloads (the dispatcher will reject them with a typed error).
+    """
+    try:
+        header_len, pos = decode_varint(payload, 0)
+        header = json.loads(payload[pos : pos + header_len].decode("utf-8"))
+        operation = header.get("op")
+    except (ValueError, KeyError, TypeError, UnicodeDecodeError, AttributeError):
+        return None
+    return operation if isinstance(operation, str) else None
+
 
 def _encode_message(header: Dict[str, Any], attachments: List[bytes]) -> bytes:
     header = dict(header)
@@ -139,23 +188,32 @@ class Response:
     attachments: List[bytes] = field(default_factory=list)
     error: Optional[str] = None
     error_type: Optional[str] = None
+    #: Flow-control credits returned to the sender with this response.  A
+    #: server that advertised a credit window in ``hello`` piggybacks one
+    #: grant per answered frame here; v1 peers and pre-credit clients ignore
+    #: the field (``decode`` tolerates unknown header keys by construction).
+    credit_grant: Optional[int] = None
 
     def encode(self) -> bytes:
         header: Dict[str, Any] = {"ok": self.ok, "result": self.result}
         if self.error is not None:
             header["error"] = self.error
             header["error_type"] = self.error_type or "TimeCryptError"
+        if self.credit_grant:
+            header["credits"] = int(self.credit_grant)
         return _encode_message(header, self.attachments)
 
     @staticmethod
     def decode(payload: bytes) -> "Response":
         header, attachments = _decode_message(payload)
+        credits = header.get("credits")
         return Response(
             ok=bool(header.get("ok", False)),
             result=header.get("result", {}),
             attachments=attachments,
             error=header.get("error"),
             error_type=header.get("error_type"),
+            credit_grant=int(credits) if isinstance(credits, int) and credits > 0 else None,
         )
 
     @staticmethod

@@ -18,6 +18,18 @@ Both framing versions are served on every connection:
   request order; per connection they run strictly one at a time through a
   FIFO queue (still on the pool, never blocking the I/O loop).
 
+v2 dispatch is **scheduled**, not FIFO: every frame is classified
+interactive or bulk (:func:`~repro.net.messages.classify_operation`) into
+one of two *bounded* queues drained weighted-round-robin by the worker
+pool, so a small ``stat_range`` never waits behind a whole ingest burst.
+A full queue sheds the frame with a typed ``overloaded`` response carrying
+a retry-after hint — never silent latency or dead air.  Backpressure is
+credit-based: ``hello`` advertises an initial per-connection window,
+every v2 response returns one credit (the ``credits`` header field), and
+a well-behaved client caps its in-flight frames at the window
+(``scheduling="fifo"`` restores the legacy unbounded direct-submit path
+for comparison benchmarks).
+
 The dispatcher is also usable without sockets through
 :class:`RequestDispatcher`, which the in-process transport and the tests
 reuse directly.  The transport itself is dispatcher-agnostic: any
@@ -33,9 +45,10 @@ import socket
 import threading
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
+from dataclasses import asdict, dataclass
 from typing import Deque, Dict, List, Optional, Set, Tuple
 
-from repro.exceptions import ProtocolError, TimeCryptError
+from repro.exceptions import OverloadedError, ProtocolError, TimeCryptError
 from repro.net.framing import (
     PROTOCOL_VERSION,
     Frame,
@@ -43,10 +56,22 @@ from repro.net.framing import (
     encode_frame,
     encode_frame_v2,
 )
-from repro.net.messages import OPERATIONS, Request, Response
+from repro.net.messages import OPERATIONS, Request, Response, classify_operation, peek_operation
 from repro.server.engine import ServerEngine, _metadata_from_json, _metadata_to_json
 from repro.timeseries.serialization import decode_encrypted_chunk, encode_encrypted_chunk
 from repro.util.timeutil import TimeRange
+
+#: Default per-connection credit window advertised in ``hello``.
+DEFAULT_CREDIT_WINDOW = 256
+#: Default bounded-queue depths for the two scheduler classes.  Interactive
+#: requests are small and fast, so the queue is generous; the bulk cap is the
+#: backpressure point — beyond it, writers get typed ``overloaded`` sheds.
+DEFAULT_INTERACTIVE_QUEUE_LIMIT = 1024
+DEFAULT_BULK_QUEUE_LIMIT = 128
+#: Interactive frames dispatched per bulk frame when both queues are non-empty.
+DEFAULT_INTERACTIVE_WEIGHT = 4
+#: Retry hint carried in ``overloaded`` responses.
+DEFAULT_RETRY_AFTER_MS = 25
 
 
 class WireDispatcher:
@@ -58,6 +83,11 @@ class WireDispatcher:
     negotiating against a storage node does not believe it can
     ``insert_chunks`` there (and vice versa).
     """
+
+    #: Per-connection flow-control window advertised in ``hello``.  Set by the
+    #: owning transport (:class:`TimeCryptTCPServer`); ``None`` (the default,
+    #: e.g. for in-process dispatch) advertises no credits.
+    credit_window: Optional[int] = None
 
     def supported_operations(self) -> List[str]:
         """The wire operations this dispatcher actually implements."""
@@ -96,6 +126,8 @@ class WireDispatcher:
     def _op_hello(self, _request: Request) -> Response:
         """Protocol negotiation: advertise the framing version and operations."""
         payload = {"protocol": PROTOCOL_VERSION, "operations": self.supported_operations()}
+        if self.credit_window:
+            payload["credits"] = int(self.credit_window)
         payload.update(self.hello_extras())
         return Response.success(payload)
 
@@ -118,13 +150,26 @@ class RequestDispatcher(WireDispatcher):
     #: Operations dispatched without taking the engine lock.
     _LOCK_FREE_OPS = frozenset({"hello", "ping"})
 
-    def __init__(self, engine: ServerEngine) -> None:
+    #: Ingest batches above this many chunks are applied in slices, with the
+    #: engine lock released between slices, so one enormous ``insert_chunks``
+    #: cannot park every interactive op for its full duration.  Typical
+    #: batches (≤ the slice) take the single-acquisition fast path.
+    DEFAULT_BULK_SLICE_CHUNKS = 64
+
+    def __init__(self, engine: ServerEngine, bulk_slice_chunks: int = DEFAULT_BULK_SLICE_CHUNKS) -> None:
         self._engine = engine
         self._engine_lock = threading.Lock()
+        self._bulk_slice_chunks = max(0, int(bulk_slice_chunks))
 
     def dispatch(self, request: Request) -> Response:
         if request.operation in self._LOCK_FREE_OPS:
             return super().dispatch(request)
+        if (
+            request.operation == "insert_chunks"
+            and self._bulk_slice_chunks
+            and len(request.attachments) > self._bulk_slice_chunks
+        ):
+            return self._dispatch_sliced_ingest(request)
         try:
             with self._engine_lock:
                 return self._dispatch_engine(request)
@@ -132,6 +177,31 @@ class RequestDispatcher(WireDispatcher):
             return Response.failure(exc)
         except Exception as exc:  # noqa: BLE001 — dead air is worse than a broad catch
             return Response.failure(self._unexpected_error(exc))
+
+    def _dispatch_sliced_ingest(self, request: Request) -> Response:
+        """A giant ingest batch, applied slice by slice through the normal path.
+
+        Each slice is a full ``dispatch`` of a sub-request, so subclass
+        checks (shard ownership, epoch redirects) and per-slice validation
+        run unchanged, and interactive ops queued on the engine lock
+        interleave between slices.  A batch that fails validation mid-way
+        stops at the offending slice with earlier slices applied — the same
+        partial-application contract a client splitting its own batches
+        gets; the engine's consecutiveness check
+        (:meth:`~repro.server.engine.ServerEngine.validate_chunk_batch`)
+        makes the failure typed and precise.
+        """
+        size = self._bulk_slice_chunks
+        total = len(request.attachments)
+        first_window: Optional[int] = None
+        for start in range(0, total, size):
+            sub = Request(request.operation, dict(request.args), request.attachments[start : start + size])
+            response = self.dispatch(sub)
+            if not response.ok:
+                return response
+            if first_window is None:
+                first_window = response.result.get("window_index")
+        return Response.success({"window_index": first_window, "num_chunks": total})
 
     def _dispatch_engine(self, request: Request) -> Response:
         """One engine-touching request, already under the engine lock."""
@@ -290,6 +360,150 @@ class RequestDispatcher(WireDispatcher):
         )
 
 
+@dataclass
+class SchedulerStats:
+    """Deterministic scheduler counters (exposed for benches and the CI gate).
+
+    Everything here is workload-derived, not wall-clock-derived: enqueue and
+    shed counts, queue-depth high-water marks, and the per-connection
+    in-flight peak — so CI can diff them exactly against committed baselines.
+    """
+
+    enqueued_interactive: int = 0
+    enqueued_bulk: int = 0
+    dispatched_interactive: int = 0
+    dispatched_bulk: int = 0
+    shed_interactive: int = 0
+    shed_bulk: int = 0
+    max_depth_interactive: int = 0
+    max_depth_bulk: int = 0
+    #: Highest in-flight v2 frame count observed on any single connection —
+    #: a credit-respecting client keeps this at or below the advertised window.
+    max_in_flight: int = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return asdict(self)
+
+
+class _FrameScheduler:
+    """Two bounded frame queues drained weighted-round-robin by the pool.
+
+    ``submit`` is called on the I/O loop and never blocks: a frame either
+    lands in its class queue or (queue at capacity) is refused, and the
+    caller sheds it with a typed ``overloaded`` response.  Drain workers run
+    on the shared ``ThreadPoolExecutor``; at most ``max_workers`` are active
+    at once, and each yields its pool slot after ``yield_every`` frames so
+    v1 drains and shed replies queued behind it are never starved under
+    sustained load.  When both queues are non-empty, ``interactive_weight``
+    interactive frames are dispatched per bulk frame.
+    """
+
+    def __init__(
+        self,
+        pool: ThreadPoolExecutor,
+        handler,
+        max_workers: int,
+        interactive_limit: int,
+        bulk_limit: int,
+        interactive_weight: int,
+        yield_every: int = 16,
+    ) -> None:
+        self._pool = pool
+        self._handler = handler
+        self._max_workers = max_workers
+        self._limits = {"interactive": int(interactive_limit), "bulk": int(bulk_limit)}
+        self._queues: Dict[str, Deque[Tuple["_Connection", Frame]]] = {
+            "interactive": deque(),
+            "bulk": deque(),
+        }
+        self._weight = max(1, int(interactive_weight))
+        self._yield_every = max(1, int(yield_every))
+        self._lock = threading.Lock()
+        self._active = 0
+        self._interactive_run = 0
+        self.stats = SchedulerStats()
+
+    def submit(self, connection: "_Connection", frame: Frame, klass: str, force: bool = False) -> bool:
+        """Enqueue a classified frame; False means the queue refused it (shed).
+
+        ``force`` bypasses the capacity check — liveness ops (``hello``,
+        ``ping``) are always admitted so saturation never reads as an outage.
+        """
+        with self._lock:
+            queue = self._queues[klass]
+            if not force and len(queue) >= self._limits[klass]:
+                if klass == "bulk":
+                    self.stats.shed_bulk += 1
+                else:
+                    self.stats.shed_interactive += 1
+                return False
+            queue.append((connection, frame))
+            depth = len(queue)
+            if klass == "bulk":
+                self.stats.enqueued_bulk += 1
+                if depth > self.stats.max_depth_bulk:
+                    self.stats.max_depth_bulk = depth
+            else:
+                self.stats.enqueued_interactive += 1
+                if depth > self.stats.max_depth_interactive:
+                    self.stats.max_depth_interactive = depth
+            spawn = self._active < self._max_workers
+            if spawn:
+                self._active += 1
+        if spawn:
+            self._spawn()
+        return True
+
+    def note_in_flight(self, depth: int) -> None:
+        with self._lock:
+            if depth > self.stats.max_in_flight:
+                self.stats.max_in_flight = depth
+
+    def snapshot(self) -> Dict[str, int]:
+        with self._lock:
+            return self.stats.snapshot()
+
+    def _spawn(self) -> None:
+        try:
+            self._pool.submit(self._drain)
+        except RuntimeError:
+            # Pool already shut down: the server is stopping, abandon the slot.
+            with self._lock:
+                self._active -= 1
+
+    def _next_locked(self) -> Optional[Tuple["_Connection", Frame]]:
+        interactive = self._queues["interactive"]
+        bulk = self._queues["bulk"]
+        if interactive and (self._interactive_run < self._weight or not bulk):
+            self._interactive_run += 1
+            self.stats.dispatched_interactive += 1
+            return interactive.popleft()
+        if bulk:
+            self._interactive_run = 0
+            self.stats.dispatched_bulk += 1
+            return bulk.popleft()
+        return None
+
+    def _drain(self) -> None:
+        processed = 0
+        while True:
+            with self._lock:
+                item = self._next_locked()
+                if item is None:
+                    self._active -= 1
+                    return
+            try:
+                self._handler(*item)
+            except Exception:  # noqa: BLE001 — the handler answers its own errors
+                pass
+            processed += 1
+            if processed >= self._yield_every:
+                # Re-submit instead of looping forever: gives pool slots back
+                # to v1 drains and shed replies under sustained load.
+                self._spawn()
+                return
+
+
 class _Connection:
     """Per-connection transport state: socket, parser, write lock, v1 FIFO."""
 
@@ -302,6 +516,8 @@ class _Connection:
         #: v1 frame per connection is ever on the pool, preserving response order.
         self.v1_queue: Deque[Frame] = deque()
         self.v1_active = False
+        #: v2 frames accepted but not yet answered; guarded by ``state_lock``.
+        self.in_flight = 0
         self.state_lock = threading.Lock()
         self.closed = False
 
@@ -313,6 +529,11 @@ class TimeCryptTCPServer:
     connections; accepting another client costs a selector registration,
     not a thread.  A custom ``dispatcher`` may be injected (tests use this
     to add slow or failing operations).
+
+    v2 frames are admitted through a two-class weighted scheduler with
+    bounded queues and credit-based flow control (see the module docstring);
+    ``scheduling="fifo"`` restores the legacy unbounded direct-submit path
+    for before/after benchmarks, and ``credit_window=0`` disables credits.
     """
 
     def __init__(
@@ -322,17 +543,43 @@ class TimeCryptTCPServer:
         port: int = 0,
         max_workers: int = 8,
         dispatcher: Optional[WireDispatcher] = None,
+        scheduling: str = "weighted",
+        credit_window: int = DEFAULT_CREDIT_WINDOW,
+        interactive_queue_limit: int = DEFAULT_INTERACTIVE_QUEUE_LIMIT,
+        bulk_queue_limit: int = DEFAULT_BULK_QUEUE_LIMIT,
+        interactive_weight: int = DEFAULT_INTERACTIVE_WEIGHT,
+        retry_after_ms: int = DEFAULT_RETRY_AFTER_MS,
     ) -> None:
         if max_workers < 1:
             raise ValueError("the dispatch pool needs at least one worker")
         if dispatcher is None and engine is None:
             raise ValueError("either an engine or a dispatcher is required")
+        if scheduling not in ("weighted", "fifo"):
+            raise ValueError(f"unknown scheduling mode '{scheduling}'")
         self._engine = engine
         self._dispatcher = dispatcher if dispatcher is not None else RequestDispatcher(engine)
+        self._credit_window = max(0, int(credit_window or 0))
+        self._dispatcher.credit_window = self._credit_window or None
+        self._retry_after_ms = max(1, int(retry_after_ms))
         self._listener = socket.create_server((host, port), reuse_port=False)
         self._listener.setblocking(True)
         self._selector = selectors.DefaultSelector()
         self._pool = ThreadPoolExecutor(max_workers=max_workers, thread_name_prefix="tc-dispatch")
+        # Shed replies must not queue behind the saturated dispatch pool — a
+        # dedicated writer keeps the backpressure signal prompt under overload.
+        self._shed_pool = ThreadPoolExecutor(max_workers=1, thread_name_prefix="tc-shed")
+        self._scheduler: Optional[_FrameScheduler] = (
+            _FrameScheduler(
+                self._pool,
+                self._handle_frame,
+                max_workers=max_workers,
+                interactive_limit=interactive_queue_limit,
+                bulk_limit=bulk_queue_limit,
+                interactive_weight=interactive_weight,
+            )
+            if scheduling == "weighted"
+            else None
+        )
         self._connections: Set[_Connection] = set()
         self._doomed: Deque[_Connection] = deque()
         self._wakeup_recv, self._wakeup_send = socket.socketpair()
@@ -347,6 +594,16 @@ class TimeCryptTCPServer:
     @property
     def dispatcher(self) -> WireDispatcher:
         return self._dispatcher
+
+    @property
+    def credit_window(self) -> int:
+        return self._credit_window
+
+    def scheduler_stats(self) -> Dict[str, int]:
+        """A snapshot of the scheduler's deterministic counters (zeros in FIFO mode)."""
+        if self._scheduler is None:
+            return SchedulerStats().snapshot()
+        return self._scheduler.snapshot()
 
     # -- lifecycle -----------------------------------------------------------------
 
@@ -365,6 +622,7 @@ class TimeCryptTCPServer:
             self._thread.join(timeout=5)
             self._thread = None
         self._pool.shutdown(wait=True)
+        self._shed_pool.shutdown(wait=True)
         for handle in (self._wakeup_recv, self._wakeup_send, self._listener):
             try:
                 handle.close()
@@ -443,7 +701,25 @@ class TimeCryptTCPServer:
             if frame.version == 1:
                 self._enqueue_v1(connection, frame)
             else:
-                self._pool.submit(self._handle_frame, connection, frame)
+                self._admit_v2(connection, frame)
+
+    def _admit_v2(self, connection: _Connection, frame: Frame) -> None:
+        """Classify and enqueue a v2 frame; shed it (typed) if its queue is full."""
+        if self._scheduler is None:
+            self._pool.submit(self._handle_frame, connection, frame)
+            return
+        operation = peek_operation(frame.payload)
+        klass = classify_operation(operation)
+        with connection.state_lock:
+            connection.in_flight += 1
+            depth = connection.in_flight
+        self._scheduler.note_in_flight(depth)
+        # hello/ping bypass the caps: liveness must never read as an outage.
+        if not self._scheduler.submit(connection, frame, klass, force=operation in ("hello", "ping")):
+            try:
+                self._shed_pool.submit(self._shed_frame, connection, frame, klass)
+            except RuntimeError:
+                pass  # server stopping; the connection is about to close anyway
 
     def _reap_doomed(self) -> None:
         """Unregister connections a worker thread asked to close."""
@@ -516,6 +792,23 @@ class TimeCryptTCPServer:
             response = Response.failure(
                 ProtocolError(f"malformed request: {type(exc).__name__}: {exc}")
             )
+        self._write_response(connection, frame, response)
+
+    def _shed_frame(self, connection: _Connection, frame: Frame, klass: str) -> None:
+        """Answer a refused frame with a typed ``overloaded`` (never dead air)."""
+        error = OverloadedError(
+            f"server overloaded: the {klass} queue is full", retry_after_ms=self._retry_after_ms
+        )
+        response = Response.failure(error)
+        response.result = {"retry_after_ms": self._retry_after_ms, "queue": klass}
+        self._write_response(connection, frame, response)
+
+    def _write_response(self, connection: _Connection, frame: Frame, response: Response) -> None:
+        if frame.version == 2 and self._credit_window:
+            # One credit back per answered frame: the sum of grants a client
+            # ever sees equals the frames the server accepted, so the window
+            # is conserved.
+            response.credit_grant = 1
         try:
             encoded = self._encode_response(frame, response)
         except TimeCryptError as exc:
@@ -523,7 +816,13 @@ class TimeCryptTCPServer:
             # must still answer the correlation id — swallowing it here
             # would leave the client staring at dead air until its timeout,
             # which a storage client reads as a node outage.
-            encoded = self._encode_response(frame, Response.failure(exc))
+            fallback = Response.failure(exc)
+            fallback.credit_grant = response.credit_grant
+            encoded = self._encode_response(frame, fallback)
+        if frame.version == 2 and self._scheduler is not None:
+            with connection.state_lock:
+                if connection.in_flight > 0:
+                    connection.in_flight -= 1
         try:
             with connection.write_lock:
                 if connection.closed:

@@ -258,14 +258,13 @@ class ServerEngine:
         state.num_records += chunk.num_points
         return chunk.window_index
 
-    def insert_chunks(self, chunks: Sequence[EncryptedChunk]) -> int:
-        """Append a batch of consecutive encrypted chunks of one stream.
+    def validate_chunk_batch(self, chunks: Sequence[EncryptedChunk]) -> int:
+        """Check a batch is non-empty, single-stream, and consecutive from the
+        stream head; returns the expected first window index.
 
-        The bulk-ingest fast path: payloads are stored per chunk as usual, but
-        the aggregation index folds all digests through
-        :meth:`~repro.index.tree.AggregationIndex.append_many`, writing each
-        touched spine node (and the window-count record) once per batch
-        instead of once per chunk.  Returns the first appended window index.
+        Factored out of :meth:`insert_chunks` so dispatch layers that slice a
+        giant batch (releasing the engine lock between slices) share the
+        exact validation contract with the single-shot path.
         """
         if not chunks:
             raise QueryError("cannot ingest an empty chunk batch")
@@ -280,6 +279,20 @@ class ServerEngine:
                     f"chunk for window {chunk.window_index} arrived, expected window "
                     f"{expected_window + offset} (ingest is in-order append-only)"
                 )
+        return expected_window
+
+    def insert_chunks(self, chunks: Sequence[EncryptedChunk]) -> int:
+        """Append a batch of consecutive encrypted chunks of one stream.
+
+        The bulk-ingest fast path: payloads are stored per chunk as usual, but
+        the aggregation index folds all digests through
+        :meth:`~repro.index.tree.AggregationIndex.append_many`, writing each
+        touched spine node (and the window-count record) once per batch
+        instead of once per chunk.  Returns the first appended window index.
+        """
+        expected_window = self.validate_chunk_batch(chunks)
+        stream_uuid = chunks[0].stream_uuid
+        state = self._state(stream_uuid)
         payload_puts = [
             (chunk_storage_key(stream_uuid, chunk.window_index), encode_encrypted_chunk(chunk))
             for chunk in chunks

@@ -26,6 +26,7 @@ shared storage), so ownership moves without restarting engines.
 from __future__ import annotations
 
 import threading
+from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
 from repro.exceptions import ProtocolError, QueryError, TimeCryptError, TransportError
@@ -218,14 +219,25 @@ class RouterDispatcher(WireDispatcher):
     :class:`~repro.net.client.RemoteServerClient` users the router is a
     transparent proxy: it forwards each request to the owning shard over a
     pooled multiplexed connection, and splits the two cross-shard batch ops
-    (``stat_range_multi``, ``put_grants``) across owners.
+    (``stat_range_multi``, ``put_grants``) across owners concurrently.
+    Backpressure composes per hop: each upstream connection honours the
+    credit window that shard advertised in ``hello``, so the router cannot
+    flood a saturated engine on a proxied burst.
     """
+
+    #: Concurrent per-owner sub-batches for the cross-shard split ops.  The
+    #: pool is shared across requests (fan-out is I/O-bound waiting on
+    #: shards, so a handful of threads covers many in-flight splits).
+    _FANOUT_WORKERS = 8
 
     def __init__(self, table_ref: RoutingTableRef, timeout: float = 30.0) -> None:
         self._table_ref = table_ref
         self._timeout = timeout
         self._clients: Dict[str, Tuple[Tuple[str, int], RemoteServerClient]] = {}
         self._clients_lock = threading.Lock()
+        self._fanout = ThreadPoolExecutor(
+            max_workers=self._FANOUT_WORKERS, thread_name_prefix="tc-router-fanout"
+        )
 
     def supported_operations(self) -> List[str]:
         # The proxy surface, not the handler list: a client negotiating
@@ -272,11 +284,29 @@ class RouterDispatcher(WireDispatcher):
             cached[1].close()
 
     def close(self) -> None:
+        self._fanout.shutdown(wait=True)
         with self._clients_lock:
             clients = [client for _address, client in self._clients.values()]
             self._clients.clear()
         for client in clients:
             client.close()
+
+    def _fan_out(
+        self, batches: Dict[str, List[Request]]
+    ) -> Dict[str, List[Response]]:
+        """Run one ``_forward_many`` per owner concurrently.
+
+        ``_forward_many`` already degrades transport loss to per-request
+        failure responses, so the futures only raise on programming errors —
+        which the dispatch catch-all turns into a typed failure.  Owners'
+        sub-batches ride separate pipelined connections, so a cross-shard
+        split costs one round-trip *time*, not one per owner.
+        """
+        futures = {
+            owner: self._fanout.submit(self._forward_many, owner, requests)
+            for owner, requests in sorted(batches.items())
+        }
+        return {owner: future.result() for owner, future in futures.items()}
 
     # -- proxying ---------------------------------------------------------------
 
@@ -325,23 +355,25 @@ class RouterDispatcher(WireDispatcher):
 
     def _split_stat_range_multi(self, request: Request, table: ShardRoutingTable) -> Response:
         """A cross-shard inter-stream query: per-stream ``stat_range`` sub-requests,
-        pipelined per owner, recombined exactly as a single engine would."""
+        pipelined per owner and fanned out to all owners concurrently,
+        recombined exactly as a single engine would."""
         uuids = list(request.args["uuids"])
         start, end = request.args["start"], request.args["end"]
         by_owner: Dict[str, List[str]] = {}
         for stream_uuid in uuids:
             by_owner.setdefault(table.owner_of(stream_uuid), []).append(stream_uuid)
-        per_stream: Dict[str, Response] = {}
-        for owner in sorted(by_owner):
-            owned = by_owner[owner]
-            responses = self._forward_many(
-                owner,
-                [
+        responses_by_owner = self._fan_out(
+            {
+                owner: [
                     Request("stat_range", {"uuid": stream_uuid, "start": start, "end": end})
                     for stream_uuid in owned
-                ],
-            )
-            per_stream.update(zip(owned, responses))
+                ]
+                for owner, owned in by_owner.items()
+            }
+        )
+        per_stream: Dict[str, Response] = {}
+        for owner, owned in by_owner.items():
+            per_stream.update(zip(owned, responses_by_owner[owner]))
         results = []
         for stream_uuid in uuids:  # combine in request order, as one engine would
             response = per_stream[stream_uuid]
@@ -359,26 +391,30 @@ class RouterDispatcher(WireDispatcher):
 
     def _split_put_grants(self, request: Request, table: ShardRoutingTable) -> Response:
         """A cross-shard grant burst: one ``put_grants`` sub-batch per owner,
-        grant ids stitched back into input order."""
+        fanned out to all owners concurrently, grant ids stitched back into
+        input order."""
         targets = list(request.args["grants"])
         if len(targets) != len(request.attachments):
             return Response.failure(ProtocolError("put_grants targets and attachments must align"))
         slots_by_owner: Dict[str, List[int]] = {}
         for slot, target in enumerate(targets):
             slots_by_owner.setdefault(table.owner_of(target["uuid"]), []).append(slot)
-        grant_ids: List[Optional[int]] = [None] * len(targets)
-        for owner in sorted(slots_by_owner):
-            slots = slots_by_owner[owner]
-            response = self._forward_many(
-                owner,
-                [
+        responses_by_owner = self._fan_out(
+            {
+                owner: [
                     Request(
                         "put_grants",
                         {"grants": [targets[slot] for slot in slots]},
                         [request.attachments[slot] for slot in slots],
                     )
-                ],
-            )[0]
+                ]
+                for owner, slots in slots_by_owner.items()
+            }
+        )
+        grant_ids: List[Optional[int]] = [None] * len(targets)
+        for owner in sorted(slots_by_owner):
+            slots = slots_by_owner[owner]
+            response = responses_by_owner[owner][0]
             if not response.ok:
                 return response
             for slot, grant_id in zip(slots, response.result["grant_ids"]):

@@ -58,7 +58,12 @@ from typing import List, Optional, Tuple
 
 from repro.exceptions import ProtocolError, StorageError, TimeCryptError
 from repro.net.messages import Request, Response
-from repro.net.server import TimeCryptTCPServer, WireDispatcher
+from repro.net.server import (
+    DEFAULT_BULK_QUEUE_LIMIT,
+    DEFAULT_CREDIT_WINDOW,
+    TimeCryptTCPServer,
+    WireDispatcher,
+)
 from repro.storage.kv import KeyValueStore
 
 #: Default page size for ``kv_scan_page`` when the client does not ask.
@@ -349,11 +354,23 @@ class StorageNodeServer:
         host: str = "127.0.0.1",
         port: int = 0,
         max_workers: int = 4,
+        scheduling: str = "weighted",
+        credit_window: int = DEFAULT_CREDIT_WINDOW,
+        bulk_queue_limit: int = DEFAULT_BULK_QUEUE_LIMIT,
     ) -> None:
         self._store = store
         self._dispatcher = StorageNodeDispatcher(store)
+        # The storage tier runs the same scheduler and credit window as the
+        # engine tier: kv_multi_put floods queue in the bounded bulk class
+        # (typed sheds past the cap) while query fetches stay interactive.
         self._tcp = TimeCryptTCPServer(
-            host=host, port=port, max_workers=max_workers, dispatcher=self._dispatcher
+            host=host,
+            port=port,
+            max_workers=max_workers,
+            dispatcher=self._dispatcher,
+            scheduling=scheduling,
+            credit_window=credit_window,
+            bulk_queue_limit=bulk_queue_limit,
         )
 
     @property
@@ -363,6 +380,10 @@ class StorageNodeServer:
     @property
     def store(self) -> KeyValueStore:
         return self._store
+
+    def scheduler_stats(self) -> dict:
+        """The transport scheduler's deterministic counters (sheds, depths)."""
+        return self._tcp.scheduler_stats()
 
     def start(self) -> "StorageNodeServer":
         self._tcp.start()

@@ -44,7 +44,7 @@ from __future__ import annotations
 import threading
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
-from repro.exceptions import ProtocolError, StorageError, TransportError
+from repro.exceptions import OverloadedError, ProtocolError, StorageError, TransportError
 from repro.net.client import RemoteServerClient, WireStats, _remote_error
 from repro.net.messages import Request, Response
 from repro.storage.kv import KeyValueStore
@@ -69,9 +69,13 @@ class RemoteKeyValueStore(KeyValueStore):
         max_keys_per_request: int = DEFAULT_MAX_KEYS_PER_REQUEST,
         reconnect: bool = True,
         prefix_ops: bool = True,
+        overload_retries: int = 4,
     ) -> None:
         if scan_page_size < 1:
             raise ValueError("scan_page_size must be positive")
+        #: Transport-level retry budget for typed ``overloaded`` sheds; once
+        #: exhausted, the shed surfaces here and is wrapped as StorageError.
+        self._overload_retries = max(0, int(overload_retries))
         #: When False, never use the kv_scan_prefix / kv_delete_prefix
         #: offload ops even against a peer that advertises them — the
         #: legacy-pager escape hatch (and the before/after lever the
@@ -102,7 +106,10 @@ class RemoteKeyValueStore(KeyValueStore):
             if self._client is None:
                 try:
                     client = RemoteServerClient(
-                        self._address[0], self._address[1], timeout=self._timeout
+                        self._address[0],
+                        self._address[1],
+                        timeout=self._timeout,
+                        overload_retries=self._overload_retries,
                     )
                 except (OSError, TransportError) as exc:
                     raise StorageError(
@@ -187,7 +194,16 @@ class RemoteKeyValueStore(KeyValueStore):
                 continue
             for response in responses:
                 if not response.ok:
-                    raise _remote_error(response)
+                    error = _remote_error(response)
+                    if isinstance(error, OverloadedError):
+                        # The node is still shedding after the client's own
+                        # capped backoff retries: treat persistent overload
+                        # like an outage so the cluster marks the node down
+                        # and re-routes, instead of crashing the caller.
+                        raise StorageError(
+                            f"storage node {self._address} overloaded: {error}"
+                        ) from error
+                    raise error
             return responses
         raise StorageError(
             f"storage node {self._address} unreachable: {last_error}"
