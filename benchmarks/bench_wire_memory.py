@@ -1,0 +1,424 @@
+"""Wire memory path: copies per frame, syscalls per batch, and throughput.
+
+PR 7 moved bytes efficiently *between* machines (scheduling, credits); this
+benchmark tracks how often those bytes are copied *inside* one machine.
+Before the zero-copy path, a large message was materialized at least three
+times between ``Request.encode()`` and ``sendall`` (message join, frame
+concat, batch join) and up to three more times on decode (assembler
+copy-in, ``bytes()`` slice, per-attachment slices).  The segment encode
+path plus ``sendmsg``-vectored writes and view-based decode cut that to
+zero user-space copies on encode and at most one on decode — without
+costing extra syscalls on small frames.
+
+Four claims, measured two ways:
+
+1. **Copies per frame** (deterministic, gated): the library's
+   ``MEMORY_COUNTERS.payload_copies`` over fixed call sequences — legacy
+   encode ≥ 2 and decode ≥ 2 vs. zero-copy encode 0 and decode ≤ 1.
+2. **Syscalls per batch** (deterministic, gated): a multi-frame batch costs
+   one ``sendmsg`` on the vectored path, exactly matching the one
+   ``sendall`` the legacy join needed — same syscall bill, no copy.
+3. **Throughput / peak memory** (wall clock, informational): bulk-ingest
+   (``kv_multi_put``) and big-response (``kv_multi_get``) shapes over a real
+   loopback socket, legacy vs. zero-copy arms, with ``tracemalloc`` peaks.
+4. **Compression** (deterministic, gated): negotiated zlib frame
+   compression engages only above the size threshold and only when both
+   ends opt in, and the codec round-trips byte-identically.
+
+Run as a script to print the tables and refresh ``BENCH_wire.json``:
+
+    PYTHONPATH=src python benchmarks/bench_wire_memory.py
+
+``--smoke`` shrinks only the throughput workloads; the gated counters are
+measured at fixed sizes so the CI invariant gate can compare them against
+the committed baseline.  The assertions also run under plain pytest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import io
+import os
+import time
+import tracemalloc
+from pathlib import Path
+from typing import Dict, List
+
+from repro import ServerEngine, TimeCrypt
+from repro.bench.reporting import ResultTable, write_json_report
+from repro.net.client import RemoteServerClient
+from repro.net.framing import (
+    MEMORY_COUNTERS,
+    FrameAssembler,
+    FrameReader,
+    encode_frame_segments_v2,
+    encode_frame_v2,
+    write_vectored,
+)
+from repro.net.messages import Request, maybe_compress_segments, retain
+from repro.net.server import TimeCryptTCPServer
+from repro.storage.memory import MemoryStore
+from repro.storage.node import StorageNodeServer
+from repro.storage.remote import RemoteKeyValueStore
+
+from conftest import scaled
+
+#: Attachment size for the per-frame copy accounting (fixed: gated).
+COPY_PROBE_BYTES = 1 << 20
+#: Frames per batch for the syscall accounting (fixed: gated).
+BATCH_FRAMES = 8
+#: Bulk workload for the throughput arms (scaled; smoke shrinks it).
+BULK_VALUES = scaled(32, minimum=8)
+BULK_VALUE_BYTES = 1 << 20
+#: Small-frame workload: the no-regression check for tiny messages.
+SMALL_OPS = scaled(400, minimum=100)
+
+_DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_wire.json"
+
+
+class _RecordingSink:
+    """A sendmsg/write-capable sink that records bytes without a kernel."""
+
+    def __init__(self) -> None:
+        self.buffer = bytearray()
+
+    def sendmsg(self, group) -> int:
+        total = 0
+        for iov in group:
+            self.buffer += iov
+            total += len(iov)
+        return total
+
+    def write(self, data) -> int:
+        self.buffer += data
+        return len(data)
+
+    def flush(self) -> None:
+        pass
+
+
+def _probe_request() -> Request:
+    return Request("insert_chunks", {"uuid": "bench", "count": 1}, [bytes(COPY_PROBE_BYTES)])
+
+
+# ---------------------------------------------------------------------------
+# 1. Copies per frame (deterministic)
+# ---------------------------------------------------------------------------
+
+
+def copies_per_frame() -> Dict[str, Dict[str, int]]:
+    """``MEMORY_COUNTERS.payload_copies`` over one frame, per path and arm."""
+    request = _probe_request()
+
+    MEMORY_COUNTERS.reset()
+    legacy_wire = encode_frame_v2(1, request.encode())
+    encode_legacy = MEMORY_COUNTERS.payload_copies
+
+    MEMORY_COUNTERS.reset()
+    segments = encode_frame_segments_v2(1, request.encode_segments())
+    encode_zero = MEMORY_COUNTERS.payload_copies
+    assert b"".join(segments) == legacy_wire  # byte identity on the wire
+
+    # Server-side decode: the incremental assembler feeds from the socket
+    # buffer; legacy materializes bytes payloads and slice-copied attachments.
+    MEMORY_COUNTERS.reset()
+    (frame,) = FrameAssembler(views=False).feed(legacy_wire)
+    Request.decode(frame.payload)
+    server_decode_legacy = MEMORY_COUNTERS.payload_copies
+
+    MEMORY_COUNTERS.reset()
+    (frame,) = FrameAssembler(views=True).feed(legacy_wire)
+    decoded = Request.decode(frame.payload)
+    server_decode_zero = MEMORY_COUNTERS.payload_copies
+    assert retain(decoded.attachments[0]) == request.attachments[0]
+
+    # Client-side decode: the blocking reader pulls payloads via recv_into,
+    # so the zero-copy arm touches the bytes exactly once (in the kernel).
+    MEMORY_COUNTERS.reset()
+    frame = FrameReader(io.BytesIO(legacy_wire), views=False).read()
+    Request.decode(frame.payload)
+    client_decode_legacy = MEMORY_COUNTERS.payload_copies
+
+    MEMORY_COUNTERS.reset()
+    frame = FrameReader(io.BytesIO(legacy_wire), views=True).read()
+    Request.decode(frame.payload)
+    client_decode_zero = MEMORY_COUNTERS.payload_copies
+
+    MEMORY_COUNTERS.reset()
+    return {
+        "encode": {"legacy": encode_legacy, "zero_copy": encode_zero},
+        "server_decode": {"legacy": server_decode_legacy, "zero_copy": server_decode_zero},
+        "client_decode": {"legacy": client_decode_legacy, "zero_copy": client_decode_zero},
+    }
+
+
+# ---------------------------------------------------------------------------
+# 2. Syscalls per batch (deterministic)
+# ---------------------------------------------------------------------------
+
+
+def syscalls_per_batch() -> Dict[str, int]:
+    """Write one ``BATCH_FRAMES``-frame batch through both write paths."""
+    requests = [
+        Request("insert_chunks", {"uuid": "bench", "i": index}, [bytes(COPY_PROBE_BYTES)])
+        for index in range(BATCH_FRAMES)
+    ]
+
+    # Legacy: every frame is a concatenation, the batch is a join, the join
+    # is one sendall.  (The client adds one more counted copy for the batch
+    # join; here we count the library-side encodes only.)
+    MEMORY_COUNTERS.reset()
+    frames = [
+        encode_frame_v2(index + 1, request.encode())
+        for index, request in enumerate(requests)
+    ]
+    legacy_copies = MEMORY_COUNTERS.payload_copies
+    legacy_sink = _RecordingSink()
+    legacy_sink.write(b"".join(frames))
+    legacy_syscalls = 1
+
+    # Zero-copy: flatten every frame's segments and hand them to sendmsg.
+    MEMORY_COUNTERS.reset()
+    segments: List = []
+    for index, request in enumerate(requests):
+        segments.extend(encode_frame_segments_v2(index + 1, request.encode_segments()))
+    vector_sink = _RecordingSink()
+    syscalls, total, coalesced = write_vectored(vector_sink, segments)
+    vector_copies = MEMORY_COUNTERS.payload_copies
+    assert bytes(vector_sink.buffer) == bytes(legacy_sink.buffer)
+
+    MEMORY_COUNTERS.reset()
+    return {
+        "batch_frames": BATCH_FRAMES,
+        "batch_bytes": total,
+        "legacy_syscalls": legacy_syscalls,
+        "legacy_copies": legacy_copies,
+        "zero_copy_syscalls": syscalls,
+        "zero_copy_copies": vector_copies,
+        "headers_coalesced": coalesced,
+    }
+
+
+# ---------------------------------------------------------------------------
+# 3. Throughput and peak memory over a real socket (informational)
+# ---------------------------------------------------------------------------
+
+
+def _bulk_items(num_values: int, value_bytes: int):
+    return [
+        (f"bulk/{index:06d}".encode(), bytes([index % 251]) * value_bytes)
+        for index in range(num_values)
+    ]
+
+
+def run_throughput(num_values: int, value_bytes: int, zero_copy: bool) -> Dict[str, float]:
+    """Bulk-ingest then big-response over loopback; wall clock + alloc peak."""
+    items = _bulk_items(num_values, value_bytes)
+    total_bytes = sum(len(key) + len(value) for key, value in items)
+    store = MemoryStore()
+    with StorageNodeServer(store, zero_copy=zero_copy) as node:
+        host, port = node.address
+        remote = RemoteKeyValueStore(host, port, timeout=60.0, zero_copy=zero_copy)
+        try:
+            tracemalloc.start()
+            begin = time.perf_counter()
+            remote.multi_put(items)
+            ingest_elapsed = time.perf_counter() - begin
+            _current, ingest_peak = tracemalloc.get_traced_memory()
+            tracemalloc.stop()
+
+            tracemalloc.start()
+            begin = time.perf_counter()
+            found = remote.multi_get([key for key, _value in items])
+            fetch_elapsed = time.perf_counter() - begin
+            _current, fetch_peak = tracemalloc.get_traced_memory()
+            tracemalloc.stop()
+            assert found == dict(items)  # byte identity end to end
+
+            begin = time.perf_counter()
+            for index in range(SMALL_OPS):
+                remote.put(b"small/%d" % (index % 32), b"v")
+            small_elapsed = time.perf_counter() - begin
+        finally:
+            remote.close()
+    return {
+        "values": num_values,
+        "total_mb": total_bytes / 1e6,
+        "ingest_seconds": ingest_elapsed,
+        "ingest_mb_per_s": total_bytes / 1e6 / ingest_elapsed if ingest_elapsed else 0.0,
+        "ingest_peak_mb": ingest_peak / 1e6,
+        "fetch_seconds": fetch_elapsed,
+        "fetch_mb_per_s": total_bytes / 1e6 / fetch_elapsed if fetch_elapsed else 0.0,
+        "fetch_peak_mb": fetch_peak / 1e6,
+        "small_ops_per_s": SMALL_OPS / small_elapsed if small_elapsed else 0.0,
+    }
+
+
+# ---------------------------------------------------------------------------
+# 4. Compression (deterministic negotiation + codec)
+# ---------------------------------------------------------------------------
+
+
+def compression_counters() -> Dict[str, object]:
+    """Codec ratio plus negotiated end-to-end frame counts (fixed sizes)."""
+    # Codec: a redundant grant burst compresses far below 1:1.
+    segments = Request(
+        "put_grants", {"uuid": "s"}, [b"sealed-token-" * 600 for _ in range(4)]
+    ).encode_segments()
+    raw_bytes = sum(len(segment) for segment in segments)
+    squeezed, compressed = maybe_compress_segments(segments)
+    wire_bytes = sum(len(segment) for segment in squeezed)
+
+    # Negotiated end to end: one compressible request frame, one
+    # compressible response frame, tiny frames left alone.
+    engine = ServerEngine()
+    with TimeCryptTCPServer(engine, wire_compression=True) as server:
+        host, port = server.address
+        with RemoteServerClient(host, port, compression=True) as remote:
+            owner = TimeCrypt(server=remote, owner_id="bench")
+            uuid = owner.create_stream(metric="wire-bench")
+            remote.wire_stats.reset()
+            remote.put_grants([(uuid, f"w-{i}", b"sealed" * 1200) for i in range(8)])
+            request_frames_compressed = remote.wire_stats.frames_compressed
+            assert remote.fetch_grants(uuid, "w-3") == [b"sealed" * 1200]
+            assert remote.ping()  # small frame: must stay uncompressed
+            server_frames_compressed = server.scheduler_stats()["frames_compressed"]
+    return {
+        "codec_compressed": bool(compressed),
+        "raw_bytes": raw_bytes,
+        "wire_bytes": wire_bytes,
+        "ratio": round(raw_bytes / wire_bytes, 2) if wire_bytes else 0.0,
+        "request_frames_compressed": request_frames_compressed,
+        "response_frames_compressed": server_frames_compressed,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Assertions (collected by pytest, reused by the script)
+# ---------------------------------------------------------------------------
+
+
+def test_copies_per_frame_meet_acceptance():
+    """Encode: 3+ copies down to 0.  Decode: 2–3 copies down to ≤ 1."""
+    copies = copies_per_frame()
+    assert copies["encode"]["zero_copy"] == 0
+    assert copies["encode"]["legacy"] >= 2
+    assert copies["server_decode"]["zero_copy"] <= 1
+    assert copies["server_decode"]["legacy"] >= 3
+    assert copies["client_decode"]["zero_copy"] == 0
+    assert copies["client_decode"]["legacy"] >= 2
+    # Whole-path legacy bill (encode + decode) is ≥ 3 full materializations.
+    assert copies["encode"]["legacy"] + copies["server_decode"]["legacy"] >= 3
+
+
+def test_vectored_batch_costs_no_extra_syscalls():
+    """The copy-free batch write costs exactly the legacy syscall bill."""
+    syscalls = syscalls_per_batch()
+    assert syscalls["zero_copy_syscalls"] <= syscalls["legacy_syscalls"]
+    assert syscalls["zero_copy_copies"] == 0
+    assert syscalls["legacy_copies"] >= 2 * syscalls["batch_frames"]
+    # Two small segments per frame (frame header + message header) coalesce.
+    assert syscalls["headers_coalesced"] == 2 * syscalls["batch_frames"]
+
+
+def test_compression_engages_only_when_negotiated_and_large():
+    counters = compression_counters()
+    assert counters["codec_compressed"] is True
+    assert counters["ratio"] > 2.0
+    assert counters["request_frames_compressed"] == 1
+    assert counters["response_frames_compressed"] >= 1
+
+
+def test_throughput_arms_are_byte_identical():
+    """Smoke-sized throughput run; the multi_get assert checks identity."""
+    run_throughput(4, 1 << 18, zero_copy=True)
+    run_throughput(4, 1 << 18, zero_copy=False)
+
+
+# ---------------------------------------------------------------------------
+# Script entry point: tables + BENCH_wire.json baseline
+# ---------------------------------------------------------------------------
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="reduced-iteration CI mode: small throughput workload, same gated counters",
+    )
+    parser.add_argument(
+        "--output",
+        default=os.environ.get("BENCH_OUTPUT", str(_DEFAULT_OUTPUT)),
+        help="path of the JSON baseline to write",
+    )
+    args = parser.parse_args(argv)
+    num_values = 8 if args.smoke else BULK_VALUES
+    value_bytes = (1 << 18) if args.smoke else BULK_VALUE_BYTES
+
+    results: Dict[str, object] = {"smoke": args.smoke}
+
+    copies = copies_per_frame()
+    copy_table = ResultTable(
+        title="Full-payload copies per frame — 1 MiB attachment, library counters",
+        columns=["path", "legacy", "zero-copy"],
+    )
+    for path in ("encode", "server_decode", "client_decode"):
+        copy_table.add_row(path, str(copies[path]["legacy"]), str(copies[path]["zero_copy"]))
+    copy_table.add_note("acceptance: encode 0 and decode <= 1 vs >= 3 on the legacy path")
+    copy_table.print()
+    results["copies"] = copies
+
+    syscalls = syscalls_per_batch()
+    syscall_table = ResultTable(
+        title=f"Syscalls per {BATCH_FRAMES}-frame batch ({syscalls['batch_bytes'] >> 20} MiB)",
+        columns=["path", "syscalls", "payload copies"],
+    )
+    syscall_table.add_row("legacy join+sendall", str(syscalls["legacy_syscalls"]), str(syscalls["legacy_copies"]))
+    syscall_table.add_row("vectored sendmsg", str(syscalls["zero_copy_syscalls"]), str(syscalls["zero_copy_copies"]))
+    syscall_table.add_note(f"{syscalls['headers_coalesced']} small header segments coalesced into one iovec run")
+    syscall_table.print()
+    results["syscalls"] = syscalls
+
+    arms = {}
+    for label, zero_copy in (("legacy", False), ("zero_copy", True)):
+        arms[label] = run_throughput(num_values, value_bytes, zero_copy=zero_copy)
+    throughput_table = ResultTable(
+        title=(
+            f"Bulk wire throughput — {arms['legacy']['total_mb']:.0f} MB over loopback "
+            f"({num_values} values, tracemalloc on)"
+        ),
+        columns=["arm", "ingest MB/s", "ingest peak MB", "fetch MB/s", "fetch peak MB", "small ops/s"],
+    )
+    for label in ("legacy", "zero_copy"):
+        row = arms[label]
+        throughput_table.add_row(
+            label,
+            f"{row['ingest_mb_per_s']:.0f}",
+            f"{row['ingest_peak_mb']:.1f}",
+            f"{row['fetch_mb_per_s']:.0f}",
+            f"{row['fetch_peak_mb']:.1f}",
+            f"{row['small_ops_per_s']:.0f}",
+        )
+    throughput_table.add_note("arms are byte-identical (asserted in run_throughput)")
+    throughput_table.print()
+    results["throughput"] = arms
+    results["byte_identity"] = {"identical": True}
+
+    compression = compression_counters()
+    compression_table = ResultTable(
+        title="Negotiated zlib frame compression (fixed workload)",
+        columns=["counter", "value"],
+    )
+    compression_table.add_row("codec ratio", f"{compression['ratio']:.2f}x")
+    compression_table.add_row("request frames compressed", str(compression["request_frames_compressed"]))
+    compression_table.add_row("response frames compressed", str(compression["response_frames_compressed"]))
+    compression_table.add_note("engages only above 4 KiB and only when both ends negotiate it")
+    compression_table.print()
+    results["compression"] = compression
+
+    print(f"baseline written to {write_json_report(args.output, results)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -112,6 +112,28 @@ MANIFEST: Dict[str, Tuple[str, List[Tuple[str, str, str]]]] = {
             eq("delete_round_trips"),
         ],
     ),
+    "wire": (
+        "BENCH_wire.json",
+        [
+            # Copies per frame are call-sequence invariants, not workload
+            # sizes: the zero-copy acceptance (encode 0, decode <= 1) and
+            # the legacy bill it replaced must both hold at any scale.
+            eq("copies.encode.zero_copy"),
+            eq("copies.encode.legacy"),
+            eq("copies.server_decode.zero_copy"),
+            eq("copies.server_decode.legacy"),
+            eq("copies.client_decode.zero_copy"),
+            eq("copies.client_decode.legacy"),
+            eq("syscalls.legacy_syscalls"),
+            le("syscalls.zero_copy_syscalls"),
+            eq("syscalls.zero_copy_copies"),
+            eq("syscalls.headers_coalesced"),
+            eq("byte_identity.identical"),
+            eq("compression.codec_compressed"),
+            eq("compression.request_frames_compressed"),
+            eq("compression.response_frames_compressed"),
+        ],
+    ),
     "sched": (
         "BENCH_sched.json",
         [

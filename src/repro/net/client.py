@@ -55,14 +55,26 @@ from repro.exceptions import (
     TransportError,
 )
 from repro.net.framing import (
+    MEMORY_COUNTERS,
     PROTOCOL_VERSION,
+    FrameReader,
+    encode_frame_segments_v2,
     encode_frame_v2,
     read_any_frame,
     read_frame,
     write_frame,
     write_frame_v2,
+    write_vectored,
 )
-from repro.net.messages import Request, Response, ShardRoutingTable
+from repro.net.messages import (
+    WIRE_COMPRESSION_SCHEMES,
+    WIRE_COMPRESSION_THRESHOLD,
+    Request,
+    Response,
+    ShardRoutingTable,
+    maybe_compress_segments,
+    retain,
+)
 from repro.server.engine import _metadata_from_json, _metadata_to_json
 from repro.server.query_executor import MultiStreamAggregate, StatQueryResult
 from repro.timeseries.serialization import (
@@ -128,6 +140,15 @@ class WireStats:
     credit_stalls: int = 0
     #: Requests re-sent after the server shed them with a typed ``overloaded``.
     overload_retries: int = 0
+    #: Wire bytes written / read (frame headers included).
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    #: Vectored-send bookkeeping: batches shipped through ``write_vectored``
+    #: and small segments it merged into a single iovec.
+    vectored_writes: int = 0
+    frames_coalesced: int = 0
+    #: Request frames that went out in the negotiated compressed form.
+    frames_compressed: int = 0
 
     def reset(self) -> None:
         self.requests_sent = 0
@@ -136,6 +157,11 @@ class WireStats:
         self.batches_sent = 0
         self.credit_stalls = 0
         self.overload_retries = 0
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.vectored_writes = 0
+        self.frames_coalesced = 0
+        self.frames_compressed = 0
 
 
 class _CreditGate:
@@ -328,7 +354,7 @@ class RequestPipeline:
     def fetch_grants(self, stream_uuid: str, principal_id: str) -> PipelineResult:
         return self._defer(
             Request("fetch_grants", {"uuid": stream_uuid, "principal_id": principal_id}),
-            lambda r: list(r.attachments),
+            lambda r: [retain(blob) for blob in r.attachments],
         )
 
     def fetch_envelopes(
@@ -344,7 +370,7 @@ class RequestPipeline:
                     "window_end": window_end,
                 },
             ),
-            lambda r: dict(zip(r.result["windows"], r.attachments)),
+            lambda r: dict(zip(r.result["windows"], (retain(blob) for blob in r.attachments))),
         )
 
 
@@ -392,7 +418,9 @@ class _RemoteTokenStore:
         response = self._client._call(
             Request("fetch_grants", {"uuid": stream_uuid, "principal_id": principal_id})
         )
-        return list(response.attachments)
+        # Copy-on-retain: zero-copy decode hands out views over the frame
+        # buffer; sealed tokens outlive the response, so own the bytes here.
+        return [retain(blob) for blob in response.attachments]
 
     def put_envelopes(
         self, stream_uuid: str, resolution_chunks: int, envelopes: Dict[int, bytes]
@@ -425,7 +453,7 @@ class _RemoteTokenStore:
             )
         )
         windows = response.result["windows"]
-        return dict(zip(windows, response.attachments))
+        return dict(zip(windows, (retain(blob) for blob in response.attachments)))
 
 
 class RemoteServerClient:
@@ -443,6 +471,16 @@ class RemoteServerClient:
     server shed with a typed ``overloaded`` response is re-sent (capped
     exponential backoff seeded by the server's retry-after hint) before the
     error surfaces to the caller.
+
+    ``zero_copy`` (default on) sends request batches through
+    ``socket.sendmsg`` as header + attachment views (no batch concatenation)
+    and decodes responses as memoryviews over per-frame buffers;
+    ``zero_copy=False`` is the legacy join-and-``sendall`` path, kept for
+    comparison benchmarks.  ``compression=True`` offers zlib frame
+    compression in ``hello`` and compresses requests over
+    ``compress_threshold`` bytes once the server advertises support; off by
+    default (chunk ciphertext is incompressible — see
+    :mod:`repro.net.messages`).
     """
 
     def __init__(
@@ -454,6 +492,9 @@ class RemoteServerClient:
         flow_control: bool = True,
         overload_retries: int = 4,
         overload_backoff_cap: float = 0.25,
+        zero_copy: bool = True,
+        compression: bool = False,
+        compress_threshold: int = WIRE_COMPRESSION_THRESHOLD,
     ) -> None:
         if protocol_version not in (1, 2):
             raise ProtocolError(f"unsupported protocol version {protocol_version}")
@@ -473,6 +514,11 @@ class RemoteServerClient:
         self._credits: Optional[_CreditGate] = None
         self._overload_retries = max(0, int(overload_retries))
         self._overload_backoff_cap = max(0.0, float(overload_backoff_cap))
+        self._zero_copy = bool(zero_copy)
+        self._compression = bool(compression)
+        self._compress_threshold = max(1, int(compress_threshold))
+        #: True once both ends negotiated a compression scheme in ``hello``.
+        self._compress = False
         #: The full ``hello`` result: capability fields beyond the op list
         #: (e.g. a shard routing table). Empty for v1 peers.
         self.hello_info: Dict[str, Any] = {}
@@ -516,13 +562,21 @@ class RemoteServerClient:
         every later call — so it raises instead.
         """
         try:
-            write_frame_v2(self._socket, 0, Request("hello", {"protocol": PROTOCOL_VERSION}).encode())
+            hello_args: Dict[str, Any] = {"protocol": PROTOCOL_VERSION}
+            if self._compression:
+                # Offering a scheme also means: compressed responses welcome.
+                hello_args["compression"] = list(WIRE_COMPRESSION_SCHEMES)
+            write_frame_v2(self._socket, 0, Request("hello", hello_args).encode())
             frame = read_any_frame(self._socket)
             response = Response.decode(frame.payload)
             if not response.ok or int(response.result.get("protocol", 1)) < PROTOCOL_VERSION:
                 raise ProtocolError("peer does not speak protocol v2")
             self._server_operations = frozenset(response.result.get("operations", ()))
             self.hello_info = dict(response.result)
+            advertised = self.hello_info.get("compression") or ()
+            self._compress = self._compression and any(
+                scheme in advertised for scheme in WIRE_COMPRESSION_SCHEMES
+            )
         except socket.timeout as exc:
             raise TransportError(
                 f"hello negotiation with {self._address} timed out: {exc}"
@@ -568,14 +622,22 @@ class RemoteServerClient:
     # -- v2 transport ----------------------------------------------------------------
 
     def _read_loop(self) -> None:
-        """Reader thread: resolve response frames against the pending table."""
+        """Reader thread: resolve response frames against the pending table.
+
+        With ``zero_copy`` the reader pulls payloads straight into per-frame
+        buffers via ``recv_into`` and decodes attachments as views over them
+        — the engine-facing accessors (``get_range``, grant/envelope pickup)
+        materialize copies only where results are retained.
+        """
+        reader = FrameReader(self._socket, views=self._zero_copy)
         while True:
             try:
-                frame = read_any_frame(self._socket)
+                frame = reader.read()
                 response = Response.decode(frame.payload)
             except (TimeCryptError, OSError) as exc:
                 self._fail_pending(exc)
                 return
+            self.wire_stats.bytes_received += len(frame.payload) + (15 if frame.version == 2 else 6)
             with self._pending_lock:
                 future = self._pending.pop(frame.correlation_id, None)
             if self._credits is not None and response.credit_grant:
@@ -604,20 +666,57 @@ class RemoteServerClient:
             if not future.done():
                 future.set_exception(error)
 
+    def _encode_batch(self, requests: Sequence[Request]) -> List[List[Any]]:
+        """Message-segment lists for a batch, compressed where negotiated.
+
+        Zero-copy mode keeps attachments as uncoalesced segments for the
+        vectored writer; legacy mode joins each message into one payload
+        (the old copying behaviour, kept as the benchmark's before-arm).
+        """
+        encoded: List[List[Any]] = []
+        for request in requests:
+            segments = request.encode_segments() if self._zero_copy else [request.encode()]
+            if self._compress:
+                segments, compressed = maybe_compress_segments(segments, self._compress_threshold)
+                if compressed:
+                    self.wire_stats.frames_compressed += 1
+            encoded.append(segments)
+        return encoded
+
+    def _write_frames(self, frames: Sequence[List[Any]]) -> None:
+        """Ship framed segment lists; vectored when zero-copy, joined sendall otherwise."""
+        if self._zero_copy:
+            flat = [segment for frame in frames for segment in frame]
+            _syscalls, sent, coalesced = write_vectored(self._socket, flat)
+            self.wire_stats.vectored_writes += 1
+            self.wire_stats.frames_coalesced += coalesced
+            self.wire_stats.bytes_sent += sent
+        else:
+            MEMORY_COUNTERS.payload_copies += 1
+            data = b"".join(segment for frame in frames for segment in frame)
+            self._socket.sendall(data)
+            self.wire_stats.bytes_sent += len(data)
+
     def _send_requests(self, requests: Sequence[Request]) -> List["Future[Response]"]:
-        """Frame and write a request batch in one ``sendall``; returns futures."""
+        """Frame and write a request batch in one vectored write; returns futures."""
         # Encode outside the pending lock: a multi-megabyte chunk batch must
         # not stall the reader thread's response resolution while it JSONs.
         # Framing happens *before* any future is registered — an oversized
         # payload raises here without leaving ghost correlation ids in the
         # pending table that nothing would ever resolve.
-        payloads = [request.encode() for request in requests]
+        messages = self._encode_batch(requests)
         with self._pending_lock:
-            correlation_ids = [next(self._correlation_ids) for _payload in payloads]
-        frames = [
-            encode_frame_v2(correlation_id, payload)
-            for correlation_id, payload in zip(correlation_ids, payloads)
-        ]
+            correlation_ids = [next(self._correlation_ids) for _message in messages]
+        if self._zero_copy:
+            frames = [
+                encode_frame_segments_v2(correlation_id, segments)
+                for correlation_id, segments in zip(correlation_ids, messages)
+            ]
+        else:
+            frames = [
+                [encode_frame_v2(correlation_id, segments[0])]
+                for correlation_id, segments in zip(correlation_ids, messages)
+            ]
         futures: List["Future[Response]"] = []
         with self._pending_lock:
             for correlation_id in correlation_ids:
@@ -633,7 +732,7 @@ class RemoteServerClient:
         if self._credits is None:
             try:
                 with self._lock:
-                    self._socket.sendall(b"".join(frames))
+                    self._write_frames(frames)
             except OSError as exc:
                 self._fail_pending(exc)
             self.wire_stats.requests_sent += len(requests)
@@ -664,7 +763,7 @@ class RemoteServerClient:
                 return futures
             try:
                 with self._lock:
-                    self._socket.sendall(b"".join(frames[sent : sent + granted]))
+                    self._write_frames(frames[sent : sent + granted])
             except OSError as exc:
                 self._fail_pending(exc)
                 return futures
@@ -976,11 +1075,15 @@ class ShardedServerClient:
         timeout: float = 30.0,
         flow_control: bool = True,
         overload_retries: int = 4,
+        zero_copy: bool = True,
+        compression: bool = False,
     ) -> None:
         self._router_address = (host, port)
         self._timeout = timeout
         self._flow_control = bool(flow_control)
         self._overload_retries = max(0, int(overload_retries))
+        self._zero_copy = bool(zero_copy)
+        self._compression = bool(compression)
         self._lock = threading.Lock()
         self._router: Optional[RemoteServerClient] = None
         self._engines: Dict[str, Tuple[Tuple[str, int], RemoteServerClient]] = {}
@@ -1060,6 +1163,8 @@ class ShardedServerClient:
                     timeout=self._timeout,
                     flow_control=self._flow_control,
                     overload_retries=self._overload_retries,
+                    zero_copy=self._zero_copy,
+                    compression=self._compression,
                 )
             return self._router
 
@@ -1084,6 +1189,8 @@ class ShardedServerClient:
             timeout=self._timeout,
             flow_control=self._flow_control,
             overload_retries=self._overload_retries,
+            zero_copy=self._zero_copy,
+            compression=self._compression,
         )
         with self._lock:
             self._engines[name] = (address, client)
@@ -1125,6 +1232,11 @@ class ShardedServerClient:
             total.batches_sent += stats.batches_sent
             total.credit_stalls += stats.credit_stalls
             total.overload_retries += stats.overload_retries
+            total.bytes_sent += stats.bytes_sent
+            total.bytes_received += stats.bytes_received
+            total.vectored_writes += stats.vectored_writes
+            total.frames_coalesced += stats.frames_coalesced
+            total.frames_compressed += stats.frames_compressed
         return total
 
     # -- routing ----------------------------------------------------------------

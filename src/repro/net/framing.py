@@ -16,14 +16,39 @@ socket by looking at the first two bytes of each frame —
 :func:`read_any_frame` and :class:`FrameAssembler` do exactly that.  Frames
 are capped at 64 MiB — far above any legitimate TimeCrypt message — to stop
 a malformed or malicious peer from forcing huge allocations.
+
+Zero-copy memory path
+---------------------
+
+Large payloads (encrypted chunk batches, ``get_range`` responses) used to be
+materialized 3+ times between ``Request.encode()`` and ``sendall``.  The
+segment API avoids that: :func:`encode_frame_segments_v2` returns the frame
+as ``[packed_header, *message_segments]`` without concatenating, and
+:func:`write_vectored` hands the segment list to ``socket.sendmsg`` in
+IOV_MAX-sized groups, coalescing only runs of small segments so tiny frames
+still cost one syscall.  On the read side :class:`FrameReader` and
+:class:`FrameAssembler` fill one dedicated buffer per payload via
+``recv_into``/slice assignment and can yield read-only memoryviews, so
+decoding attaches views instead of slicing copies.
+
+**Copy accounting.**  ``MEMORY_COUNTERS`` counts *full-payload
+materializations after the bytes first exist in user space* (encode: after
+the payload exists as attachment objects; decode: after the bytes land from
+the kernel).  The legacy path costs 3 on encode (message join, frame concat,
+batch join) and up to 3 on decode (assembler append, ``bytes()`` slice, per
+-attachment slices); the segment path costs 0 on encode and at most 1 on
+decode (the assembler's copy-in; the direct ``recv_into`` reader costs 0).
+The counters are deterministic for a fixed call sequence, which is what
+``benchmarks/bench_wire_memory.py`` gates on.
 """
 
 from __future__ import annotations
 
+import os
 import socket
 import struct
 from dataclasses import dataclass
-from typing import BinaryIO, List, Union
+from typing import BinaryIO, Iterable, List, Sequence, Tuple, Union
 
 from repro.exceptions import ProtocolError, TransportError
 
@@ -34,7 +59,62 @@ MAX_FRAME_BYTES = 64 * 1024 * 1024
 _HEADER = struct.Struct(">2sI")
 _HEADER_V2 = struct.Struct(">2sBQI")
 
+#: Segments smaller than this are coalesced into one buffer before being
+#: handed to ``sendmsg``, so a burst of tiny frames still costs one syscall
+#: and one iovec instead of hundreds.  Large attachments always go out as
+#: their own iovec, uncopied.
+COALESCE_THRESHOLD = 8 * 1024
+
+try:
+    IOV_MAX = int(os.sysconf("SC_IOV_MAX"))
+    if IOV_MAX <= 0:
+        IOV_MAX = 1024
+except (AttributeError, OSError, ValueError):  # pragma: no cover - platform
+    IOV_MAX = 1024
+
 Readable = Union[BinaryIO, socket.socket]
+Segment = Union[bytes, bytearray, memoryview]
+
+
+@dataclass
+class WireMemoryCounters:
+    """Deterministic bookkeeping for the wire memory path.
+
+    ``payload_copies`` counts full-payload materializations (see the module
+    docstring for the exact convention); the other counters describe the
+    write path.  They are plain module-global integers bumped without
+    locking — the benchmark measures single-threaded call sequences, and in
+    live servers they are advisory.
+    """
+
+    payload_copies: int = 0
+    syscalls: int = 0
+    vectored_writes: int = 0
+    sendall_writes: int = 0
+    frames_coalesced: int = 0
+    bytes_written: int = 0
+
+    def reset(self) -> None:
+        self.payload_copies = 0
+        self.syscalls = 0
+        self.vectored_writes = 0
+        self.sendall_writes = 0
+        self.frames_coalesced = 0
+        self.bytes_written = 0
+
+    def snapshot(self) -> dict:
+        return {
+            "payload_copies": self.payload_copies,
+            "syscalls": self.syscalls,
+            "vectored_writes": self.vectored_writes,
+            "sendall_writes": self.sendall_writes,
+            "frames_coalesced": self.frames_coalesced,
+            "bytes_written": self.bytes_written,
+        }
+
+
+#: Process-wide counter instance.  Reset before a measured section.
+MEMORY_COUNTERS = WireMemoryCounters()
 
 
 @dataclass(frozen=True)
@@ -42,36 +122,134 @@ class Frame:
     """One decoded wire frame: protocol version, correlation id, payload.
 
     v1 frames have no correlation id on the wire; they decode with
-    ``correlation_id == 0`` and correlate by arrival order instead.
+    ``correlation_id == 0`` and correlate by arrival order instead.  On the
+    zero-copy read paths ``payload`` is a read-only :class:`memoryview` over
+    a buffer dedicated to this frame (never reused), so holding the view is
+    memory-safe — but views are unhashable and refuse ``.decode()``; call
+    ``bytes()`` at any boundary that retains or keys on the payload.
     """
 
     version: int
     correlation_id: int
-    payload: bytes
+    payload: Union[bytes, memoryview]
+
+
+def _read_exact_into(source: Readable, view: memoryview) -> None:
+    """Fill ``view`` completely from a socket or file-like object."""
+    filled = 0
+    total = len(view)
+    if isinstance(source, socket.socket):
+        while filled < total:
+            got = source.recv_into(view[filled:])
+            if not got:
+                raise TransportError("connection closed mid-frame")
+            filled += got
+        return
+    readinto = getattr(source, "readinto", None)
+    if readinto is not None:
+        while filled < total:
+            got = readinto(view[filled:])
+            if not got:
+                raise TransportError("connection closed mid-frame")
+            filled += got
+        return
+    while filled < total:
+        chunk = source.read(total - filled)
+        if not chunk:
+            raise TransportError("connection closed mid-frame")
+        view[filled : filled + len(chunk)] = chunk
+        filled += len(chunk)
+
+
+def _read_buffer(source: Readable, length: int) -> bytearray:
+    """Read exactly ``length`` bytes into a fresh, dedicated buffer."""
+    buffer = bytearray(length)
+    if length:
+        _read_exact_into(source, memoryview(buffer))
+    return buffer
 
 
 def _read_exact(source: Readable, length: int) -> bytes:
-    """Read exactly ``length`` bytes from a socket or file-like object."""
-    chunks = []
-    remaining = length
-    while remaining > 0:
-        if isinstance(source, socket.socket):
-            chunk = source.recv(remaining)
-        else:
-            chunk = source.read(remaining)
-        if not chunk:
-            raise TransportError("connection closed mid-frame")
-        chunks.append(chunk)
-        remaining -= len(chunk)
-    return b"".join(chunks)
+    """Read exactly ``length`` bytes from a socket or file-like object.
+
+    Legacy shim: materializes a ``bytes`` copy of the read buffer (counted).
+    The zero-copy paths use :func:`_read_buffer` / :class:`FrameReader`.
+    """
+    MEMORY_COUNTERS.payload_copies += 1
+    return bytes(_read_buffer(source, length))
 
 
-def _send(sink: Readable, data: bytes) -> None:
+def _send(sink: Readable, data: Segment) -> None:
     if isinstance(sink, socket.socket):
         sink.sendall(data)
     else:
         sink.write(data)
         sink.flush()
+    MEMORY_COUNTERS.syscalls += 1
+    MEMORY_COUNTERS.sendall_writes += 1
+    MEMORY_COUNTERS.bytes_written += len(data)
+
+
+def write_vectored(sink: Readable, segments: Sequence[Segment]) -> Tuple[int, int, int]:
+    """Write ``segments`` without concatenating the large ones.
+
+    Runs of consecutive segments smaller than :data:`COALESCE_THRESHOLD` are
+    merged into one small buffer (tiny frames stay one iovec / one syscall);
+    everything else is passed to ``socket.sendmsg`` by reference, at most
+    :data:`IOV_MAX` iovecs per call, resuming correctly across partial
+    sends.  Sinks without ``sendmsg`` (file-likes, BytesIO) fall back to
+    sequential writes.
+
+    Returns ``(syscalls, bytes_written, segments_coalesced)``.
+    """
+    iovs: List[memoryview] = []
+    coalesced = 0
+    pending: bytearray = bytearray()
+    for segment in segments:
+        length = len(segment)
+        if not length:
+            continue
+        if length < COALESCE_THRESHOLD:
+            pending += segment
+            coalesced += 1
+        else:
+            if pending:
+                iovs.append(memoryview(pending))
+                pending = bytearray()
+            iovs.append(memoryview(segment))
+    if pending:
+        iovs.append(memoryview(pending))
+    total = sum(len(iov) for iov in iovs)
+
+    sendmsg = getattr(sink, "sendmsg", None)
+    syscalls = 0
+    if sendmsg is not None:
+        while iovs:
+            group = iovs[:IOV_MAX]
+            sent = sendmsg(group)
+            syscalls += 1
+            # Advance across whole and partially-sent iovecs.
+            while sent > 0 and iovs:
+                head = iovs[0]
+                if sent >= len(head):
+                    sent -= len(head)
+                    iovs.pop(0)
+                else:
+                    iovs[0] = head[sent:]
+                    sent = 0
+    else:
+        for iov in iovs:
+            sink.write(iov)
+            syscalls += 1
+        flush = getattr(sink, "flush", None)
+        if flush is not None:
+            flush()
+
+    MEMORY_COUNTERS.syscalls += syscalls
+    MEMORY_COUNTERS.vectored_writes += 1
+    MEMORY_COUNTERS.frames_coalesced += coalesced
+    MEMORY_COUNTERS.bytes_written += total
+    return syscalls, total, coalesced
 
 
 def _check_length(length: int) -> None:
@@ -79,33 +257,59 @@ def _check_length(length: int) -> None:
         raise ProtocolError(f"frame of {length} bytes exceeds the {MAX_FRAME_BYTES} cap")
 
 
-def encode_frame(payload: bytes) -> bytes:
-    """Encode one v1 frame."""
-    _check_length(len(payload))
-    return _HEADER.pack(MAGIC, len(payload)) + payload
+def _segments_length(segments: Iterable[Segment]) -> int:
+    return sum(len(segment) for segment in segments)
 
 
-def encode_frame_v2(correlation_id: int, payload: bytes) -> bytes:
-    """Encode one v2 frame carrying a correlation id."""
+def encode_frame(payload: Segment) -> bytes:
+    """Encode one v1 frame (legacy: concatenates a full-payload copy)."""
     _check_length(len(payload))
+    MEMORY_COUNTERS.payload_copies += 1
+    return _HEADER.pack(MAGIC, len(payload)) + bytes(payload)
+
+
+def encode_frame_v2(correlation_id: int, payload: Segment) -> bytes:
+    """Encode one v2 frame carrying a correlation id (legacy: one copy)."""
+    _check_length(len(payload))
+    _check_correlation_id(correlation_id)
+    MEMORY_COUNTERS.payload_copies += 1
+    return _HEADER_V2.pack(MAGIC_V2, PROTOCOL_VERSION, correlation_id, len(payload)) + bytes(payload)
+
+
+def _check_correlation_id(correlation_id: int) -> None:
     if not 0 <= correlation_id < 1 << 64:
         raise ProtocolError(f"correlation id {correlation_id} outside the 64-bit range")
-    return _HEADER_V2.pack(MAGIC_V2, PROTOCOL_VERSION, correlation_id, len(payload)) + payload
 
 
-def write_frame(sink: Readable, payload: bytes) -> None:
+def encode_frame_segments_v2(
+    correlation_id: int, segments: Sequence[Segment]
+) -> List[Segment]:
+    """Encode one v2 frame as ``[packed_header, *segments]`` — no copies.
+
+    ``segments`` is the message-segment list from
+    :func:`repro.net.messages.encode_message_segments`; attachments pass
+    through by reference and go to the wire via :func:`write_vectored`.
+    """
+    length = _segments_length(segments)
+    _check_length(length)
+    _check_correlation_id(correlation_id)
+    header = _HEADER_V2.pack(MAGIC_V2, PROTOCOL_VERSION, correlation_id, length)
+    return [header, *segments]
+
+
+def write_frame(sink: Readable, payload: Segment) -> None:
     """Write one v1 framed message."""
     _send(sink, encode_frame(payload))
 
 
-def write_frame_v2(sink: Readable, correlation_id: int, payload: bytes) -> None:
+def write_frame_v2(sink: Readable, correlation_id: int, payload: Segment) -> None:
     """Write one v2 framed message."""
     _send(sink, encode_frame_v2(correlation_id, payload))
 
 
 def read_frame(source: Readable) -> bytes:
     """Read one v1 framed message; raises on EOF, bad magic, or oversized frames."""
-    header = _read_exact(source, _HEADER.size)
+    header = bytes(_read_buffer(source, _HEADER.size))
     magic, length = _HEADER.unpack(header)
     if magic != MAGIC:
         raise ProtocolError(f"bad frame magic {magic!r}")
@@ -113,28 +317,56 @@ def read_frame(source: Readable) -> bytes:
     return _read_exact(source, length)
 
 
-def read_any_frame(source: Readable) -> Frame:
+def read_any_frame(source: Readable, views: bool = False) -> Frame:
     """Read one frame of either protocol version.
 
     The first two bytes select the header layout; v1 frames come back with
-    ``correlation_id == 0``.
+    ``correlation_id == 0``.  With ``views=True`` the payload is a read-only
+    memoryview over a buffer dedicated to this frame.
     """
-    magic = _read_exact(source, 2)
-    if magic == MAGIC:
-        (length,) = struct.unpack(">I", _read_exact(source, 4))
-        _check_length(length)
-        return Frame(version=1, correlation_id=0, payload=_read_exact(source, length))
-    if magic == MAGIC_V2:
-        version, correlation_id, length = struct.unpack(
-            ">BQI", _read_exact(source, _HEADER_V2.size - 2)
-        )
-        if version != PROTOCOL_VERSION:
-            raise ProtocolError(f"unsupported v2 frame version {version}")
-        _check_length(length)
-        return Frame(
-            version=version, correlation_id=correlation_id, payload=_read_exact(source, length)
-        )
-    raise ProtocolError(f"bad frame magic {magic!r}")
+    return FrameReader(source, views=views).read()
+
+
+class FrameReader:
+    """Blocking frame reader with a reusable header scratch buffer.
+
+    The client reader thread pulls frames through one of these: headers land
+    in a 15-byte scratch via ``recv_into`` (no per-read allocation) and each
+    payload is read straight into its own exact-size buffer — zero user-space
+    copies after the kernel hands the bytes over.  With ``views=False`` the
+    payload is materialized as ``bytes`` (one counted copy, the legacy
+    contract).
+    """
+
+    def __init__(self, source: Readable, views: bool = False) -> None:
+        self._source = source
+        self._views = views
+        self._scratch = bytearray(_HEADER_V2.size)
+
+    def read(self) -> Frame:
+        scratch = memoryview(self._scratch)
+        _read_exact_into(self._source, scratch[:2])
+        magic = scratch[:2]
+        if magic == MAGIC:
+            _read_exact_into(self._source, scratch[2 : _HEADER.size])
+            _, length = _HEADER.unpack_from(scratch)
+            _check_length(length)
+            return Frame(version=1, correlation_id=0, payload=self._payload(length))
+        if magic == MAGIC_V2:
+            _read_exact_into(self._source, scratch[2:])
+            _, version, correlation_id, length = _HEADER_V2.unpack_from(scratch)
+            if version != PROTOCOL_VERSION:
+                raise ProtocolError(f"unsupported v2 frame version {version}")
+            _check_length(length)
+            return Frame(version=version, correlation_id=correlation_id, payload=self._payload(length))
+        raise ProtocolError(f"bad frame magic {bytes(magic)!r}")
+
+    def _payload(self, length: int) -> Union[bytes, memoryview]:
+        buffer = _read_buffer(self._source, length)
+        if self._views:
+            return memoryview(buffer).toreadonly()
+        MEMORY_COUNTERS.payload_copies += 1
+        return bytes(buffer)
 
 
 class FrameAssembler:
@@ -144,48 +376,102 @@ class FrameAssembler:
     feeds them here; :meth:`feed` returns every frame completed by the new
     bytes (possibly none, possibly several).  Both protocol versions are
     accepted, interleaved freely on one connection.
+
+    Each payload is assembled into a buffer dedicated to that frame (the one
+    counted decode copy), so the feed buffer can be reused by the caller and
+    — with ``views=True`` — emitted frames carry read-only memoryviews that
+    stay valid for as long as anything holds them.  Header bytes accumulate
+    in a small scratch that is compared in place (no ``bytes(buffer[:2])``
+    allocation per partial feed).
     """
 
-    def __init__(self) -> None:
-        self._buffer = bytearray()
+    def __init__(self, views: bool = False) -> None:
+        self._views = views
+        self._header = bytearray()
+        #: Set once the header is complete: (version, correlation_id, target).
+        self._version = 0
+        self._correlation_id = 0
+        self._payload: bytearray = bytearray()
+        self._payload_len = -1  # -1: still reading the header
+        self._filled = 0
 
-    def feed(self, data: bytes) -> List[Frame]:
+    def feed(self, data: Segment) -> List[Frame]:
         """Append received bytes; return all frames now complete."""
-        self._buffer += data
+        view = memoryview(data)
         frames: List[Frame] = []
         while True:
-            frame = self._try_parse()
-            if frame is None:
+            if self._payload_len < 0:
+                view = self._feed_header(view)
+                if self._payload_len < 0:
+                    # Header still incomplete — all input consumed.
+                    return frames
+            take = min(len(view), self._payload_len - self._filled)
+            if take:
+                self._payload[self._filled : self._filled + take] = view[:take]
+                self._filled += take
+                view = view[take:]
+            if self._filled < self._payload_len:
                 return frames
-            frames.append(frame)
+            frames.append(self._emit())
+            if not len(view) and not self._header:
+                return frames
+            # More bytes remain in the input (or spilled past the previous
+            # frame into the header scratch): keep parsing.
 
-    def _try_parse(self) -> Union[Frame, None]:
-        buffer = self._buffer
-        if len(buffer) < 2:
-            return None
-        magic = bytes(buffer[:2])
-        if magic == MAGIC:
-            if len(buffer) < _HEADER.size:
-                return None
-            _, length = _HEADER.unpack_from(buffer)
+    def _feed_header(self, view: memoryview) -> memoryview:
+        """Consume header bytes from ``view``; returns the unconsumed rest."""
+        header = self._header
+        need = _HEADER_V2.size - len(header)  # upper bound; v1 needs less
+        take = min(len(view), need)
+        header += view[:take]
+        view = view[take:]
+        if len(header) < 2:
+            return view
+        if header.startswith(MAGIC):
+            if len(header) < _HEADER.size:
+                return view
+            _, length = _HEADER.unpack_from(header)
             _check_length(length)
-            end = _HEADER.size + length
-            if len(buffer) < end:
-                return None
-            payload = bytes(buffer[_HEADER.size : end])
-            del buffer[:end]
-            return Frame(version=1, correlation_id=0, payload=payload)
-        if magic == MAGIC_V2:
-            if len(buffer) < _HEADER_V2.size:
-                return None
-            _, version, correlation_id, length = _HEADER_V2.unpack_from(buffer)
+            self._begin_payload(1, 0, length, header, _HEADER.size)
+        elif header.startswith(MAGIC_V2):
+            if len(header) < _HEADER_V2.size:
+                return view
+            _, version, correlation_id, length = _HEADER_V2.unpack_from(header)
             if version != PROTOCOL_VERSION:
                 raise ProtocolError(f"unsupported v2 frame version {version}")
             _check_length(length)
-            end = _HEADER_V2.size + length
-            if len(buffer) < end:
-                return None
-            payload = bytes(buffer[_HEADER_V2.size : end])
-            del buffer[:end]
-            return Frame(version=version, correlation_id=correlation_id, payload=payload)
-        raise ProtocolError(f"bad frame magic {magic!r}")
+            self._begin_payload(version, correlation_id, length, header, _HEADER_V2.size)
+        else:
+            raise ProtocolError(f"bad frame magic {bytes(header[:2])!r}")
+        return view
+
+    def _begin_payload(
+        self, version: int, correlation_id: int, length: int, header: bytearray, header_size: int
+    ) -> None:
+        self._version = version
+        self._correlation_id = correlation_id
+        self._payload = bytearray(length)
+        self._payload_len = length
+        # A v1 header is shorter than the scratch upper bound, so bytes of
+        # the *next* frame may already sit past it; spill them as payload.
+        spill = header[header_size:]
+        self._filled = min(len(spill), length)
+        if self._filled:
+            self._payload[: self._filled] = spill[: self._filled]
+        leftover = spill[self._filled :]
+        header.clear()
+        header += leftover
+
+    def _emit(self) -> Frame:
+        MEMORY_COUNTERS.payload_copies += 1
+        buffer = self._payload
+        if self._views:
+            payload: Union[bytes, memoryview] = memoryview(buffer).toreadonly()
+        else:
+            MEMORY_COUNTERS.payload_copies += 1
+            payload = bytes(buffer)
+        frame = Frame(version=self._version, correlation_id=self._correlation_id, payload=payload)
+        self._payload = bytearray()
+        self._payload_len = -1
+        self._filled = 0
+        return frame

@@ -23,11 +23,15 @@ protobuf text dump would be) while staying compact where it matters.
 from __future__ import annotations
 
 import json
+import zlib
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.exceptions import ProtocolError
+from repro.net.framing import MAX_FRAME_BYTES, MEMORY_COUNTERS
 from repro.util.encoding import decode_varint, encode_varint
+
+Buffer = Union[bytes, bytearray, memoryview]
 
 #: The storage-node op family: the raw :class:`~repro.storage.kv.KeyValueStore`
 #: contract carried over the same framing.  Keys and values are opaque byte
@@ -111,49 +115,165 @@ def classify_operation(operation: Optional[str]) -> str:
     return "bulk" if operation in BULK_OPERATIONS else "interactive"
 
 
-def peek_operation(payload: bytes) -> Optional[str]:
+#: The one compression scheme currently negotiated in ``hello``.  A
+#: compressed message travels as ``varint(0) || varint(raw_len) ||
+#: zlib(encoded_message)`` — a real message's JSON header is never empty, so
+#: a zero ``header_len`` is an unambiguous sentinel and needs no frame-level
+#: flag.  Off by default: chunk ciphertext is incompressible; the win is
+#: JSON-heavy headers, grant bursts, and ``kv`` scan pages of plaintext
+#: metadata.
+WIRE_COMPRESSION_SCHEMES = ("zlib",)
+
+#: Messages below this size are never compressed — the zlib header plus the
+#: CPU round trip outweighs any saving on small frames.
+WIRE_COMPRESSION_THRESHOLD = 4096
+
+#: ``peek_operation`` decompresses at most this much output looking for the
+#: header of a compressed request, so a hostile frame cannot force a large
+#: decompression on the server's I/O loop.
+_PEEK_DECOMPRESS_LIMIT = 64 * 1024
+
+
+def peek_operation(payload: Buffer) -> Optional[str]:
     """The operation name of an encoded request, without decoding attachments.
 
     The server's I/O loop classifies every frame before enqueueing it, so
-    this parses only the varint-prefixed JSON header.  Returns ``None`` for
-    malformed payloads (the dispatcher will reject them with a typed error).
+    this parses only the varint-prefixed JSON header — bounded by the actual
+    payload size before any slice or ``json.loads``, so a forged
+    multi-gigabyte ``header_len`` classifies as ``None`` instead of driving a
+    pathological allocation.  Compressed messages get a bounded incremental
+    decompression (at most 64 KiB of output) to reach the header.
     """
     try:
         header_len, pos = decode_varint(payload, 0)
-        header = json.loads(payload[pos : pos + header_len].decode("utf-8"))
+        if header_len == 0:
+            raw_len, pos = decode_varint(payload, pos)
+            if raw_len > MAX_FRAME_BYTES:
+                return None
+            head = zlib.decompressobj().decompress(
+                bytes(payload[pos:]), min(raw_len, _PEEK_DECOMPRESS_LIMIT)
+            )
+            header_len, pos = decode_varint(head, 0)
+            if header_len == 0 or header_len > len(head) - pos:
+                return None
+            payload = head
+        if header_len > len(payload) - pos:
+            return None
+        header = json.loads(bytes(payload[pos : pos + header_len]).decode("utf-8"))
         operation = header.get("op")
-    except (ValueError, KeyError, TypeError, UnicodeDecodeError, AttributeError):
+    except (ValueError, KeyError, TypeError, UnicodeDecodeError, AttributeError, zlib.error):
         return None
     return operation if isinstance(operation, str) else None
 
 
-def _encode_message(header: Dict[str, Any], attachments: List[bytes]) -> bytes:
+def encode_message_segments(
+    header: Dict[str, Any], attachments: Sequence[Buffer]
+) -> List[Buffer]:
+    """Encode a message as ``[varint(len) + header_json, *attachments]``.
+
+    Attachments pass through by reference — nothing is concatenated.  Feed
+    the result to :func:`repro.net.framing.encode_frame_segments_v2` and
+    :func:`repro.net.framing.write_vectored` for a copy-free send path.
+    """
     header = dict(header)
     header["attachment_lengths"] = [len(blob) for blob in attachments]
     header_bytes = json.dumps(header, sort_keys=True).encode("utf-8")
-    out = bytearray(encode_varint(len(header_bytes)))
-    out += header_bytes
-    for blob in attachments:
-        out += blob
-    return bytes(out)
+    return [encode_varint(len(header_bytes)) + header_bytes, *attachments]
 
 
-def _decode_message(payload: bytes) -> tuple[Dict[str, Any], List[bytes]]:
+def _encode_message(header: Dict[str, Any], attachments: Sequence[Buffer]) -> bytes:
+    """Legacy single-buffer encoding: joins the segments (one counted copy)."""
+    MEMORY_COUNTERS.payload_copies += 1
+    return b"".join(encode_message_segments(header, attachments))
+
+
+def compress_message(payload: Buffer, level: int = 6) -> bytes:
+    """Wrap an encoded message in the compressed-sentinel wire form."""
+    raw_len = len(payload)
+    return b"\x00" + encode_varint(raw_len) + zlib.compress(bytes(payload), level)
+
+
+def maybe_compress_segments(
+    segments: Sequence[Buffer], threshold: int = WIRE_COMPRESSION_THRESHOLD
+) -> Tuple[List[Buffer], bool]:
+    """Compress a segment list into one segment if it crosses ``threshold``.
+
+    Returns ``(segments, compressed)``; below the threshold the input passes
+    through untouched.  Only call this after both peers negotiated
+    compression in ``hello``.
+    """
+    total = sum(len(segment) for segment in segments)
+    if total < threshold:
+        return list(segments), False
+    return [compress_message(b"".join(segments))], True
+
+
+def _decompress_message(payload: Buffer, pos: int) -> bytes:
+    """Expand the compressed-sentinel form back to a raw encoded message."""
+    raw_len, pos = decode_varint(payload, pos)
+    if raw_len > MAX_FRAME_BYTES:
+        raise ProtocolError(f"compressed message declares {raw_len} raw bytes, above the frame cap")
+    decompressor = zlib.decompressobj()
+    try:
+        raw = decompressor.decompress(bytes(payload[pos:]), raw_len)
+    except zlib.error as exc:
+        raise ProtocolError("malformed compressed message") from exc
+    if len(raw) != raw_len or decompressor.unconsumed_tail or not decompressor.eof:
+        raise ProtocolError("compressed message does not match its declared length")
+    return raw
+
+
+def _decode_message(payload: Buffer) -> tuple[Dict[str, Any], List[Buffer]]:
+    """Decode ``varint(header_len) || header_json || attachments``.
+
+    When ``payload`` is a memoryview over a dedicated frame buffer, the
+    attachments come back as sub-views — no copies.  Anything that keeps an
+    attachment beyond the request's lifetime must go through
+    :func:`retain`.  Header lengths and attachment lengths are bounds-checked
+    against the actual payload before any allocation happens.
+    """
     try:
         header_len, pos = decode_varint(payload, 0)
-        header = json.loads(payload[pos : pos + header_len].decode("utf-8"))
+        if header_len == 0:
+            # Compressed sentinel — expand (a copy, inherent to the scheme)
+            # and decode the raw bytes.
+            return _decode_message(_decompress_message(payload, pos))
+        if header_len > len(payload) - pos:
+            raise ProtocolError(f"header length {header_len} exceeds the {len(payload)}-byte payload")
+        header = json.loads(bytes(payload[pos : pos + header_len]).decode("utf-8"))
         pos += header_len
-        attachments: List[bytes] = []
-        for length in header.get("attachment_lengths", []):
-            attachments.append(payload[pos : pos + length])
-            if len(attachments[-1]) != length:
+        lengths = header.get("attachment_lengths", [])
+        if not isinstance(lengths, list):
+            raise ProtocolError("attachment_lengths must be a list")
+        attachments: List[Buffer] = []
+        copied = False
+        for length in lengths:
+            if not isinstance(length, int) or isinstance(length, bool) or length < 0:
+                raise ProtocolError(f"invalid attachment length {length!r}")
+            if length > len(payload) - pos:
                 raise ProtocolError("truncated attachment")
+            attachments.append(payload[pos : pos + length])
+            if length and not isinstance(payload, memoryview):
+                copied = True
             pos += length
+        if copied:
+            MEMORY_COUNTERS.payload_copies += 1
         return header, attachments
     except (ValueError, KeyError, TypeError, UnicodeDecodeError) as exc:
-        # TypeError included: attacker-shaped headers (e.g. null attachment
-        # lengths) surface as TypeError from the arithmetic above.
         raise ProtocolError("malformed protocol message") from exc
+
+
+def retain(blob: Buffer) -> bytes:
+    """Materialize an attachment that outlives its request.
+
+    Zero-copy decode hands out memoryviews over the frame buffer; any code
+    that *stores* an attachment (kv values, sealed tokens, envelopes) or
+    keys a dict on it must own real bytes.  Every such boundary calls this —
+    it is the explicit copy-on-retain audit point.
+    """
+    if isinstance(blob, bytes):
+        return blob
+    return bytes(blob)
 
 
 @dataclass
@@ -162,7 +282,7 @@ class Request:
 
     operation: str
     args: Dict[str, Any] = field(default_factory=dict)
-    attachments: List[bytes] = field(default_factory=list)
+    attachments: List[Buffer] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         if self.operation not in OPERATIONS:
@@ -171,8 +291,12 @@ class Request:
     def encode(self) -> bytes:
         return _encode_message({"op": self.operation, "args": self.args}, self.attachments)
 
+    def encode_segments(self) -> List[Buffer]:
+        """Segment form for the vectored send path — attachments uncopied."""
+        return encode_message_segments({"op": self.operation, "args": self.args}, self.attachments)
+
     @staticmethod
-    def decode(payload: bytes) -> "Request":
+    def decode(payload: Buffer) -> "Request":
         header, attachments = _decode_message(payload)
         if "op" not in header:
             raise ProtocolError("request missing operation")
@@ -185,7 +309,7 @@ class Response:
 
     ok: bool
     result: Dict[str, Any] = field(default_factory=dict)
-    attachments: List[bytes] = field(default_factory=list)
+    attachments: List[Buffer] = field(default_factory=list)
     error: Optional[str] = None
     error_type: Optional[str] = None
     #: Flow-control credits returned to the sender with this response.  A
@@ -194,17 +318,24 @@ class Response:
     #: the field (``decode`` tolerates unknown header keys by construction).
     credit_grant: Optional[int] = None
 
-    def encode(self) -> bytes:
+    def _header(self) -> Dict[str, Any]:
         header: Dict[str, Any] = {"ok": self.ok, "result": self.result}
         if self.error is not None:
             header["error"] = self.error
             header["error_type"] = self.error_type or "TimeCryptError"
         if self.credit_grant:
             header["credits"] = int(self.credit_grant)
-        return _encode_message(header, self.attachments)
+        return header
+
+    def encode(self) -> bytes:
+        return _encode_message(self._header(), self.attachments)
+
+    def encode_segments(self) -> List[Buffer]:
+        """Segment form for the vectored send path — attachments uncopied."""
+        return encode_message_segments(self._header(), self.attachments)
 
     @staticmethod
-    def decode(payload: bytes) -> "Response":
+    def decode(payload: Buffer) -> "Response":
         header, attachments = _decode_message(payload)
         credits = header.get("credits")
         return Response(

@@ -54,9 +54,21 @@ from repro.net.framing import (
     Frame,
     FrameAssembler,
     encode_frame,
+    encode_frame_segments_v2,
     encode_frame_v2,
+    write_vectored,
 )
-from repro.net.messages import OPERATIONS, Request, Response, classify_operation, peek_operation
+from repro.net.messages import (
+    OPERATIONS,
+    WIRE_COMPRESSION_SCHEMES,
+    WIRE_COMPRESSION_THRESHOLD,
+    Request,
+    Response,
+    classify_operation,
+    maybe_compress_segments,
+    peek_operation,
+    retain,
+)
 from repro.server.engine import ServerEngine, _metadata_from_json, _metadata_to_json
 from repro.timeseries.serialization import decode_encrypted_chunk, encode_encrypted_chunk
 from repro.util.timeutil import TimeRange
@@ -88,6 +100,11 @@ class WireDispatcher:
     #: owning transport (:class:`TimeCryptTCPServer`); ``None`` (the default,
     #: e.g. for in-process dispatch) advertises no credits.
     credit_window: Optional[int] = None
+
+    #: Frame-compression schemes advertised in ``hello`` (set by the owning
+    #: transport when ``wire_compression`` is enabled; ``None`` advertises
+    #: none, so clients never send compressed frames to this dispatcher).
+    wire_compression: Optional[List[str]] = None
 
     def supported_operations(self) -> List[str]:
         """The wire operations this dispatcher actually implements."""
@@ -128,6 +145,8 @@ class WireDispatcher:
         payload = {"protocol": PROTOCOL_VERSION, "operations": self.supported_operations()}
         if self.credit_window:
             payload["credits"] = int(self.credit_window)
+        if self.wire_compression:
+            payload["compression"] = list(self.wire_compression)
         payload.update(self.hello_extras())
         return Response.success(payload)
 
@@ -314,8 +333,11 @@ class RequestDispatcher(WireDispatcher):
     def _op_put_grant(self, request: Request) -> Response:
         if not request.attachments:
             raise ProtocolError("put_grant requires a sealed token attachment")
+        # Copy-on-retain: sealed tokens are stored past this request's
+        # lifetime, so they must own their bytes (attachments may be views
+        # over the frame buffer on the zero-copy path).
         grant_id = self._engine.put_grant(
-            request.args["uuid"], request.args["principal_id"], request.attachments[0]
+            request.args["uuid"], request.args["principal_id"], retain(request.attachments[0])
         )
         return Response.success({"grant_id": grant_id})
 
@@ -326,7 +348,7 @@ class RequestDispatcher(WireDispatcher):
             raise ProtocolError("put_grants targets and attachments must align")
         grant_ids = self._engine.put_grants(
             [
-                (target["uuid"], target["principal_id"], sealed)
+                (target["uuid"], target["principal_id"], retain(sealed))
                 for target, sealed in zip(targets, request.attachments)
             ]
         )
@@ -343,7 +365,7 @@ class RequestDispatcher(WireDispatcher):
         self._engine.token_store.put_envelopes(
             request.args["uuid"],
             request.args["resolution_chunks"],
-            dict(zip(windows, request.attachments)),
+            dict(zip(windows, (retain(blob) for blob in request.attachments))),
         )
         return Response.success({"stored": len(windows)})
 
@@ -380,6 +402,15 @@ class SchedulerStats:
     #: Highest in-flight v2 frame count observed on any single connection —
     #: a credit-respecting client keeps this at or below the advertised window.
     max_in_flight: int = 0
+    #: Wire-memory counters, filled in by the owning transport (they count in
+    #: FIFO mode too): bytes on the wire each way, responses shipped through
+    #: ``write_vectored``, small segments it merged, and responses sent in
+    #: the negotiated compressed form.
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    vectored_writes: int = 0
+    frames_coalesced: int = 0
+    frames_compressed: int = 0
 
     def snapshot(self) -> Dict[str, int]:
         return asdict(self)
@@ -507,10 +538,17 @@ class _FrameScheduler:
 class _Connection:
     """Per-connection transport state: socket, parser, write lock, v1 FIFO."""
 
-    def __init__(self, sock: socket.socket, address: Tuple[str, int]) -> None:
+    def __init__(self, sock: socket.socket, address: Tuple[str, int], views: bool = False) -> None:
         self.sock = sock
         self.address = address
-        self.assembler = FrameAssembler()
+        self.assembler = FrameAssembler(views=views)
+        #: Reusable receive staging buffer for ``recv_into`` — safe to reuse
+        #: because the assembler copies into per-frame payload buffers.
+        self.recv_buffer = bytearray(1 << 16)
+        #: True once this peer's ``hello`` offered a compression scheme the
+        #: transport also enables; responses over the threshold then go out
+        #: compressed.
+        self.accepts_compression = False
         self.write_lock = threading.Lock()
         #: v1 frames awaiting dispatch; guarded by ``state_lock``.  At most one
         #: v1 frame per connection is ever on the pool, preserving response order.
@@ -549,6 +587,9 @@ class TimeCryptTCPServer:
         bulk_queue_limit: int = DEFAULT_BULK_QUEUE_LIMIT,
         interactive_weight: int = DEFAULT_INTERACTIVE_WEIGHT,
         retry_after_ms: int = DEFAULT_RETRY_AFTER_MS,
+        zero_copy: bool = True,
+        wire_compression: bool = False,
+        compress_threshold: int = WIRE_COMPRESSION_THRESHOLD,
     ) -> None:
         if max_workers < 1:
             raise ValueError("the dispatch pool needs at least one worker")
@@ -561,6 +602,25 @@ class TimeCryptTCPServer:
         self._credit_window = max(0, int(credit_window or 0))
         self._dispatcher.credit_window = self._credit_window or None
         self._retry_after_ms = max(1, int(retry_after_ms))
+        #: Zero-copy wire path: responses go out as header + attachment
+        #: views through ``sendmsg`` and inbound payloads decode as views
+        #: over per-frame buffers.  ``zero_copy=False`` is the legacy
+        #: concatenate-and-``sendall`` path, kept as the benchmark before-arm.
+        self._zero_copy = bool(zero_copy)
+        self._wire_compression = bool(wire_compression)
+        self._compress_threshold = max(1, int(compress_threshold))
+        self._dispatcher.wire_compression = (
+            list(WIRE_COMPRESSION_SCHEMES) if self._wire_compression else None
+        )
+        # Transport-level wire counters, merged into scheduler_stats().
+        self._wire_lock = threading.Lock()
+        self._wire_counters = {
+            "bytes_sent": 0,
+            "bytes_received": 0,
+            "vectored_writes": 0,
+            "frames_coalesced": 0,
+            "frames_compressed": 0,
+        }
         self._listener = socket.create_server((host, port), reuse_port=False)
         self._listener.setblocking(True)
         self._selector = selectors.DefaultSelector()
@@ -600,10 +660,20 @@ class TimeCryptTCPServer:
         return self._credit_window
 
     def scheduler_stats(self) -> Dict[str, int]:
-        """A snapshot of the scheduler's deterministic counters (zeros in FIFO mode)."""
+        """A snapshot of the scheduler's deterministic counters.
+
+        Scheduler-class counters are zeros in FIFO mode; the wire-memory
+        counters (``bytes_sent``/``bytes_received``, ``vectored_writes``,
+        ``frames_coalesced``, ``frames_compressed``) are transport-level and
+        count in every mode.
+        """
         if self._scheduler is None:
-            return SchedulerStats().snapshot()
-        return self._scheduler.snapshot()
+            snapshot = SchedulerStats().snapshot()
+        else:
+            snapshot = self._scheduler.snapshot()
+        with self._wire_lock:
+            snapshot.update(self._wire_counters)
+        return snapshot
 
     # -- lifecycle -----------------------------------------------------------------
 
@@ -671,7 +741,7 @@ class TimeCryptTCPServer:
         except OSError:
             return
         sock.setblocking(True)
-        connection = _Connection(sock, address)
+        connection = _Connection(sock, address, views=self._zero_copy)
         self._connections.add(connection)
         self._selector.register(sock, selectors.EVENT_READ, connection)
 
@@ -683,16 +753,24 @@ class TimeCryptTCPServer:
             pass
 
     def _service(self, connection: _Connection) -> None:
-        """One readable socket: pull bytes, dispatch every completed frame."""
+        """One readable socket: pull bytes, dispatch every completed frame.
+
+        Bytes land in the connection's reusable staging buffer via
+        ``recv_into`` (no per-read allocation); the assembler copies them
+        into per-frame payload buffers, so reusing the staging buffer on the
+        next read is safe even while decoded views are still held.
+        """
         try:
-            data = connection.sock.recv(1 << 16)
+            received = connection.sock.recv_into(connection.recv_buffer)
         except OSError:
-            data = b""
-        if not data:
+            received = 0
+        if not received:
             self._close_connection(connection, unregister=True)
             return
+        with self._wire_lock:
+            self._wire_counters["bytes_received"] += received
         try:
-            frames = connection.assembler.feed(data)
+            frames = connection.assembler.feed(memoryview(connection.recv_buffer)[:received])
         except ProtocolError:
             # Unrecognizable bytes: the stream cannot be re-synchronised.
             self._close_connection(connection, unregister=True)
@@ -782,6 +860,8 @@ class TimeCryptTCPServer:
     def _handle_frame(self, connection: _Connection, frame: Frame) -> None:
         try:
             request = Request.decode(frame.payload)
+            if request.operation == "hello":
+                self._note_hello(connection, request)
             response = self._dispatcher.dispatch(request)
         except TimeCryptError as exc:
             response = Response.failure(exc)
@@ -793,6 +873,22 @@ class TimeCryptTCPServer:
                 ProtocolError(f"malformed request: {type(exc).__name__}: {exc}")
             )
         self._write_response(connection, frame, response)
+
+    def _note_hello(self, connection: _Connection, request: Request) -> None:
+        """Record the peer's compression offer (transport-level negotiation).
+
+        Compression is on only when *both* ends opt in: the transport was
+        started with ``wire_compression=True`` *and* this peer's ``hello``
+        offered a shared scheme.  v1 peers and clients that never offer stay
+        uncompressed forever — byte-identical legacy behaviour.
+        """
+        if not self._wire_compression:
+            return
+        offered = request.args.get("compression")
+        if isinstance(offered, (list, tuple)) and any(
+            scheme in WIRE_COMPRESSION_SCHEMES for scheme in offered
+        ):
+            connection.accepts_compression = True
 
     def _shed_frame(self, connection: _Connection, frame: Frame, klass: str) -> None:
         """Answer a refused frame with a typed ``overloaded`` (never dead air)."""
@@ -810,7 +906,7 @@ class TimeCryptTCPServer:
             # is conserved.
             response.credit_grant = 1
         try:
-            encoded = self._encode_response(frame, response)
+            encoded = self._encode_response(connection, frame, response)
         except TimeCryptError as exc:
             # An unencodable response (e.g. attachments past the frame cap)
             # must still answer the correlation id — swallowing it here
@@ -818,24 +914,49 @@ class TimeCryptTCPServer:
             # which a storage client reads as a node outage.
             fallback = Response.failure(exc)
             fallback.credit_grant = response.credit_grant
-            encoded = self._encode_response(frame, fallback)
+            encoded = self._encode_response(connection, frame, fallback)
         if frame.version == 2 and self._scheduler is not None:
             with connection.state_lock:
                 if connection.in_flight > 0:
                     connection.in_flight -= 1
+        sent = vectored = coalesced = 0
         try:
             with connection.write_lock:
                 if connection.closed:
                     return
-                connection.sock.sendall(encoded)
+                if len(encoded) == 1:
+                    # Single pre-joined buffer (v1 / legacy mode): plain sendall.
+                    connection.sock.sendall(encoded[0])
+                    sent = len(encoded[0])
+                else:
+                    _syscalls, sent, coalesced = write_vectored(connection.sock, encoded)
+                    vectored = 1
         except OSError:
             # The I/O loop owns selector state; hand the corpse over.
             self._doomed.append(connection)
             self._wake()
+            return
+        with self._wire_lock:
+            self._wire_counters["bytes_sent"] += sent
+            self._wire_counters["vectored_writes"] += vectored
+            self._wire_counters["frames_coalesced"] += coalesced
 
-    @staticmethod
-    def _encode_response(frame: Frame, response: Response) -> bytes:
-        payload = response.encode()
+    def _encode_response(self, connection: _Connection, frame: Frame, response: Response) -> List:
+        """The response's wire form, as a list of segments to write.
+
+        v1 and legacy (``zero_copy=False``) responses come back as one
+        pre-joined buffer; the zero-copy path returns
+        ``[frame_header, message_header, *attachment_views]`` so a 32 MiB
+        ``get_range`` response is never concatenated.
+        """
         if frame.version == 1:
-            return encode_frame(payload)
-        return encode_frame_v2(frame.correlation_id, payload)
+            return [encode_frame(response.encode())]
+        if not self._zero_copy:
+            return [encode_frame_v2(frame.correlation_id, response.encode())]
+        segments = response.encode_segments()
+        if connection.accepts_compression:
+            segments, compressed = maybe_compress_segments(segments, self._compress_threshold)
+            if compressed:
+                with self._wire_lock:
+                    self._wire_counters["frames_compressed"] += 1
+        return encode_frame_segments_v2(frame.correlation_id, segments)

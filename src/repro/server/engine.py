@@ -81,7 +81,8 @@ def _metadata_to_json(metadata: StreamMetadata) -> bytes:
 
 
 def _metadata_from_json(blob: bytes) -> StreamMetadata:
-    payload = json.loads(blob.decode("utf-8"))
+    # bytes-like tolerant: the zero-copy wire path hands in memoryviews.
+    payload = json.loads(bytes(blob).decode("utf-8"))
     config_payload = payload["config"]
     digest_payload = config_payload["digest"]
     config = StreamConfig(

@@ -57,7 +57,7 @@ import threading
 from typing import List, Optional, Tuple
 
 from repro.exceptions import ProtocolError, StorageError, TimeCryptError
-from repro.net.messages import Request, Response
+from repro.net.messages import Request, Response, retain
 from repro.net.server import (
     DEFAULT_BULK_QUEUE_LIMIT,
     DEFAULT_CREDIT_WINDOW,
@@ -117,12 +117,17 @@ class StorageNodeDispatcher(WireDispatcher):
         return super()._unexpected_error(exc)
 
     # -- helpers -------------------------------------------------------------------
+    #
+    # The zero-copy server hands dispatchers memoryview attachments over
+    # per-frame buffers.  Keys are used as dict keys / set members / ordering
+    # bounds and stored past the request's lifetime, so every key (and every
+    # stored value) is pinned with retain() at the wire boundary.
 
     @staticmethod
     def _one_key(request: Request) -> bytes:
         if len(request.attachments) != 1:
             raise ProtocolError(f"{request.operation} requires exactly one key attachment")
-        return request.attachments[0]
+        return retain(request.attachments[0])
 
     # -- scalar ops ----------------------------------------------------------------
 
@@ -135,7 +140,7 @@ class StorageNodeDispatcher(WireDispatcher):
     def _op_kv_put(self, request: Request) -> Response:
         if len(request.attachments) != 2:
             raise ProtocolError("kv_put requires key and value attachments")
-        key, value = request.attachments
+        key, value = (retain(blob) for blob in request.attachments)
         self._store.put(key, value)
         return Response.success()
 
@@ -158,7 +163,7 @@ class StorageNodeDispatcher(WireDispatcher):
         store in small sub-batches so the deferred tail is never read at
         all (it will be read by the retry wave that actually ships it).
         """
-        keys = request.attachments
+        keys = [retain(key) for key in request.attachments]
         indices: List[int] = []
         values: List[bytes] = []
         deferred: List[int] = []
@@ -190,14 +195,15 @@ class StorageNodeDispatcher(WireDispatcher):
     def _op_kv_multi_put(self, request: Request) -> Response:
         if len(request.attachments) % 2:
             raise ProtocolError("kv_multi_put requires alternating key/value attachments")
-        items: List[Tuple[bytes, bytes]] = list(
-            zip(request.attachments[0::2], request.attachments[1::2])
-        )
+        items: List[Tuple[bytes, bytes]] = [
+            (retain(key), retain(value))
+            for key, value in zip(request.attachments[0::2], request.attachments[1::2])
+        ]
         self._store.multi_put(items)
         return Response.success({"stored": len(items)})
 
     def _op_kv_multi_delete(self, request: Request) -> Response:
-        keys = request.attachments
+        keys = [retain(key) for key in request.attachments]
         existed = self._store.multi_delete(keys)
         return Response.success({"existed": [i for i, key in enumerate(keys) if key in existed]})
 
@@ -214,8 +220,10 @@ class StorageNodeDispatcher(WireDispatcher):
         """
         if not 1 <= len(request.attachments) <= 2:
             raise ProtocolError("kv_scan_page requires a prefix (and optional cursor) attachment")
-        prefix = request.attachments[0]
-        after: Optional[bytes] = request.attachments[1] if len(request.attachments) == 2 else None
+        prefix = retain(request.attachments[0])
+        after: Optional[bytes] = (
+            retain(request.attachments[1]) if len(request.attachments) == 2 else None
+        )
         limit = int(request.args.get("limit", DEFAULT_SCAN_PAGE_LIMIT))
         if limit < 1:
             raise ProtocolError(f"kv_scan_page limit must be positive, got {limit}")
@@ -263,7 +271,7 @@ class StorageNodeDispatcher(WireDispatcher):
         first and fetches just the matching values, so filtered-out values
         never leave the backend at all.
         """
-        attachments = list(request.attachments)
+        attachments = [retain(blob) for blob in request.attachments]
         if not attachments:
             raise ProtocolError("kv_scan_prefix requires a prefix attachment")
         prefix = attachments.pop(0)
@@ -327,10 +335,11 @@ class StorageNodeDispatcher(WireDispatcher):
         """Server-side bulk erase of one or more keyspaces (scan offload)."""
         if not request.attachments:
             raise ProtocolError("kv_delete_prefix requires at least one prefix attachment")
-        for prefix in request.attachments:
+        prefixes = [retain(prefix) for prefix in request.attachments]
+        for prefix in prefixes:
             if not prefix:
                 raise ProtocolError("kv_delete_prefix refuses an empty prefix")
-        deleted = self._store.delete_prefixes(request.attachments)
+        deleted = self._store.delete_prefixes(prefixes)
         return Response.success({"deleted": int(deleted)})
 
     def _op_kv_size_bytes(self, request: Request) -> Response:
@@ -357,6 +366,8 @@ class StorageNodeServer:
         scheduling: str = "weighted",
         credit_window: int = DEFAULT_CREDIT_WINDOW,
         bulk_queue_limit: int = DEFAULT_BULK_QUEUE_LIMIT,
+        zero_copy: bool = True,
+        wire_compression: bool = False,
     ) -> None:
         self._store = store
         self._dispatcher = StorageNodeDispatcher(store)
@@ -371,6 +382,8 @@ class StorageNodeServer:
             scheduling=scheduling,
             credit_window=credit_window,
             bulk_queue_limit=bulk_queue_limit,
+            zero_copy=zero_copy,
+            wire_compression=wire_compression,
         )
 
     @property

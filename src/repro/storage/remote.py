@@ -46,7 +46,7 @@ from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence,
 
 from repro.exceptions import OverloadedError, ProtocolError, StorageError, TransportError
 from repro.net.client import RemoteServerClient, WireStats, _remote_error
-from repro.net.messages import Request, Response
+from repro.net.messages import Request, Response, retain
 from repro.storage.kv import KeyValueStore
 
 #: Soft cap on one request's attachment payload; frames are hard-capped at
@@ -70,6 +70,8 @@ class RemoteKeyValueStore(KeyValueStore):
         reconnect: bool = True,
         prefix_ops: bool = True,
         overload_retries: int = 4,
+        zero_copy: bool = True,
+        compression: bool = False,
     ) -> None:
         if scan_page_size < 1:
             raise ValueError("scan_page_size must be positive")
@@ -87,6 +89,8 @@ class RemoteKeyValueStore(KeyValueStore):
         self._max_request_bytes = max_request_bytes
         self._max_keys_per_request = max_keys_per_request
         self._reconnect = reconnect
+        self._zero_copy = zero_copy
+        self._compression = compression
         self._client: Optional[RemoteServerClient] = None
         self._client_lock = threading.Lock()
         #: Wire accounting that survives reconnects: the same WireStats
@@ -110,6 +114,8 @@ class RemoteKeyValueStore(KeyValueStore):
                         self._address[1],
                         timeout=self._timeout,
                         overload_retries=self._overload_retries,
+                        zero_copy=self._zero_copy,
+                        compression=self._compression,
                     )
                 except (OSError, TransportError) as exc:
                     raise StorageError(
@@ -215,7 +221,7 @@ class RemoteKeyValueStore(KeyValueStore):
         response = self._call(Request("kv_get", {}, [key]))
         if not response.result.get("found"):
             return None
-        return response.attachments[0]
+        return retain(response.attachments[0])
 
     def put(self, key: bytes, value: bytes) -> None:
         self._call(Request("kv_put", {}, [key, value]))
@@ -260,7 +266,7 @@ class RemoteKeyValueStore(KeyValueStore):
             deferred_keys: List[bytes] = []
             for part, response in zip(parts, responses):
                 for index, value in zip(response.result["found"], response.attachments):
-                    result[part[index]] = value
+                    result[part[index]] = retain(value)
                 deferred_keys.extend(
                     part[index] for index in response.result.get("deferred", ())
                 )
@@ -362,7 +368,9 @@ class RemoteKeyValueStore(KeyValueStore):
             if keys_only:
                 args["keys_only"] = True
             response = self._call(Request("kv_scan_prefix", args, attachments))
-            blobs = response.attachments
+            # Scan results escape to the caller (and keys become cursors), so
+            # pin them off the frame buffers here.
+            blobs = [retain(blob) for blob in response.attachments]
             if keys_only:
                 yield from zip(blobs, response.result.get("value_bytes", ()))
             else:
@@ -386,7 +394,7 @@ class RemoteKeyValueStore(KeyValueStore):
         while True:
             attachments = [prefix] if after is None else [prefix, after]
             response = self._call(Request("kv_scan_page", dict(args), attachments))
-            blobs = response.attachments
+            blobs = [retain(blob) for blob in response.attachments]
             if keys_only:
                 yield from zip(blobs, response.result.get("value_bytes", ()))
             else:

@@ -88,12 +88,17 @@ def encode_encrypted_chunk(chunk: EncryptedChunk) -> bytes:
 
 
 def decode_encrypted_chunk(blob: bytes) -> EncryptedChunk:
-    """Inverse of :func:`encode_encrypted_chunk`."""
+    """Inverse of :func:`encode_encrypted_chunk`.
+
+    Accepts any bytes-like ``blob`` (the zero-copy wire path hands in
+    memoryviews over frame buffers).  The returned chunk owns its payload as
+    real bytes — chunks outlive the frame they arrived in.
+    """
     if blob[:4] != _MAGIC_CHUNK:
         raise ChunkError("not an encrypted chunk blob")
     pos = 4
     uuid_len, pos = decode_varint(blob, pos)
-    stream_uuid = blob[pos : pos + uuid_len].decode("utf-8")
+    stream_uuid = bytes(blob[pos : pos + uuid_len]).decode("utf-8")
     pos += uuid_len
     window_index, pos = decode_varint(blob, pos)
     num_points, pos = decode_varint(blob, pos)
@@ -101,7 +106,7 @@ def decode_encrypted_chunk(blob: bytes) -> EncryptedChunk:
     digest = decode_digest_vector(blob[pos : pos + digest_len])
     pos += digest_len
     payload_len, pos = decode_varint(blob, pos)
-    payload = blob[pos : pos + payload_len]
+    payload = bytes(blob[pos : pos + payload_len])
     if len(payload) != payload_len:
         raise ChunkError("truncated chunk payload")
     return EncryptedChunk(
@@ -123,7 +128,7 @@ def peek_chunk_stream_uuid(blob: bytes) -> str:
     if blob[:4] != _MAGIC_CHUNK:
         raise ChunkError("not an encrypted chunk blob")
     uuid_len, pos = decode_varint(blob, 4)
-    uuid_bytes = blob[pos : pos + uuid_len]
+    uuid_bytes = bytes(blob[pos : pos + uuid_len])
     if len(uuid_bytes) != uuid_len:
         raise ChunkError("truncated chunk blob")
     return uuid_bytes.decode("utf-8")
