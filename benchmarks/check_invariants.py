@@ -149,6 +149,24 @@ MANIFEST: Dict[str, Tuple[str, List[Tuple[str, str, str]]]] = {
             le("overload.max_depth_bulk"),
         ],
     ),
+    "obs": (
+        "BENCH_obs.json",
+        [
+            eq("parity.off_spans"),
+            eq("parity.round_trip_parity"),
+            eq("parity.copy_parity"),
+            eq("parity.on_spans_per_op"),
+            eq("parity.off.round_trips"),
+            eq("parity.off.payload_copies"),
+            eq("tree.connected"),
+            eq("tree.spans_per_stat_range"),
+            eq("tree.storage_spans"),
+            eq("tree.retrievable_via_trace_dump"),
+            eq("scrapes.engine_stats_round_trips"),
+            eq("scrapes.engine_trace_dump_round_trips"),
+            eq("scrapes.storage_stats_round_trips"),
+        ],
+    ),
 }
 
 _MISSING = object()

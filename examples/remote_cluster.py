@@ -17,7 +17,9 @@ it (parking hints for the writes it misses), restarts it on the same port,
 and heals it by replaying the hints on ``mark_up`` — ``repair_node`` then
 confirms there is nothing left to backfill.  Finally it scales the cluster
 out to a fourth node (streaming only the moved ranges) and back in — all
-over sockets, all while the data stays readable.
+over sockets, all while the data stays readable — and signs off by scraping
+a storage node's unified metrics and span buffer over the wire (``stats``
+and ``trace_dump``, one round trip each).
 
 Run it with ``python examples/remote_cluster.py``.
 """
@@ -26,6 +28,8 @@ from __future__ import annotations
 
 from repro import Principal, ServerEngine, StreamConfig, TimeCrypt, TimeCryptConsumer
 from repro.access.keystore import TokenStore
+from repro.net.client import RemoteServerClient
+from repro.net.messages import Request
 from repro.storage import MemoryStore, StorageCluster
 from repro.storage.node import StorageNodeServer
 from repro.storage.remote import RemoteKeyValueStore
@@ -45,7 +49,9 @@ def main() -> None:
     cluster = StorageCluster(
         num_nodes=NUM_NODES,
         replication_factor=REPLICATION_FACTOR,
-        store_factory=lambda name: RemoteKeyValueStore(*addresses[name], timeout=5.0),
+        store_factory=lambda name: RemoteKeyValueStore(
+            *addresses[name], timeout=5.0, tracing=True
+        ),
     )
     engine = ServerEngine(store=cluster, token_store=TokenStore(cluster))
     owner = TimeCrypt(server=engine, owner_id="alice")
@@ -133,6 +139,22 @@ def main() -> None:
             "query after the full cycle:",
             {k: round(v, 3) for k, v in stats.items()},
         )
+
+        # -- observability: scrape a storage node's telemetry over the wire ----
+        with RemoteServerClient(*addresses["node-0"], timeout=5.0) as probe:
+            reply = probe.call_many([Request("stats")])[0].result
+            metrics = reply["metrics"]
+            print(
+                f"stats scrape of {reply['node']} (1 round trip): "
+                f"{len(metrics)} metric sources, "
+                f"{metrics['tracing.spans']['recorded']} spans recorded in-process"
+            )
+            spans = probe.call_many([Request("trace_dump")])[0].result["spans"]
+            kv = [s for s in spans if s["kind"] == "server" and s["op"].startswith("kv_")]
+            print(
+                f"trace_dump: {len(kv)} kv_* server spans buffered from the "
+                "replicated wire traffic"
+            )
     finally:
         cluster.close()
         for server in servers.values():

@@ -17,7 +17,9 @@ stream landed, pokes a *wrong* shard directly to see the typed redirect,
 reads through the router proxy, onboards a consumer, then removes one
 engine live: the survivors pick up its streams from shared storage and
 the client converges onto the new table (epoch bump) without losing a
-read.
+read.  It closes by scraping the router's unified metrics and the span
+buffer over the wire — ``stats`` and ``trace_dump`` each cost exactly one
+round trip.
 
 Run it with ``python examples/sharded_engines.py``.
 """
@@ -28,6 +30,7 @@ from repro import Principal, ServerEngine, StreamConfig, TimeCrypt, TimeCryptCon
 from repro.access.keystore import TokenStore
 from repro.exceptions import WrongShardError
 from repro.net.client import RemoteServerClient, ShardedServerClient
+from repro.net.messages import Request
 from repro.server.router import deploy_sharded_engines
 from repro.storage import MemoryStore
 
@@ -49,7 +52,7 @@ def main() -> None:
     host, port = router.address
     print(f"stream router listening on {host}:{port}")
 
-    client = ShardedServerClient(host, port, timeout=5.0)
+    client = ShardedServerClient(host, port, timeout=5.0, tracing=True)
     try:
         table = client.routing_table
         print(f"client learned the routing table at hello (epoch {table.epoch}, {len(table)} engines)")
@@ -108,6 +111,23 @@ def main() -> None:
             f"stream from shared storage — query still answers "
             f"{ {k: round(v, 3) for k, v in stats.items()} }"
         )
+
+        # -- observability: scrape any tier's telemetry in one round trip ------
+        with RemoteServerClient(host, port, timeout=5.0) as probe:
+            metrics = probe.call_many([Request("stats")])[0].result["metrics"]
+            sched = metrics["server.scheduler[router]"]
+            print(
+                f"stats scrape of the router (1 round trip): "
+                f"{sched['dispatched_interactive']} interactive frames dispatched, "
+                f"{metrics['tracing.spans']['recorded']} spans recorded in-process"
+            )
+            spans = probe.call_many([Request("trace_dump")])[0].result["spans"]
+            last = next(s for s in reversed(spans) if s["op"] == "stat_range")
+            tree = [s for s in spans if s["trace_id"] == last["trace_id"]]
+            print(
+                f"trace_dump: the last stat_range trace ({last['trace_id']}) has "
+                f"{len(tree)} spans across {sorted({s['node'] for s in tree})}"
+            )
     finally:
         client.close()
         router.stop()

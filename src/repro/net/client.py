@@ -39,14 +39,17 @@ backoff (``overload_retries``) before surfacing
 from __future__ import annotations
 
 import itertools
+import logging
 import socket
 import threading
 import time
 from concurrent.futures import Future
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.crypto.heac import HEACCiphertext
+from repro.obs.metrics import REGISTRY
+from repro.obs.tracing import SPANS, current_context, new_span_id, new_trace_id
 from repro.exceptions import (
     OverloadedError,
     ProtocolError,
@@ -84,6 +87,8 @@ from repro.timeseries.serialization import (
 )
 from repro.timeseries.stream import StreamMetadata
 from repro.util.timeutil import TimeRange
+
+logger = logging.getLogger(__name__)
 
 #: Exception classes re-raised by name when the server reports them.
 _ERROR_TYPES: Dict[str, type] = {
@@ -495,6 +500,7 @@ class RemoteServerClient:
         zero_copy: bool = True,
         compression: bool = False,
         compress_threshold: int = WIRE_COMPRESSION_THRESHOLD,
+        tracing: bool = False,
     ) -> None:
         if protocol_version not in (1, 2):
             raise ProtocolError(f"unsupported protocol version {protocol_version}")
@@ -505,6 +511,19 @@ class RemoteServerClient:
         self._closed = False
         self.token_store = _RemoteTokenStore(self)
         self.wire_stats = WireStats()
+        #: Distributed tracing (off by default — with it off the request path
+        #: never touches a clock or builds a span).  When on, every call gets
+        #: a client span, its context rides the request's ``trace`` header
+        #: key, and the ``tracing`` capability is offered in ``hello`` so
+        #: negotiating servers record matching server-side spans.  A server
+        #: (or v1 peer) that never negotiated simply ignores the header key.
+        self._tracing = bool(tracing)
+        self._node_label = f"client:{host}:{port}"
+        # Snapshot through the client, not the stats object: wrappers like
+        # RemoteKeyValueStore swap in a shared WireStats after construction.
+        self._metrics_key = REGISTRY.register(
+            f"client.wire[{host}:{port}]", self, snapshot=lambda client: asdict(client.wire_stats)
+        )
         self._pending: Dict[int, "Future[Response]"] = {}
         self._pending_lock = threading.Lock()
         self._correlation_ids = itertools.count(1)
@@ -566,6 +585,8 @@ class RemoteServerClient:
             if self._compression:
                 # Offering a scheme also means: compressed responses welcome.
                 hello_args["compression"] = list(WIRE_COMPRESSION_SCHEMES)
+            if self._tracing:
+                hello_args["tracing"] = True
             write_frame_v2(self._socket, 0, Request("hello", hello_args).encode())
             frame = read_any_frame(self._socket)
             response = Response.decode(frame.payload)
@@ -584,6 +605,7 @@ class RemoteServerClient:
         except (TimeCryptError, ConnectionError):
             # A v1-only peer closes the connection on the unknown magic;
             # reconnect and stay in lockstep mode.
+            logger.info("peer at %s rejected hello; redialling in v1 lockstep mode", self._address)
             try:
                 self._socket.close()
             except OSError:
@@ -599,6 +621,7 @@ class RemoteServerClient:
 
     def close(self) -> None:
         self._closed = True
+        REGISTRY.unregister(self._metrics_key)
         try:
             # shutdown (not just close) reliably wakes the reader thread's
             # blocking recv with EOF on every platform.
@@ -779,18 +802,86 @@ class RemoteServerClient:
         except Exception as exc:  # concurrent.futures.TimeoutError et al.
             raise TransportError(f"request to {self._address} timed out or failed: {exc}") from exc
 
+    # -- tracing -----------------------------------------------------------------------
+
+    def _begin_trace(
+        self, requests: Sequence[Request]
+    ) -> Optional[Tuple[List[Optional[Dict[str, Any]]], int]]:
+        """Attach trace contexts and open client spans (no-op with tracing off).
+
+        The context is attached to the :class:`Request` itself, exactly once:
+        a request re-sent after an ``overloaded`` shed keeps its original
+        trace and span ids, so the retried attempt is the *same* span on the
+        wire (and opens no duplicate client span here).  The parent is the
+        thread's current context — inside a traced server handler (a router
+        forwarding, an engine fetching from storage) the outbound span
+        becomes a child of the server span, which is what stitches the
+        cross-tier tree together.
+        """
+        if not self._tracing:
+            return None
+        parent = current_context()
+        spans: List[Optional[Dict[str, Any]]] = []
+        for request in requests:
+            if request.trace is not None:
+                spans.append(None)
+                continue
+            trace_id = parent[0] if parent is not None else new_trace_id()
+            span_id = new_span_id()
+            request.trace = (trace_id, span_id)
+            spans.append(
+                {
+                    "trace_id": trace_id,
+                    "span_id": span_id,
+                    "parent_id": parent[1] if parent is not None else None,
+                    "node": self._node_label,
+                    "kind": "client",
+                    "op": request.operation,
+                }
+            )
+        return spans, time.monotonic_ns()
+
+    def _finish_trace(
+        self,
+        begun: Optional[Tuple[List[Optional[Dict[str, Any]]], int]],
+        responses: Optional[Sequence[Response]] = None,
+        error: Optional[Exception] = None,
+    ) -> None:
+        if begun is None:
+            return
+        spans, start_ns = begun
+        total_ms = (time.monotonic_ns() - start_ns) / 1e6
+        for index, span in enumerate(spans):
+            if span is None:
+                continue
+            span["total_ms"] = total_ms
+            if error is not None:
+                span["status"] = type(error).__name__
+            elif responses is not None and index < len(responses):
+                response = responses[index]
+                span["status"] = "ok" if response.ok else (response.error_type or "error")
+            else:
+                span["status"] = "ok"
+            SPANS.record(span)
+
     # -- calling styles -----------------------------------------------------------------
 
     def _call(self, request: Request) -> Response:
         """One request, one round trip; raises the remote error on failure."""
-        if self.protocol_version == 1:
-            response = self._call_lockstep(request)
-        else:
-            future = self._send_requests([request])[0]
-            self.wire_stats.round_trips += 1
-            response = self._await(future)
-            if _is_overloaded(response):
-                response = self._retry_overloaded([request], [response])[0]
+        begun = self._begin_trace((request,))
+        try:
+            if self.protocol_version == 1:
+                response = self._call_lockstep(request)
+            else:
+                future = self._send_requests([request])[0]
+                self.wire_stats.round_trips += 1
+                response = self._await(future)
+                if _is_overloaded(response):
+                    response = self._retry_overloaded([request], [response])[0]
+        except Exception as exc:
+            self._finish_trace(begun, error=exc)
+            raise
+        self._finish_trace(begun, responses=(response,))
         if not response.ok:
             _raise_remote(response)
         return response
@@ -843,13 +934,21 @@ class RemoteServerClient:
         """
         if not requests:
             return []
-        if self.protocol_version == 1:
-            return [self._call_lockstep(request) for request in requests]
-        futures = self._send_requests(requests)
-        self.wire_stats.round_trips += 1
-        self.wire_stats.batches_sent += 1
-        responses = [self._await(future) for future in futures]
-        return self._retry_overloaded(list(requests), responses)
+        begun = self._begin_trace(requests)
+        try:
+            if self.protocol_version == 1:
+                responses = [self._call_lockstep(request) for request in requests]
+            else:
+                futures = self._send_requests(requests)
+                self.wire_stats.round_trips += 1
+                self.wire_stats.batches_sent += 1
+                responses = [self._await(future) for future in futures]
+                responses = self._retry_overloaded(list(requests), responses)
+        except Exception as exc:
+            self._finish_trace(begun, error=exc)
+            raise
+        self._finish_trace(begun, responses=responses)
+        return responses
 
     def pipeline(self) -> RequestPipeline:
         """A deferred-call context; everything inside flushes as one batch."""
@@ -1077,6 +1176,7 @@ class ShardedServerClient:
         overload_retries: int = 4,
         zero_copy: bool = True,
         compression: bool = False,
+        tracing: bool = False,
     ) -> None:
         self._router_address = (host, port)
         self._timeout = timeout
@@ -1084,6 +1184,7 @@ class ShardedServerClient:
         self._overload_retries = max(0, int(overload_retries))
         self._zero_copy = bool(zero_copy)
         self._compression = bool(compression)
+        self._tracing = bool(tracing)
         self._lock = threading.Lock()
         self._router: Optional[RemoteServerClient] = None
         self._engines: Dict[str, Tuple[Tuple[str, int], RemoteServerClient]] = {}
@@ -1165,6 +1266,7 @@ class ShardedServerClient:
                     overload_retries=self._overload_retries,
                     zero_copy=self._zero_copy,
                     compression=self._compression,
+                    tracing=self._tracing,
                 )
             return self._router
 
@@ -1191,6 +1293,7 @@ class ShardedServerClient:
             overload_retries=self._overload_retries,
             zero_copy=self._zero_copy,
             compression=self._compression,
+            tracing=self._tracing,
         )
         with self._lock:
             self._engines[name] = (address, client)
@@ -1262,6 +1365,9 @@ class ShardedServerClient:
                 client = self._engine_client(owner)
                 response = client.call_many([request])[0]
             except (TransportError, OSError):
+                logger.info(
+                    "engine shard '%s' unreachable; refreshing table and redialling", owner
+                )
                 self._drop_engine(owner)
                 self._refresh_table()
                 continue

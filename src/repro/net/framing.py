@@ -116,6 +116,18 @@ class WireMemoryCounters:
 #: Process-wide counter instance.  Reset before a measured section.
 MEMORY_COUNTERS = WireMemoryCounters()
 
+# Registered into the unified metrics plane so one registry snapshot (or one
+# `stats` wire round trip) covers the wire-memory bill too — the counters
+# stop being an unscoped global only benchmarks knew about.  obs is
+# stdlib-only, so this import cannot cycle back into repro.net.
+from repro.obs.metrics import REGISTRY as _METRICS_REGISTRY  # noqa: E402
+
+_METRICS_REGISTRY.register(
+    "wire.memory",
+    MEMORY_COUNTERS,
+    deterministic=("payload_copies", "vectored_writes", "sendall_writes", "frames_coalesced"),
+)
+
 
 @dataclass(frozen=True)
 class Frame:

@@ -79,6 +79,12 @@ OPERATIONS = (
     "put_envelopes",
     "routing_table",
     "ping",
+    # Observability scrape ops, answered locally by every tier's dispatcher:
+    # `stats` returns the process metrics-registry snapshot, `trace_dump` the
+    # node's span ring buffer.  Deliberately absent from BULK_OPERATIONS so an
+    # operator can scrape a node that is drowning in bulk traffic.
+    "stats",
+    "trace_dump",
 ) + KV_OPERATIONS
 
 #: Operations that move bulk payloads (ingest batches, grant bursts, prefix
@@ -283,24 +289,48 @@ class Request:
     operation: str
     args: Dict[str, Any] = field(default_factory=dict)
     attachments: List[Buffer] = field(default_factory=list)
+    #: Optional trace context ``(trace_id, parent_span_id)``.  Serialized as a
+    #: ``trace`` header key only when set, so untraced requests are
+    #: byte-identical to the pre-tracing wire form; v1 peers and servers that
+    #: did not negotiate ``tracing`` in ``hello`` ignore the key (``decode``
+    #: tolerates unknown header keys by construction).
+    trace: Optional[Tuple[str, str]] = None
 
     def __post_init__(self) -> None:
         if self.operation not in OPERATIONS:
             raise ProtocolError(f"unknown operation '{self.operation}'")
 
+    def _header(self) -> Dict[str, Any]:
+        header: Dict[str, Any] = {"op": self.operation, "args": self.args}
+        if self.trace is not None:
+            header["trace"] = [self.trace[0], self.trace[1]]
+        return header
+
     def encode(self) -> bytes:
-        return _encode_message({"op": self.operation, "args": self.args}, self.attachments)
+        return _encode_message(self._header(), self.attachments)
 
     def encode_segments(self) -> List[Buffer]:
         """Segment form for the vectored send path — attachments uncopied."""
-        return encode_message_segments({"op": self.operation, "args": self.args}, self.attachments)
+        return encode_message_segments(self._header(), self.attachments)
 
     @staticmethod
     def decode(payload: Buffer) -> "Request":
         header, attachments = _decode_message(payload)
         if "op" not in header:
             raise ProtocolError("request missing operation")
-        return Request(operation=header["op"], args=header.get("args", {}), attachments=attachments)
+        trace = header.get("trace")
+        if (
+            not isinstance(trace, list)
+            or len(trace) != 2
+            or not all(isinstance(part, str) for part in trace)
+        ):
+            trace = None
+        return Request(
+            operation=header["op"],
+            args=header.get("args", {}),
+            attachments=attachments,
+            trace=(trace[0], trace[1]) if trace is not None else None,
+        )
 
 
 @dataclass

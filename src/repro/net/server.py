@@ -40,15 +40,19 @@ exact same I/O loop, worker pool, and framing.
 
 from __future__ import annotations
 
+import logging
 import selectors
 import socket
 import threading
+import time
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import asdict, dataclass
-from typing import Deque, Dict, List, Optional, Set, Tuple
+from typing import Any, Deque, Dict, List, Optional, Set, Tuple
 
 from repro.exceptions import OverloadedError, ProtocolError, TimeCryptError
+from repro.obs.metrics import REGISTRY
+from repro.obs.tracing import SPANS, SpanCollector, new_span_id, set_context
 from repro.net.framing import (
     PROTOCOL_VERSION,
     Frame,
@@ -82,8 +86,17 @@ DEFAULT_INTERACTIVE_QUEUE_LIMIT = 1024
 DEFAULT_BULK_QUEUE_LIMIT = 128
 #: Interactive frames dispatched per bulk frame when both queues are non-empty.
 DEFAULT_INTERACTIVE_WEIGHT = 4
-#: Retry hint carried in ``overloaded`` responses.
+#: Fallback retry hint carried in ``overloaded`` responses before the
+#: scheduler has observed any bulk drain (the adaptive hint needs at least
+#: two dispatched bulk frames to measure an interval).
 DEFAULT_RETRY_AFTER_MS = 25
+#: Clamp bounds for the adaptive retry hint derived from the measured
+#: bulk-queue drain rate: never tell a client to hammer faster than 5 ms,
+#: never park it longer than a second.
+MIN_RETRY_AFTER_MS = 5
+MAX_RETRY_AFTER_MS = 1000
+
+logger = logging.getLogger(__name__)
 
 
 class WireDispatcher:
@@ -105,6 +118,20 @@ class WireDispatcher:
     #: transport when ``wire_compression`` is enabled; ``None`` advertises
     #: none, so clients never send compressed frames to this dispatcher).
     wire_compression: Optional[List[str]] = None
+
+    #: Whether this node records server-side spans for peers that offer the
+    #: ``tracing`` capability in ``hello``.  Set by the owning transport;
+    #: advertised back so clients know their trace context will be honoured.
+    tracing: bool = False
+
+    #: Span ring buffer served by ``trace_dump``.  Set by the owning
+    #: transport; defaults to the process-global collector so in-process
+    #: dispatchers dump something sensible too.
+    span_collector: Optional[SpanCollector] = None
+
+    #: Human-readable node identity stamped on spans and scrape responses
+    #: (an engine-shard name, ``router``, a storage-node name).
+    node_name: str = "node"
 
     def supported_operations(self) -> List[str]:
         """The wire operations this dispatcher actually implements."""
@@ -147,11 +174,35 @@ class WireDispatcher:
             payload["credits"] = int(self.credit_window)
         if self.wire_compression:
             payload["compression"] = list(self.wire_compression)
+        if self.tracing:
+            payload["tracing"] = True
         payload.update(self.hello_extras())
         return Response.success(payload)
 
     def _op_ping(self, _request: Request) -> Response:
         return Response.success({"pong": True})
+
+    # -- observability scrape ops ---------------------------------------------------
+
+    def _op_stats(self, _request: Request) -> Response:
+        """One round trip pulls every registered metric source in this process.
+
+        Metrics are leakage-aware by construction: counters describe request
+        shapes (round trips, byte totals, queue depths, cache hits), never
+        key material or plaintext.
+        """
+        return Response.success({"node": self.node_name, "metrics": REGISTRY.snapshot()})
+
+    def _op_trace_dump(self, request: Request) -> Response:
+        """Dump this node's span ring buffer (optionally one trace id)."""
+        trace_id = request.args.get("trace_id")
+        limit = request.args.get("limit")
+        collector = self.span_collector if self.span_collector is not None else SPANS
+        spans = collector.spans(
+            trace_id=trace_id if isinstance(trace_id, str) else None,
+            limit=int(limit) if isinstance(limit, int) and not isinstance(limit, bool) else None,
+        )
+        return Response.success({"node": self.node_name, "spans": spans})
 
 
 class RequestDispatcher(WireDispatcher):
@@ -166,8 +217,10 @@ class RequestDispatcher(WireDispatcher):
     never queued behind a long-running query.
     """
 
-    #: Operations dispatched without taking the engine lock.
-    _LOCK_FREE_OPS = frozenset({"hello", "ping"})
+    #: Operations dispatched without taking the engine lock.  The scrape ops
+    #: read only the metrics registry and the span buffer (both internally
+    #: locked), so an operator can always pull stats from a busy engine.
+    _LOCK_FREE_OPS = frozenset({"hello", "ping", "stats", "trace_dump"})
 
     #: Ingest batches above this many chunks are applied in slices, with the
     #: engine lock released between slices, so one enormous ``insert_chunks``
@@ -443,7 +496,7 @@ class _FrameScheduler:
         self._handler = handler
         self._max_workers = max_workers
         self._limits = {"interactive": int(interactive_limit), "bulk": int(bulk_limit)}
-        self._queues: Dict[str, Deque[Tuple["_Connection", Frame]]] = {
+        self._queues: Dict[str, Deque[Tuple["_Connection", Frame, int]]] = {
             "interactive": deque(),
             "bulk": deque(),
         }
@@ -452,13 +505,29 @@ class _FrameScheduler:
         self._lock = threading.Lock()
         self._active = 0
         self._interactive_run = 0
+        # Bulk drain-rate tracking for the adaptive overload hint: an EWMA of
+        # the interval between consecutive bulk dispatches.  Guarded by
+        # ``_lock`` (updated inside ``_next_locked``).
+        self._bulk_last_dispatch_ns = 0
+        self._bulk_interval_ewma_ns = 0.0
         self.stats = SchedulerStats()
 
-    def submit(self, connection: "_Connection", frame: Frame, klass: str, force: bool = False) -> bool:
+    def submit(
+        self,
+        connection: "_Connection",
+        frame: Frame,
+        klass: str,
+        force: bool = False,
+        enqueue_ns: int = 0,
+    ) -> bool:
         """Enqueue a classified frame; False means the queue refused it (shed).
 
         ``force`` bypasses the capacity check — liveness ops (``hello``,
         ``ping``) are always admitted so saturation never reads as an outage.
+        ``enqueue_ns`` rides the existing queue tuple through to the handler
+        (it widens the tuple, no extra allocation); it is non-zero only when
+        the connection negotiated tracing, so the queue-wait span field costs
+        untraced frames nothing.
         """
         with self._lock:
             queue = self._queues[klass]
@@ -468,7 +537,7 @@ class _FrameScheduler:
                 else:
                     self.stats.shed_interactive += 1
                 return False
-            queue.append((connection, frame))
+            queue.append((connection, frame, enqueue_ns))
             depth = len(queue)
             if klass == "bulk":
                 self.stats.enqueued_bulk += 1
@@ -502,7 +571,27 @@ class _FrameScheduler:
             with self._lock:
                 self._active -= 1
 
-    def _next_locked(self) -> Optional[Tuple["_Connection", Frame]]:
+    def retry_hint_ms(self, klass: str, default: int) -> int:
+        """Retry-after hint from the measured bulk drain rate.
+
+        ``depth × EWMA(bulk inter-dispatch interval)`` estimates how long the
+        queue needs to drain to where a retried frame would land, clamped to
+        [``MIN_RETRY_AFTER_MS``, ``MAX_RETRY_AFTER_MS``].  Before two bulk
+        frames have been dispatched there is no measured rate and the caller's
+        ``default`` (the configured constant) is returned; interactive sheds
+        also use the default — their queue is not the drain-limited one.
+        """
+        if klass != "bulk":
+            return default
+        with self._lock:
+            ewma_ns = self._bulk_interval_ewma_ns
+            depth = len(self._queues["bulk"])
+        if ewma_ns <= 0.0:
+            return default
+        hint = max(1, depth) * ewma_ns / 1e6
+        return int(min(max(hint, MIN_RETRY_AFTER_MS), MAX_RETRY_AFTER_MS))
+
+    def _next_locked(self) -> Optional[Tuple["_Connection", Frame, int]]:
         interactive = self._queues["interactive"]
         bulk = self._queues["bulk"]
         if interactive and (self._interactive_run < self._weight or not bulk):
@@ -512,6 +601,14 @@ class _FrameScheduler:
         if bulk:
             self._interactive_run = 0
             self.stats.dispatched_bulk += 1
+            now_ns = time.monotonic_ns()
+            if self._bulk_last_dispatch_ns:
+                interval = now_ns - self._bulk_last_dispatch_ns
+                if self._bulk_interval_ewma_ns > 0.0:
+                    self._bulk_interval_ewma_ns += 0.2 * (interval - self._bulk_interval_ewma_ns)
+                else:
+                    self._bulk_interval_ewma_ns = float(interval)
+            self._bulk_last_dispatch_ns = now_ns
             return bulk.popleft()
         return None
 
@@ -549,6 +646,11 @@ class _Connection:
         #: transport also enables; responses over the threshold then go out
         #: compressed.
         self.accepts_compression = False
+        #: True once this peer's ``hello`` offered the ``tracing`` capability
+        #: and the transport has tracing enabled.  Every per-frame tracing
+        #: cost (timestamps, span dicts) is gated on this flag, so untraced
+        #: connections pay zero extra allocations per frame.
+        self.tracing = False
         self.write_lock = threading.Lock()
         #: v1 frames awaiting dispatch; guarded by ``state_lock``.  At most one
         #: v1 frame per connection is ever on the pool, preserving response order.
@@ -590,6 +692,10 @@ class TimeCryptTCPServer:
         zero_copy: bool = True,
         wire_compression: bool = False,
         compress_threshold: int = WIRE_COMPRESSION_THRESHOLD,
+        tracing: bool = True,
+        node_name: Optional[str] = None,
+        span_collector: Optional[SpanCollector] = None,
+        slow_request_ms: Optional[float] = None,
     ) -> None:
         if max_workers < 1:
             raise ValueError("the dispatch pool needs at least one worker")
@@ -602,6 +708,13 @@ class TimeCryptTCPServer:
         self._credit_window = max(0, int(credit_window or 0))
         self._dispatcher.credit_window = self._credit_window or None
         self._retry_after_ms = max(1, int(retry_after_ms))
+        #: Tracing support: spans are recorded only for connections whose
+        #: ``hello`` offered the capability, so ``tracing=True`` costs nothing
+        #: until a client opts in.  ``tracing=False`` refuses the capability
+        #: outright (the hot path then never checks a clock).
+        self._tracing = bool(tracing)
+        self._spans = span_collector if span_collector is not None else SPANS
+        self._slow_request_ms = slow_request_ms
         #: Zero-copy wire path: responses go out as header + attachment
         #: views through ``sendmsg`` and inbound payloads decode as views
         #: over per-frame buffers.  ``zero_copy=False`` is the legacy
@@ -623,6 +736,18 @@ class TimeCryptTCPServer:
         }
         self._listener = socket.create_server((host, port), reuse_port=False)
         self._listener.setblocking(True)
+        self._node_name = node_name or f"server:{self._listener.getsockname()[1]}"
+        self._dispatcher.tracing = self._tracing
+        self._dispatcher.span_collector = self._spans
+        self._dispatcher.node_name = self._node_name
+        # Register this server's scheduler/wire counters into the unified
+        # metrics plane (weakly — a stopped, dropped server unregisters
+        # itself), so a single `stats` scrape covers every live server.
+        self._metrics_key = REGISTRY.register(
+            f"server.scheduler[{self._node_name}]",
+            self,
+            snapshot=lambda server: server.scheduler_stats(),
+        )
         self._selector = selectors.DefaultSelector()
         self._pool = ThreadPoolExecutor(max_workers=max_workers, thread_name_prefix="tc-dispatch")
         # Shed replies must not queue behind the saturated dispatch pool — a
@@ -686,6 +811,7 @@ class TimeCryptTCPServer:
         return self
 
     def stop(self) -> None:
+        REGISTRY.unregister(self._metrics_key)
         self._running = False
         self._wake()
         if self._thread is not None:
@@ -792,8 +918,12 @@ class TimeCryptTCPServer:
             connection.in_flight += 1
             depth = connection.in_flight
         self._scheduler.note_in_flight(depth)
+        # Tracing-gated: untraced connections never read the clock here.
+        enqueue_ns = time.monotonic_ns() if connection.tracing else 0
         # hello/ping bypass the caps: liveness must never read as an outage.
-        if not self._scheduler.submit(connection, frame, klass, force=operation in ("hello", "ping")):
+        if not self._scheduler.submit(
+            connection, frame, klass, force=operation in ("hello", "ping"), enqueue_ns=enqueue_ns
+        ):
             try:
                 self._shed_pool.submit(self._shed_frame, connection, frame, klass)
             except RuntimeError:
@@ -857,12 +987,26 @@ class TimeCryptTCPServer:
                 frame = connection.v1_queue.popleft()
             self._handle_frame(connection, frame)
 
-    def _handle_frame(self, connection: _Connection, frame: Frame) -> None:
+    def _handle_frame(self, connection: _Connection, frame: Frame, enqueue_ns: int = 0) -> None:
+        # Everything tracing-related below is gated on the per-connection
+        # negotiation flag: with tracing off this method allocates nothing
+        # beyond the pre-tracing baseline.
+        traced = connection.tracing
+        start_ns = time.monotonic_ns() if traced else 0
+        span: Optional[Dict[str, Any]] = None
         try:
             request = Request.decode(frame.payload)
             if request.operation == "hello":
                 self._note_hello(connection, request)
-            response = self._dispatcher.dispatch(request)
+            if traced and request.trace is not None:
+                span = self._start_span(request, frame, enqueue_ns, start_ns)
+                previous = set_context((span["trace_id"], span["span_id"]))
+                try:
+                    response = self._dispatcher.dispatch(request)
+                finally:
+                    set_context(previous)
+            else:
+                response = self._dispatcher.dispatch(request)
         except TimeCryptError as exc:
             response = Response.failure(exc)
         except Exception as exc:  # noqa: BLE001 — a worker must never die unanswered
@@ -872,16 +1016,64 @@ class TimeCryptTCPServer:
             response = Response.failure(
                 ProtocolError(f"malformed request: {type(exc).__name__}: {exc}")
             )
+        handler_end_ns = time.monotonic_ns() if span is not None else 0
         self._write_response(connection, frame, response)
+        if span is not None:
+            self._finish_span(span, response, start_ns, handler_end_ns)
+
+    def _start_span(
+        self, request: Request, frame: Frame, enqueue_ns: int, start_ns: int
+    ) -> Dict[str, Any]:
+        """A server-side span for a traced request, timing fields pending.
+
+        Leakage stance: the span records only what the server already sees —
+        the operation name, the scheduler class, byte sizes, and timings.
+        Never query arguments, keys, or attachment contents.
+        """
+        trace_id, parent_id = request.trace  # type: ignore[misc]
+        return {
+            "trace_id": trace_id,
+            "span_id": new_span_id(),
+            "parent_id": parent_id,
+            "node": self._node_name,
+            "kind": "server",
+            "op": request.operation,
+            "class": classify_operation(request.operation),
+            "queue_ms": (start_ns - enqueue_ns) / 1e6 if enqueue_ns else 0.0,
+            "request_bytes": len(frame.payload),
+        }
+
+    def _finish_span(
+        self, span: Dict[str, Any], response: Response, start_ns: int, handler_end_ns: int
+    ) -> None:
+        end_ns = time.monotonic_ns()
+        span["handler_ms"] = (handler_end_ns - start_ns) / 1e6
+        span["write_ms"] = (end_ns - handler_end_ns) / 1e6
+        span["total_ms"] = span["queue_ms"] + (end_ns - start_ns) / 1e6
+        span["status"] = "ok" if response.ok else (response.error_type or "error")
+        span["response_bytes"] = sum(len(blob) for blob in response.attachments)
+        self._spans.record(span)
+        if self._slow_request_ms is not None and span["total_ms"] >= self._slow_request_ms:
+            logger.warning(
+                "slow request on %s: op=%s trace=%s queue_ms=%.1f handler_ms=%.1f total_ms=%.1f",
+                self._node_name,
+                span["op"],
+                span["trace_id"],
+                span["queue_ms"],
+                span["handler_ms"],
+                span["total_ms"],
+            )
 
     def _note_hello(self, connection: _Connection, request: Request) -> None:
-        """Record the peer's compression offer (transport-level negotiation).
+        """Record the peer's capability offers (transport-level negotiation).
 
-        Compression is on only when *both* ends opt in: the transport was
-        started with ``wire_compression=True`` *and* this peer's ``hello``
-        offered a shared scheme.  v1 peers and clients that never offer stay
-        uncompressed forever — byte-identical legacy behaviour.
+        Compression and tracing are each on only when *both* ends opt in: the
+        transport enables the capability *and* this peer's ``hello`` offers
+        it.  v1 peers and clients that never offer stay on the byte-identical
+        legacy behaviour.
         """
+        if self._tracing and request.args.get("tracing") is True:
+            connection.tracing = True
         if not self._wire_compression:
             return
         offered = request.args.get("compression")
@@ -891,12 +1083,21 @@ class TimeCryptTCPServer:
             connection.accepts_compression = True
 
     def _shed_frame(self, connection: _Connection, frame: Frame, klass: str) -> None:
-        """Answer a refused frame with a typed ``overloaded`` (never dead air)."""
+        """Answer a refused frame with a typed ``overloaded`` (never dead air).
+
+        The retry hint is adaptive: it reflects the measured bulk drain rate
+        (queue depth × EWMA inter-dispatch interval) rather than the static
+        ``retry_after_ms`` constant, which only serves as the fallback before
+        the scheduler has observed a drain interval.
+        """
+        retry_after_ms = self._retry_after_ms
+        if self._scheduler is not None:
+            retry_after_ms = self._scheduler.retry_hint_ms(klass, default=retry_after_ms)
         error = OverloadedError(
-            f"server overloaded: the {klass} queue is full", retry_after_ms=self._retry_after_ms
+            f"server overloaded: the {klass} queue is full", retry_after_ms=retry_after_ms
         )
         response = Response.failure(error)
-        response.result = {"retry_after_ms": self._retry_after_ms, "queue": klass}
+        response.result = {"retry_after_ms": retry_after_ms, "queue": klass}
         self._write_response(connection, frame, response)
 
     def _write_response(self, connection: _Connection, frame: Frame, response: Response) -> None:

@@ -1,0 +1,55 @@
+"""Observability: the unified metrics plane and distributed tracing.
+
+Every stats struct in the process (`WireStats`, `SchedulerStats`,
+`StoreStats`, `CacheStats`, `QueryStatistics`, the wire-memory counters)
+registers itself into one :data:`~repro.obs.metrics.REGISTRY`, so a single
+``snapshot()`` — or one ``stats`` wire round trip against any running
+server — returns the whole process.  Spans from every tier land in one
+bounded ring buffer (:data:`~repro.obs.tracing.SPANS`) dumped by the
+``trace_dump`` wire op.
+
+Telemetry here is leakage-aware by design (see "Leaking Queries On Secure
+Stream Processing Systems", PAPERS.md): spans and metrics record only what
+an honest-but-curious server already observes — operation names,
+ciphertext/attachment sizes, timings, queue depths — never key material,
+plaintext values, or per-record access patterns beyond the request shape.
+
+The package is import-light (stdlib only) and sits below ``repro.net`` so
+any layer can register into it without cycles.  Following library
+convention, the ``repro`` root logger gets a ``NullHandler``: the library
+never configures logging output; embedding applications opt in with
+``logging.basicConfig()`` or their own handlers.
+"""
+
+from __future__ import annotations
+
+import logging
+
+from repro.obs.metrics import REGISTRY, Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.tracing import (
+    SPANS,
+    SpanCollector,
+    current_context,
+    new_span_id,
+    new_trace_id,
+    set_context,
+)
+
+# Library-style logging: silent unless the embedding application configures
+# handlers.  Installed on the package root so every `repro.*` module logger
+# inherits it.
+logging.getLogger("repro").addHandler(logging.NullHandler())
+
+__all__ = [
+    "REGISTRY",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "SPANS",
+    "SpanCollector",
+    "current_context",
+    "set_context",
+    "new_trace_id",
+    "new_span_id",
+]

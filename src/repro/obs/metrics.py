@@ -1,0 +1,193 @@
+"""The unified metrics registry: one ``snapshot()`` for the whole process.
+
+Before this module, the repro's counters lived in six ad-hoc structs —
+``WireStats`` on each client, ``SchedulerStats`` on each server,
+``StoreStats`` per backend, ``CacheStats`` per cache, ``QueryStatistics``
+per engine, and the process-global wire-memory counters — with no way to
+see them together.  Each of those structs now *registers* itself here at
+construction, so :func:`MetricsRegistry.snapshot` returns every live
+counter in the process keyed by a stable source name, and the ``stats``
+wire op serves that snapshot from any running server in one round trip.
+
+Sources are held by weak reference: a client or server that goes away
+takes its counters with it, so short-lived objects (tests construct
+thousands) never accumulate.  A source is any object paired with a
+snapshot function returning a JSON-safe dict; dataclass stats structs
+need no function at all (``dataclasses.asdict`` is the default).
+
+Some counters are *deterministic* — they depend only on the call
+sequence, not on timing (round trips per query, copies per frame, spans
+per request).  Sources may name that subset at registration;
+:func:`MetricsRegistry.deterministic_snapshot` projects it out so the CI
+invariant gate (``benchmarks/check_invariants.py``) can diff it against a
+committed baseline while wall clock stays ungated.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+import weakref
+from bisect import bisect_right
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+
+def _default_snapshot(source: Any) -> Dict[str, Any]:
+    """``source.snapshot()`` if it has one, else ``asdict`` for dataclasses."""
+    snapshot = getattr(source, "snapshot", None)
+    if callable(snapshot):
+        return snapshot()
+    if dataclasses.is_dataclass(source):
+        return dataclasses.asdict(source)
+    raise TypeError(f"{type(source).__name__} has no snapshot() and is not a dataclass")
+
+
+class MetricsRegistry:
+    """Named, weakly-held metric sources with a deterministic subset."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        # key -> (weakref to source, snapshot fn, deterministic field names)
+        self._sources: Dict[str, Tuple[weakref.ref, Callable[[Any], Dict[str, Any]], Tuple[str, ...]]] = {}
+        self._sequence = 0
+
+    def register(
+        self,
+        name: str,
+        source: Any,
+        snapshot: Optional[Callable[[Any], Dict[str, Any]]] = None,
+        deterministic: Sequence[str] = (),
+    ) -> str:
+        """Register ``source`` under ``name`` and return its unique key.
+
+        Several sources may share a ``name`` (every client registers its
+        ``WireStats`` as ``client.wire``); later registrations get a
+        ``name#N`` suffix.  The registry keeps only a weak reference —
+        dropping the source unregisters it implicitly.
+        """
+        fn = snapshot or _default_snapshot
+        with self._lock:
+            self._sequence += 1
+            key = name if name not in self._sources else f"{name}#{self._sequence}"
+            self._sources[key] = (weakref.ref(source), fn, tuple(deterministic))
+        return key
+
+    def unregister(self, key: str) -> None:
+        with self._lock:
+            self._sources.pop(key, None)
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """Every live source's counters, keyed by registration key."""
+        out: Dict[str, Dict[str, Any]] = {}
+        for key, (ref, fn, _det) in self._live():
+            source = ref()
+            if source is not None:
+                out[key] = fn(source)
+        return out
+
+    def deterministic_snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """Only the fields each source declared call-sequence-deterministic."""
+        out: Dict[str, Dict[str, Any]] = {}
+        for key, (ref, fn, det) in self._live():
+            if not det:
+                continue
+            source = ref()
+            if source is not None:
+                full = fn(source)
+                out[key] = {field: full[field] for field in det if field in full}
+        return out
+
+    def _live(self) -> List[Tuple[str, Tuple[weakref.ref, Callable, Tuple[str, ...]]]]:
+        """Current entries, pruning dead references as a side effect."""
+        with self._lock:
+            dead = [key for key, (ref, _fn, _det) in self._sources.items() if ref() is None]
+            for key in dead:
+                del self._sources[key]
+            return list(self._sources.items())
+
+
+#: The process-global registry every stats struct registers into.
+REGISTRY = MetricsRegistry()
+
+
+class Counter:
+    """A monotonically increasing count (thread-safe)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def reset(self) -> None:
+        with self._lock:
+            self._value = 0
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"count": self._value}
+
+
+class Gauge:
+    """A point-in-time value (queue depth, window size)."""
+
+    def __init__(self, value: float = 0.0) -> None:
+        self._value = value
+
+    def set(self, value: float) -> None:
+        self._value = value
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"value": self._value}
+
+
+class Histogram:
+    """Fixed-boundary histogram: observations land in pre-declared buckets.
+
+    Boundaries are upper-inclusive bucket edges; one overflow bucket catches
+    everything above the last edge (so ``counts`` has ``len(boundaries)+1``
+    entries).  Fixed boundaries keep snapshots mergeable across processes
+    and leak nothing about individual observations beyond the bucket.
+    """
+
+    def __init__(self, boundaries: Sequence[float]) -> None:
+        edges = tuple(sorted(float(edge) for edge in boundaries))
+        if not edges:
+            raise ValueError("histogram needs at least one bucket boundary")
+        self._edges = edges
+        self._lock = threading.Lock()
+        self._counts = [0] * (len(edges) + 1)
+        self._count = 0
+        self._sum = 0.0
+
+    def observe(self, value: float) -> None:
+        index = bisect_right(self._edges, value)
+        # bisect_right puts a value equal to an edge past it; shift back so
+        # edges are upper-inclusive.
+        if index > 0 and value == self._edges[index - 1]:
+            index -= 1
+        with self._lock:
+            self._counts[index] += 1
+            self._count += 1
+            self._sum += value
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "boundaries": list(self._edges),
+            "counts": list(self._counts),
+            "count": self._count,
+            "sum": self._sum,
+        }

@@ -31,6 +31,7 @@ from repro.exceptions import (
 from repro.index.cache import NodeCache
 from repro.index.node import heac_combiner
 from repro.index.tree import AggregationIndex
+from repro.obs.metrics import REGISTRY
 from repro.server.query_executor import (
     MultiStreamAggregate,
     QueryStatistics,
@@ -139,6 +140,10 @@ class ServerEngine:
 
     def __post_init__(self) -> None:
         self._cache = NodeCache(capacity_bytes=self.index_cache_bytes)
+        # Weakly registered: an engine that goes away is pruned from the
+        # registry automatically, so short-lived test engines don't pile up.
+        REGISTRY.register("engine.query_stats", self.query_stats)
+        REGISTRY.register("engine.index_cache", self._cache.stats)
         self._recover_streams()
 
     # -- recovery -------------------------------------------------------------

@@ -25,6 +25,7 @@ shared storage), so ownership moves without restarting engines.
 
 from __future__ import annotations
 
+import logging
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Dict, List, Mapping, Optional, Tuple
@@ -33,9 +34,12 @@ from repro.exceptions import ProtocolError, QueryError, TimeCryptError, Transpor
 from repro.net.client import RemoteServerClient
 from repro.net.messages import KV_OPERATIONS, OPERATIONS, Request, Response, ShardRoutingTable
 from repro.net.server import RequestDispatcher, TimeCryptTCPServer, WireDispatcher
+from repro.obs.tracing import current_context, set_context
 from repro.server.engine import ServerEngine, _metadata_from_json
 from repro.server.query_executor import MultiStreamAggregate
 from repro.timeseries.serialization import peek_chunk_stream_uuid
+
+logger = logging.getLogger(__name__)
 
 
 class RoutingTableRef:
@@ -58,17 +62,25 @@ class RoutingTableRef:
     def set_engines(self, engines) -> ShardRoutingTable:
         with self._lock:
             self._table = self._table.with_engines(engines)
-            return self._table
+            table = self._table
+        logger.info(
+            "routing table replaced: %d engine shard(s), epoch %d", len(table), table.epoch
+        )
+        return table
 
     def add_engine(self, name: str, host: str, port: int) -> ShardRoutingTable:
         with self._lock:
             self._table = self._table.with_engine(name, host, port)
-            return self._table
+            table = self._table
+        logger.info("engine shard '%s' added at %s:%d, epoch %d", name, host, port, table.epoch)
+        return table
 
     def remove_engine(self, name: str) -> ShardRoutingTable:
         with self._lock:
             self._table = self._table.without_engine(name)
-            return self._table
+            table = self._table
+        logger.info("engine shard '%s' removed, epoch %d", name, table.epoch)
+        return table
 
 
 #: Engine operations whose target stream is a plain ``uuid`` argument.
@@ -159,6 +171,12 @@ class ShardedEngineDispatcher(RequestDispatcher):
     def _dispatch_engine(self, request: Request) -> Response:
         table = self._table_ref.table
         if table.epoch != self._seen_epoch:
+            logger.info(
+                "shard '%s' observed routing epoch %d (was %d); dropping cached stream state",
+                self._shard_name,
+                table.epoch,
+                self._seen_epoch,
+            )
             self._engine.reset_stream_cache()
             self._seen_epoch = table.epoch
         for stream_uuid in _request_stream_uuids(request):
@@ -187,6 +205,7 @@ class EngineShardServer:
             port=port,
             max_workers=max_workers,
             dispatcher=ShardedEngineDispatcher(engine, table_ref, name),
+            node_name=f"engine:{name}",
         )
 
     @property
@@ -207,8 +226,13 @@ class EngineShardServer:
         self.stop()
 
 
-#: Engine-tier operations the router will proxy (kv_* belongs to storage nodes).
-_PROXYABLE_OPS = frozenset(OPERATIONS) - frozenset(KV_OPERATIONS) - {"hello", "ping", "routing_table"}
+#: Engine-tier operations the router will proxy (kv_* belongs to storage nodes;
+#: the scrape ops describe the node answering them, so they are never proxied).
+_PROXYABLE_OPS = (
+    frozenset(OPERATIONS)
+    - frozenset(KV_OPERATIONS)
+    - {"hello", "ping", "routing_table", "stats", "trace_dump"}
+)
 
 
 class RouterDispatcher(WireDispatcher):
@@ -252,7 +276,7 @@ class RouterDispatcher(WireDispatcher):
         return Response.success({"routing": self._table_ref.table.to_payload()})
 
     def dispatch(self, request: Request) -> Response:
-        if request.operation in ("hello", "ping", "routing_table"):
+        if request.operation in ("hello", "ping", "routing_table", "stats", "trace_dump"):
             return super().dispatch(request)
         try:
             return self._proxy(request)
@@ -269,7 +293,12 @@ class RouterDispatcher(WireDispatcher):
             cached = self._clients.get(name)
             if cached is not None and cached[0] == address:
                 return cached[1]
-        client = RemoteServerClient(address[0], address[1], timeout=self._timeout)
+        # Mirror the server-side tracing flag onto the outbound hop: a
+        # proxied request forwarded from inside a traced handler then shows
+        # up as a child span of the router's server span.
+        client = RemoteServerClient(
+            address[0], address[1], timeout=self._timeout, tracing=self.tracing
+        )
         with self._clients_lock:
             stale = self._clients.get(name)
             self._clients[name] = (address, client)
@@ -301,9 +330,23 @@ class RouterDispatcher(WireDispatcher):
         which the dispatch catch-all turns into a typed failure.  Owners'
         sub-batches ride separate pipelined connections, so a cross-shard
         split costs one round-trip *time*, not one per owner.
+
+        The submitting thread's trace context is re-installed around each
+        sub-batch — pool threads have no thread-local context of their own,
+        and without this the split sub-requests would start fresh traces
+        instead of joining the proxied request's tree.
         """
+        parent = current_context()
+
+        def forward(owner: str, requests: List[Request]) -> List[Response]:
+            previous = set_context(parent)
+            try:
+                return self._forward_many(owner, requests)
+            finally:
+                set_context(previous)
+
         futures = {
-            owner: self._fanout.submit(self._forward_many, owner, requests)
+            owner: self._fanout.submit(forward, owner, requests)
             for owner, requests in sorted(batches.items())
         }
         return {owner: future.result() for owner, future in futures.items()}
@@ -436,7 +479,11 @@ class StreamRouter:
         self.table_ref = table_ref if table_ref is not None else RoutingTableRef()
         self._dispatcher = RouterDispatcher(self.table_ref, timeout=timeout)
         self._server = TimeCryptTCPServer(
-            host=host, port=port, max_workers=max_workers, dispatcher=self._dispatcher
+            host=host,
+            port=port,
+            max_workers=max_workers,
+            dispatcher=self._dispatcher,
+            node_name="router",
         )
 
     @property

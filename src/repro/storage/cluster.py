@@ -60,14 +60,18 @@ Two production behaviours of the real Cassandra tier ride on top:
 from __future__ import annotations
 
 import heapq
+import logging
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.exceptions import ClusterMembershipError, PartitionError, StorageError
+from repro.obs.tracing import current_context, set_context
 from repro.storage.kv import KeyValueStore
 from repro.storage.memory import MemoryStore
 from repro.storage.partitioner import ConsistentHashRing
+
+logger = logging.getLogger(__name__)
 
 #: Exceptions treated as a node outage by the scatter-gather batch ops.
 #: Deterministic caller errors (bad key/value types, logic bugs) propagate
@@ -165,11 +169,14 @@ class StorageCluster(KeyValueStore):
         """Simulate a node failure."""
         if name not in self._stores:
             raise ValueError(f"unknown node '{name}'")
+        logger.warning("storage node '%s' marked down", name)
         self._down.add(name)
 
     def _mark_failed(self, name: str) -> None:
         """Record an observed node failure (tolerates a just-detached node)."""
         if name in self._stores:
+            if name not in self._down:
+                logger.warning("storage node '%s' failed; marking down", name)
             self._down.add(name)
 
     def mark_up(self, name: str, replay_hints: bool = True) -> int:
@@ -189,8 +196,11 @@ class StorageCluster(KeyValueStore):
             raise ValueError(f"unknown node '{name}'")
         self._down.discard(name)
         if not replay_hints or not self._hinted_handoff:
+            logger.info("storage node '%s' marked up (hint replay skipped)", name)
             return 0
-        return self._replay_hints(name)
+        replayed = self._replay_hints(name)
+        logger.info("storage node '%s' marked up; %d hinted write(s) replayed", name, replayed)
+        return replayed
 
     def healthy_replicas(self, key: bytes) -> List[str]:
         return [
@@ -305,6 +315,12 @@ class StorageCluster(KeyValueStore):
             self._sweep_rebalance_writes(recorded, old_ring, old_rf)
             self._rebalance_hints()
             self.last_rebalance = {"action": "add", "node": name, **stats}
+            logger.info(
+                "storage node '%s' added; %d key(s) moved in %d handoff batch(es)",
+                name,
+                stats.get("moved_keys", 0),
+                stats.get("handoff_batches", 0),
+            )
         return name
 
     def decommission_node(self, name: str, handoff_batch_size: int = 256) -> Dict[str, Any]:
@@ -353,6 +369,12 @@ class StorageCluster(KeyValueStore):
             self._drop_hints_for(name)
             leaving.close()
             self.last_rebalance = {"action": "decommission", "node": name, **stats}
+            logger.info(
+                "storage node '%s' decommissioned; %d key(s) moved in %d handoff batch(es)",
+                name,
+                stats.get("moved_keys", 0),
+                stats.get("handoff_batches", 0),
+            )
             return dict(self.last_rebalance)
 
     def _stream_handoff(self, batch_size: int) -> Dict[str, int]:
@@ -540,8 +562,19 @@ class StorageCluster(KeyValueStore):
                     unplaceable.append((target, key))
                     continue
                 by_host.setdefault(hosts[0], []).append(((target, key), value))
+            if unplaceable:
+                logger.warning(
+                    "dropping %d hint(s) with no surviving host (repair_node is the backstop)",
+                    len(unplaceable),
+                )
             for entry in unplaceable:
                 pending.pop(entry)
+            if by_host:
+                logger.info(
+                    "parking %d hinted write(s) on %d surviving host(s)",
+                    sum(len(entries) for entries in by_host.values()),
+                    len(by_host),
+                )
             if not by_host:
                 return
             tasks = {
@@ -783,12 +816,23 @@ class StorageCluster(KeyValueStore):
                 except Exception as exc:
                     outcomes[node] = (None, exc)
             return outcomes
+        # Pool threads have no trace context of their own; re-install the
+        # submitting thread's so remote-node spans join the request's tree.
+        parent = current_context()
+
+        def traced(thunk: Callable[[], Any]) -> Any:
+            previous = set_context(parent)
+            try:
+                return thunk()
+            finally:
+                set_context(previous)
+
         pool = self._pool()
         futures = {}
         for node, thunk in tasks.items():
             while True:
                 try:
-                    futures[node] = pool.submit(thunk)
+                    futures[node] = pool.submit(traced, thunk)
                     break
                 except RuntimeError:
                     # A concurrent add_node retired this pool between our

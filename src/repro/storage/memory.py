@@ -18,6 +18,7 @@ import threading
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, Optional, Set, Tuple
 
+from repro.obs.metrics import REGISTRY
 from repro.storage.kv import KeyValueStore, SortedKeyCache, sorted_keys_from
 
 
@@ -80,6 +81,8 @@ class MemoryStore(SortedKeyCache, KeyValueStore):
         self._data: Dict[bytes, bytes] = {}
         self._lock = threading.Lock()
         self.stats = StoreStats()
+        # Weakly held: the registry entry disappears with the store.
+        REGISTRY.register("store.memory", self.stats)
 
     def _live_keys(self) -> Iterable[bytes]:
         return self._data

@@ -103,9 +103,10 @@ class StorageNodeDispatcher(WireDispatcher):
         if request.operation.startswith("kv_"):
             with self._store_lock:
                 return super().dispatch(request)
-        # hello/ping touch no store state — they must stay responsive on a
-        # busy node, or reconnect negotiation and liveness checks would be
-        # blocked by the very load they are meant to see through.
+        # hello/ping/stats/trace_dump touch no store state — they must stay
+        # responsive on a busy node, or reconnect negotiation, liveness
+        # checks, and telemetry scrapes would be blocked by the very load
+        # they are meant to see through.
         return super().dispatch(request)
 
     def _unexpected_error(self, exc: Exception) -> TimeCryptError:
@@ -368,6 +369,8 @@ class StorageNodeServer:
         bulk_queue_limit: int = DEFAULT_BULK_QUEUE_LIMIT,
         zero_copy: bool = True,
         wire_compression: bool = False,
+        node_name: Optional[str] = None,
+        tracing: bool = True,
     ) -> None:
         self._store = store
         self._dispatcher = StorageNodeDispatcher(store)
@@ -384,6 +387,8 @@ class StorageNodeServer:
             bulk_queue_limit=bulk_queue_limit,
             zero_copy=zero_copy,
             wire_compression=wire_compression,
+            node_name=node_name,
+            tracing=tracing,
         )
 
     @property

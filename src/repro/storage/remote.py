@@ -41,6 +41,7 @@ framing-v2 wire protocol (the ``kv_*`` op family), so a
 
 from __future__ import annotations
 
+import logging
 import threading
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
@@ -48,6 +49,8 @@ from repro.exceptions import OverloadedError, ProtocolError, StorageError, Trans
 from repro.net.client import RemoteServerClient, WireStats, _remote_error
 from repro.net.messages import Request, Response, retain
 from repro.storage.kv import KeyValueStore
+
+logger = logging.getLogger(__name__)
 
 #: Soft cap on one request's attachment payload; frames are hard-capped at
 #: 64 MiB, so splitting at 32 MiB leaves ample room for headers and keys.
@@ -72,9 +75,14 @@ class RemoteKeyValueStore(KeyValueStore):
         overload_retries: int = 4,
         zero_copy: bool = True,
         compression: bool = False,
+        tracing: bool = False,
     ) -> None:
         if scan_page_size < 1:
             raise ValueError("scan_page_size must be positive")
+        #: When True the underlying transport attaches trace contexts to
+        #: outbound kv_* requests — inside a traced engine handler those
+        #: spans join the request's tree (see repro.obs.tracing).
+        self._tracing = bool(tracing)
         #: Transport-level retry budget for typed ``overloaded`` sheds; once
         #: exhausted, the shed surfaces here and is wrapped as StorageError.
         self._overload_retries = max(0, int(overload_retries))
@@ -116,6 +124,7 @@ class RemoteKeyValueStore(KeyValueStore):
                         overload_retries=self._overload_retries,
                         zero_copy=self._zero_copy,
                         compression=self._compression,
+                        tracing=self._tracing,
                     )
                 except (OSError, TransportError) as exc:
                     raise StorageError(
@@ -195,6 +204,9 @@ class RemoteKeyValueStore(KeyValueStore):
             except TransportError as exc:
                 # call_many itself only raises transport-level trouble
                 # (remote per-request errors come back inside responses).
+                logger.info(
+                    "storage node %s connection lost (%s); redialling", self._address, exc
+                )
                 self._drop_client()
                 last_error = exc
                 continue

@@ -258,15 +258,21 @@ class TestShardedEquivalence:
             with ShardedServerClient(*router.address, timeout=10.0) as client:
                 _replay(client, streams)
                 assert client.routing_epoch == 1
-                # Pick a shard name the ring maps the first stream onto, so
+                # Pick a (stream, shard-name) pair the ring maps together, so
                 # the membership change provably moves a stream the client
-                # already routed under the old epoch.
-                target = streams[0][0].uuid
+                # already routed under the old epoch.  Searching every stream
+                # matters: a single stream whose hash lands just before an
+                # existing token leaves only a sliver of ring for a new
+                # node's tokens to claim, and all 256 candidates can miss it
+                # (~1% of runs when pinned to streams[0]).
                 current = router.table
-                name = next(
-                    candidate
+                target, name = next(
+                    (metadata.uuid, candidate)
+                    for metadata, _chunks in streams
                     for candidate in (f"engine-9{index}" for index in range(256))
-                    if current.with_engine(candidate, "127.0.0.1", 1).owner_of(target)
+                    if current.with_engine(candidate, "127.0.0.1", 1).owner_of(
+                        metadata.uuid
+                    )
                     == candidate
                 )
                 engine = ServerEngine(store=shared, token_store=TokenStore(store=shared))
