@@ -1,0 +1,410 @@
+"""Framework for the repo-specific static analyzer.
+
+The moving parts, smallest first:
+
+* :class:`Finding` — one rule violation at one source location, with a
+  line-number-free *fingerprint* so committed baselines survive
+  unrelated edits above the finding.
+* :class:`Waiver` — a parsed ``# repro: allow[RULE] justification``
+  comment.  A waiver suppresses findings of that rule on its own line
+  and (when it sits alone on a line) on the next code line.  Waivers
+  *must* carry a justification; a bare one is reported under the
+  synthetic ``WAIVER`` rule, as is a waiver naming an unknown rule and —
+  in strict mode — a waiver that suppressed nothing.
+* :class:`ModuleInfo` / :class:`Project` — every scanned file parsed
+  once, shared by all rules (several rules need cross-module facts: the
+  wire-op inventory, the global lock graph).
+* :func:`run_analysis` — walk, parse, run rules, apply waivers and the
+  baseline, and return an :class:`AnalysisResult` the CLI renders as
+  ``path:line: RULE message`` lines or JSON.
+
+Rules are plain objects with ``rule_id``, ``summary``, and
+``run(project) -> Iterable[Finding]`` (see :mod:`repro.analysis.rules`);
+the registry is assembled in ``rules/__init__.py`` so adding a rule is:
+write the module, add it to :func:`repro.analysis.rules.all_rules`, add
+a good/bad fixture pair under ``tests/fixtures/analysis/``.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import io
+import json
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: Directories never walked implicitly.  The analysis fixtures are bad on
+#: purpose — they must only be scanned when a test passes them explicitly.
+EXCLUDED_DIR_PARTS = ("__pycache__", ".git")
+EXCLUDED_REL_DIRS = ("tests/fixtures/analysis",)
+
+#: The committed baseline of accepted findings, at the repo root.
+DEFAULT_BASELINE_NAME = "ANALYSIS_BASELINE.json"
+
+_WAIVER_RE = re.compile(r"#\s*repro:\s*allow\[([A-Za-z0-9_,\s]*)\]\s*(.*)$")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str  # repo-relative, POSIX separators
+    line: int
+    message: str
+
+    def fingerprint(self) -> str:
+        """Stable identity for baselining: rule + path + message, no line.
+
+        Line numbers shift on every unrelated edit above the finding, so
+        they are deliberately not part of the identity.
+        """
+        digest = hashlib.sha256(
+            f"{self.rule}|{self.path}|{self.message}".encode("utf-8")
+        ).hexdigest()
+        return digest[:16]
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule} {self.message}"
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "fingerprint": self.fingerprint(),
+        }
+
+
+@dataclass
+class Waiver:
+    """A parsed ``# repro: allow[RULE] justification`` comment."""
+
+    path: str
+    line: int
+    rules: Tuple[str, ...]
+    justification: str
+    #: The line the waiver suppresses: its own line, or — when the comment
+    #: stands alone — the next line.
+    target_line: int = 0
+    used: bool = False
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source file, shared by every rule."""
+
+    path: str  # repo-relative, POSIX separators
+    source: str
+    tree: ast.Module
+    lines: List[str]
+    #: "src" for library code (and explicitly-passed files), "tests" or
+    #: "benchmarks" for the support trees.  Rules whose checks only make
+    #: sense for library code (handler inventory, raise discipline, the
+    #: lock graph) restrict themselves to "src"-scoped modules.
+    scope: str
+
+    @property
+    def dotted(self) -> str:
+        stem = self.path[:-3] if self.path.endswith(".py") else self.path
+        return stem.replace("/", ".")
+
+
+class Project:
+    """Every scanned module, parsed once, plus the scan's parse failures."""
+
+    def __init__(self, root: Path) -> None:
+        self.root = root
+        self.modules: Dict[str, ModuleInfo] = {}
+        self.parse_failures: List[Finding] = []
+
+    def add_file(self, file_path: Path, explicit: bool = False) -> None:
+        rel = _relpath(file_path, self.root)
+        if rel in self.modules:
+            return
+        try:
+            source = file_path.read_text(encoding="utf-8")
+        except OSError as exc:
+            self.parse_failures.append(Finding("PARSE", rel, 0, f"unreadable file: {exc}"))
+            return
+        try:
+            tree = ast.parse(source, filename=rel)
+        except SyntaxError as exc:
+            self.parse_failures.append(
+                Finding("PARSE", rel, exc.lineno or 0, f"syntax error: {exc.msg}")
+            )
+            return
+        scope = "src"
+        if not explicit:
+            top = rel.split("/", 1)[0]
+            if top in ("tests", "benchmarks", "examples"):
+                scope = top
+        self.modules[rel] = ModuleInfo(
+            path=rel, source=source, tree=tree, lines=source.splitlines(), scope=scope
+        )
+
+    def src_modules(self) -> List[ModuleInfo]:
+        return [info for info in self.modules.values() if info.scope == "src"]
+
+    def get(self, rel_path: str) -> Optional[ModuleInfo]:
+        return self.modules.get(rel_path)
+
+
+@dataclass
+class AnalysisResult:
+    """Everything one analysis run produced, pre-split for the CLI."""
+
+    findings: List[Finding] = field(default_factory=list)  # new, unwaived, unbaselined
+    waived: List[Finding] = field(default_factory=list)
+    baselined: List[Finding] = field(default_factory=list)
+    #: Baseline entries that no longer fire (strict mode fails on them).
+    stale_baseline: List[Dict[str, str]] = field(default_factory=list)
+    #: WAIVER-rule findings: malformed, unjustified, or (strict) unused.
+    waiver_findings: List[Finding] = field(default_factory=list)
+
+    def failures(self, strict: bool) -> List[Finding]:
+        out = list(self.findings) + list(self.waiver_findings)
+        if strict:
+            out.extend(
+                Finding(
+                    "BASELINE",
+                    entry.get("path", "?"),
+                    0,
+                    f"stale baseline entry {entry.get('fingerprint', '?')}"
+                    f" ({entry.get('rule', '?')}) no longer fires — remove it",
+                )
+                for entry in self.stale_baseline
+            )
+        return out
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "findings": [finding.to_json() for finding in self.findings],
+            "waived": [finding.to_json() for finding in self.waived],
+            "baselined": [finding.to_json() for finding in self.baselined],
+            "stale_baseline": self.stale_baseline,
+            "waiver_findings": [finding.to_json() for finding in self.waiver_findings],
+            "summary": {
+                "new": len(self.findings),
+                "waived": len(self.waived),
+                "baselined": len(self.baselined),
+                "stale_baseline": len(self.stale_baseline),
+                "waiver_problems": len(self.waiver_findings),
+            },
+        }
+
+
+def _relpath(file_path: Path, root: Path) -> str:
+    try:
+        return file_path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return file_path.as_posix()
+
+
+def default_paths(root: Path) -> List[Path]:
+    """The repo surfaces the CI job scans: library, tests, benchmarks."""
+    return [root / "src", root / "tests", root / "benchmarks"]
+
+
+def collect_files(root: Path, paths: Sequence[Path]) -> List[Tuple[Path, bool]]:
+    """``(file, explicit)`` pairs: explicitly-named files bypass exclusions."""
+    out: List[Tuple[Path, bool]] = []
+    for path in paths:
+        if path.is_file():
+            out.append((path, True))
+            continue
+        for candidate in sorted(path.rglob("*.py")):
+            rel = _relpath(candidate, root)
+            if any(part in candidate.parts for part in EXCLUDED_DIR_PARTS):
+                continue
+            if any(rel == ex or rel.startswith(ex + "/") for ex in EXCLUDED_REL_DIRS):
+                continue
+            out.append((candidate, False))
+    return out
+
+
+def _real_comments(info: ModuleInfo) -> Iterable[Tuple[int, int, str]]:
+    """``(lineno, col, text)`` for genuine COMMENT tokens only.
+
+    A plain line scan would also match waiver *examples* inside
+    docstrings and regex literals (this package documents its own
+    syntax); the tokenizer tells comments and strings apart for real.
+    """
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(info.source).readline)
+        for token in tokens:
+            if token.type == tokenize.COMMENT:
+                yield token.start[0], token.start[1], token.string
+    except (tokenize.TokenizeError, IndentationError, SyntaxError):
+        return
+
+
+def parse_waivers(info: ModuleInfo, known_rules: Iterable[str]) -> Tuple[List[Waiver], List[Finding]]:
+    """Extract waiver comments; malformed ones come back as WAIVER findings."""
+    known = set(known_rules)
+    waivers: List[Waiver] = []
+    problems: List[Finding] = []
+    for lineno, col, text in _real_comments(info):
+        match = _WAIVER_RE.search(text)
+        if match is None:
+            if "repro:" in text and "allow" in text:
+                # A near-miss (rule name without brackets, stray spaces):
+                # flagging it beats silently not suppressing.
+                problems.append(
+                    Finding("WAIVER", info.path, lineno, "malformed waiver comment (expected '# repro: allow[RULE] justification')")
+                )
+            continue
+        rules = tuple(part.strip() for part in match.group(1).split(",") if part.strip())
+        justification = match.group(2).strip()
+        if not rules:
+            problems.append(Finding("WAIVER", info.path, lineno, "waiver names no rule"))
+            continue
+        unknown = [rule for rule in rules if rule not in known]
+        if unknown:
+            problems.append(
+                Finding("WAIVER", info.path, lineno, f"waiver names unknown rule(s) {', '.join(unknown)}")
+            )
+        if not justification:
+            problems.append(
+                Finding("WAIVER", info.path, lineno, f"waiver for {', '.join(rules)} carries no justification")
+            )
+        source_line = info.lines[lineno - 1] if lineno - 1 < len(info.lines) else ""
+        standalone = not source_line[:col].strip()
+        target = lineno + 1 if standalone else lineno
+        waivers.append(
+            Waiver(path=info.path, line=lineno, rules=rules, justification=justification, target_line=target)
+        )
+    return waivers, problems
+
+
+def load_baseline(baseline_path: Path) -> Tuple[List[Dict[str, str]], List[Finding]]:
+    """The committed baseline entries, plus findings for malformed ones."""
+    if not baseline_path.exists():
+        return [], []
+    problems: List[Finding] = []
+    rel = baseline_path.name
+    try:
+        payload = json.loads(baseline_path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        return [], [Finding("BASELINE", rel, 0, f"unreadable baseline: {exc}")]
+    entries = payload.get("entries", []) if isinstance(payload, dict) else []
+    if not isinstance(entries, list):
+        return [], [Finding("BASELINE", rel, 0, "baseline 'entries' must be a list")]
+    valid: List[Dict[str, str]] = []
+    for index, entry in enumerate(entries):
+        if not isinstance(entry, dict) or not entry.get("fingerprint"):
+            problems.append(Finding("BASELINE", rel, 0, f"baseline entry #{index} has no fingerprint"))
+            continue
+        reason = str(entry.get("reason", "")).strip()
+        if not reason or reason.upper().startswith("TODO"):
+            # --write-baseline stamps entries with a TODO reason on purpose:
+            # accepting a finding requires a human-written justification.
+            problems.append(
+                Finding(
+                    "BASELINE", rel, 0,
+                    f"baseline entry {entry['fingerprint']} ({entry.get('rule', '?')}) carries no reason",
+                )
+            )
+        valid.append(entry)
+    return valid, problems
+
+
+def write_baseline(baseline_path: Path, findings: Sequence[Finding]) -> None:
+    """Snapshot current findings as the accepted baseline (reasons required).
+
+    Reasons are written as an explicit TODO: strict mode fails on a
+    reasonless entry, so a freshly written baseline forces a human to
+    justify every accepted finding before CI goes green.
+    """
+    entries = [
+        {
+            "rule": finding.rule,
+            "path": finding.path,
+            "fingerprint": finding.fingerprint(),
+            "message": finding.message,
+            "reason": "TODO: justify or fix",
+        }
+        for finding in sorted(findings, key=lambda f: (f.path, f.line, f.rule))
+    ]
+    payload = {
+        "_comment": (
+            "Accepted findings of `python -m repro.analysis`. Every entry must carry "
+            "a non-empty human-written reason; strict mode fails on stale entries."
+        ),
+        "entries": entries,
+    }
+    baseline_path.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n", encoding="utf-8")
+
+
+def run_analysis(
+    paths: Sequence[Path],
+    rules: Sequence[object],
+    root: Optional[Path] = None,
+    baseline: Sequence[Dict[str, str]] = (),
+    strict: bool = False,
+) -> AnalysisResult:
+    """Parse ``paths``, run every rule, and fold in waivers and the baseline."""
+    root = root if root is not None else Path.cwd()
+    project = Project(root)
+    for file_path, explicit in collect_files(root, paths):
+        project.add_file(file_path, explicit=explicit)
+
+    known_rules = [getattr(rule, "rule_id") for rule in rules]
+    waivers_by_path: Dict[str, List[Waiver]] = {}
+    waiver_problems: List[Finding] = []
+    for info in project.modules.values():
+        waivers, problems = parse_waivers(info, known_rules)
+        if waivers:
+            waivers_by_path[info.path] = waivers
+        waiver_problems.extend(problems)
+
+    raw: List[Finding] = list(project.parse_failures)
+    for rule in rules:
+        raw.extend(rule.run(project))
+    raw.sort(key=lambda f: (f.path, f.line, f.rule, f.message))
+
+    result = AnalysisResult(waiver_findings=waiver_problems)
+    baseline_by_fp = {entry["fingerprint"]: entry for entry in baseline}
+    matched_fps: set = set()
+    for finding in raw:
+        waiver = _matching_waiver(waivers_by_path.get(finding.path, ()), finding)
+        if waiver is not None:
+            waiver.used = True
+            result.waived.append(finding)
+            continue
+        fingerprint = finding.fingerprint()
+        if fingerprint in baseline_by_fp:
+            matched_fps.add(fingerprint)
+            result.baselined.append(finding)
+            continue
+        result.findings.append(finding)
+
+    result.stale_baseline = [
+        entry for fp, entry in baseline_by_fp.items() if fp not in matched_fps
+    ]
+    if strict:
+        for waivers in waivers_by_path.values():
+            for waiver in waivers:
+                if not waiver.used:
+                    result.waiver_findings.append(
+                        Finding(
+                            "WAIVER",
+                            waiver.path,
+                            waiver.line,
+                            f"unused waiver for {', '.join(waiver.rules)} — the finding no longer fires, remove it",
+                        )
+                    )
+    result.waiver_findings.sort(key=lambda f: (f.path, f.line, f.message))
+    return result
+
+
+def _matching_waiver(waivers: Sequence[Waiver], finding: Finding) -> Optional[Waiver]:
+    for waiver in waivers:
+        if finding.rule in waiver.rules and finding.line in (waiver.line, waiver.target_line):
+            return waiver
+    return None

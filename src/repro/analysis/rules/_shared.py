@@ -1,0 +1,71 @@
+"""AST helpers shared by the rule modules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Tuple, Union
+
+FunctionDef = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def walk_functions(tree: ast.Module) -> Iterator[Tuple[Optional[ast.ClassDef], FunctionDef]]:
+    """Every function in a module with its enclosing class (or None)."""
+
+    def _visit(node: ast.AST, cls: Optional[ast.ClassDef]) -> Iterator[Tuple[Optional[ast.ClassDef], FunctionDef]]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                yield from _visit(child, child)
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield cls, child
+                yield from _visit(child, cls)
+            else:
+                yield from _visit(child, cls)
+
+    yield from _visit(tree, None)
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def call_name(call: ast.Call) -> Optional[str]:
+    """The dotted callee name of a Call, else None."""
+    return dotted_name(call.func)
+
+
+def call_tail(call: ast.Call) -> Optional[str]:
+    """The last attribute of the callee (``warning`` for ``self.log.warning``)."""
+    if isinstance(call.func, ast.Attribute):
+        return call.func.attr
+    if isinstance(call.func, ast.Name):
+        return call.func.id
+    return None
+
+
+def is_self_attribute(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id in ("self", "cls")
+    )
+
+
+def names_in(node: ast.AST) -> Iterator[str]:
+    """Every bare Name read inside a subtree."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name):
+            yield sub.id
+
+
+def literal_string_keys(node: ast.Dict) -> Iterator[Tuple[str, ast.AST]]:
+    for key, value in zip(node.keys, node.values):
+        if isinstance(key, ast.Constant) and isinstance(key.value, str):
+            yield key.value, value

@@ -1,0 +1,276 @@
+"""REPRO001 — retain audit for attachment-derived buffer views.
+
+The zero-copy decode path (PR 8) hands dispatchers ``memoryview``s into
+the connection's receive scratch via ``request.attachments``.  Those
+views are only valid for the lifetime of the request; anything stored
+past it — instance attributes, storage-API calls, containers owned by
+``self`` — must first go through :func:`repro.net.messages.retain`
+(or any other transforming call, which necessarily materializes a new
+object).
+
+The check is a per-function forward taint pass:
+
+* **sources** — any ``<expr>.attachments`` read;
+* **propagation** — assignment, subscripting/slicing, tuple/list
+  display, comprehensions iterating a tainted iterable, ``for`` loops;
+* **laundering** — *any* call with the tainted value as an argument
+  (``retain(view)``, ``bytes(view)``, ``decode_encrypted_chunk(view)``
+  all produce new objects);
+* **sinks** — ``self.<attr> = tainted``, ``self.<attr>[...] = tainted``
+  (or tainted used as the key), ``.append``/``.add``/``.extend``/
+  ``.setdefault`` on a ``self`` attribute, and calls into the storage
+  API surface (``put``/``multi_put``/``insert``/``put_grant(s)``/
+  ``put_envelopes``) with a tainted argument.
+
+Local lists (e.g. a response being assembled) are not sinks: they die
+with the request.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, Optional, Set
+
+from repro.analysis.core import Finding, Project
+from repro.analysis.rules._shared import FunctionDef, call_tail, is_self_attribute, walk_functions
+
+#: Call tails that persist their arguments beyond the request.
+_STORAGE_SINKS = frozenset(
+    {
+        "put",
+        "multi_put",
+        "insert",
+        "put_grant",
+        "put_grants",
+        "put_envelopes",
+        "store_grant",
+    }
+)
+
+#: Container mutators that are sinks when the receiver hangs off ``self``.
+_CONTAINER_SINKS = frozenset({"append", "add", "extend", "setdefault", "appendleft"})
+
+#: Iteration adapters that yield their inputs unchanged — taint flows through.
+_PASSTHROUGH_CALLS = frozenset({"zip", "enumerate", "sorted", "reversed", "iter"})
+
+
+class _Rule:
+    rule_id = "REPRO001"
+    summary = "attachment-derived views stored past request lifetime must go through retain()"
+
+    def run(self, project: Project) -> Iterator[Finding]:
+        for info in project.src_modules():
+            if "repro/analysis/" in info.path:
+                continue
+            for _cls, func in walk_functions(info.tree):
+                yield from _check_function(info.path, func)
+
+
+RULE = _Rule()
+
+
+def _check_function(path: str, func: FunctionDef) -> Iterator[Finding]:
+    if not _mentions_attachments(func):
+        return
+    tainted: Set[str] = set()
+    yield from _check_body(path, func.name, func.body, tainted)
+
+
+def _mentions_attachments(func: FunctionDef) -> bool:
+    return any(
+        isinstance(node, ast.Attribute) and node.attr == "attachments"
+        for node in ast.walk(func)
+    )
+
+
+def _check_body(path: str, func_name: str, body: Iterable[ast.stmt], tainted: Set[str]) -> Iterator[Finding]:
+    for stmt in body:
+        yield from _check_stmt(path, func_name, stmt, tainted)
+
+
+def _check_stmt(path: str, func_name: str, stmt: ast.stmt, tainted: Set[str]) -> Iterator[Finding]:
+    if isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+        value = stmt.value
+        if value is None:
+            return
+        yield from _check_expr_sinks(path, func_name, value, tainted)
+        value_tainted = _is_tainted(value, tainted)
+        targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+        for target in targets:
+            yield from _assign(path, func_name, target, value, value_tainted, tainted)
+    elif isinstance(stmt, ast.For):
+        yield from _check_expr_sinks(path, func_name, stmt.iter, tainted)
+        tainted |= _tainted_bound_names(stmt.target, stmt.iter, tainted)
+        yield from _check_body(path, func_name, stmt.body, tainted)
+        yield from _check_body(path, func_name, stmt.orelse, tainted)
+    elif isinstance(stmt, (ast.If, ast.While)):
+        test = stmt.test
+        yield from _check_expr_sinks(path, func_name, test, tainted)
+        yield from _check_body(path, func_name, stmt.body, tainted)
+        yield from _check_body(path, func_name, stmt.orelse, tainted)
+    elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+        for item in stmt.items:
+            yield from _check_expr_sinks(path, func_name, item.context_expr, tainted)
+        yield from _check_body(path, func_name, stmt.body, tainted)
+    elif isinstance(stmt, ast.Try):
+        yield from _check_body(path, func_name, stmt.body, tainted)
+        for handler in stmt.handlers:
+            yield from _check_body(path, func_name, handler.body, tainted)
+        yield from _check_body(path, func_name, stmt.orelse, tainted)
+        yield from _check_body(path, func_name, stmt.finalbody, tainted)
+    elif isinstance(stmt, (ast.Expr, ast.Return)):
+        if stmt.value is not None:
+            yield from _check_expr_sinks(path, func_name, stmt.value, tainted)
+    elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        return  # nested defs are walked separately
+    else:
+        for value in ast.iter_child_nodes(stmt):
+            if isinstance(value, ast.expr):
+                yield from _check_expr_sinks(path, func_name, value, tainted)
+
+
+def _assign(
+    path: str,
+    func_name: str,
+    target: ast.expr,
+    value: ast.expr,
+    value_tainted: bool,
+    tainted: Set[str],
+) -> Iterator[Finding]:
+    if isinstance(target, ast.Name):
+        if value_tainted:
+            tainted.add(target.id)
+        else:
+            tainted.discard(target.id)
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from _assign(path, func_name, element, value, value_tainted, tainted)
+    elif is_self_attribute(target):
+        if value_tainted:
+            yield Finding(
+                "REPRO001",
+                path,
+                target.lineno,
+                f"{func_name}: attachment view stored into self.{target.attr} without retain()",
+            )
+    elif isinstance(target, ast.Subscript):
+        key_tainted = _is_tainted(target.slice, tainted)
+        if is_self_attribute(target.value) and (value_tainted or key_tainted):
+            what = "key" if key_tainted and not value_tainted else "value"
+            attr = target.value.attr if isinstance(target.value, ast.Attribute) else "?"
+            yield Finding(
+                "REPRO001",
+                path,
+                target.lineno,
+                f"{func_name}: attachment view stored as {what} into self.{attr}[...] without retain()",
+            )
+
+
+def _target_names(target: ast.expr) -> Iterator[str]:
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from _target_names(element)
+
+
+def _tainted_bound_names(
+    target: ast.expr, iter_node: ast.expr, tainted: Set[str], extra: Optional[Set[str]] = None
+) -> Set[str]:
+    """Names bound by ``for target in iter_node`` that carry taint.
+
+    ``zip`` is positional: each tuple slot corresponds to one argument, so
+    only the slots fed by a tainted iterable become tainted (``for meta, view
+    in zip(metas, request.attachments)`` taints ``view`` but not ``meta``).
+    """
+    if (
+        isinstance(iter_node, ast.Call)
+        and isinstance(iter_node.func, ast.Name)
+        and iter_node.func.id == "zip"
+        and isinstance(target, (ast.Tuple, ast.List))
+        and len(target.elts) == len(iter_node.args)
+    ):
+        names: Set[str] = set()
+        for element, arg in zip(target.elts, iter_node.args):
+            if _is_tainted(arg, tainted, extra):
+                names |= set(_target_names(element))
+        return names
+    if _is_tainted(iter_node, tainted, extra):
+        return set(_target_names(target))
+    return set()
+
+
+def _check_expr_sinks(path: str, func_name: str, expr: ast.expr, tainted: Set[str]) -> Iterator[Finding]:
+    for node in ast.walk(expr):
+        if not isinstance(node, ast.Call):
+            continue
+        tail = call_tail(node)
+        if tail is None:
+            continue
+        receiver_self = isinstance(node.func, ast.Attribute) and is_self_attribute(node.func.value)
+        is_storage = tail in _STORAGE_SINKS
+        is_container = tail in _CONTAINER_SINKS and receiver_self
+        if not (is_storage or is_container):
+            continue
+        for arg in list(node.args) + [kw.value for kw in node.keywords]:
+            if _is_tainted(arg, tainted):
+                where = f"self-owned container .{tail}()" if is_container else f"storage call .{tail}()"
+                yield Finding(
+                    "REPRO001",
+                    path,
+                    node.lineno,
+                    f"{func_name}: attachment view passed to {where} without retain()",
+                )
+                break
+
+
+def _is_tainted(node: ast.expr, tainted: Set[str], extra: Optional[Set[str]] = None) -> bool:
+    env = tainted if extra is None else tainted | extra
+    if isinstance(node, ast.Attribute):
+        if node.attr == "attachments":
+            return True
+        return False
+    if isinstance(node, ast.Name):
+        return node.id in env
+    if isinstance(node, ast.Subscript):
+        return _is_tainted(node.value, tainted, extra)
+    if isinstance(node, ast.Starred):
+        return _is_tainted(node.value, tainted, extra)
+    if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+        return any(_is_tainted(element, tainted, extra) for element in node.elts)
+    if isinstance(node, ast.IfExp):
+        return _is_tainted(node.body, tainted, extra) or _is_tainted(node.orelse, tainted, extra)
+    if isinstance(node, ast.BoolOp):
+        return any(_is_tainted(value, tainted, extra) for value in node.values)
+    if isinstance(node, ast.NamedExpr):
+        return _is_tainted(node.value, tainted, extra)
+    if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+        bound: Set[str] = set(extra or ())
+        carried = False
+        for comp in node.generators:
+            names = _tainted_bound_names(comp.target, comp.iter, tainted, bound or None)
+            if names:
+                carried = True
+                bound |= names
+        if not carried:
+            return False
+        return _is_tainted(node.elt, tainted, bound)
+    if isinstance(node, ast.DictComp):
+        bound = set(extra or ())
+        carried = False
+        for comp in node.generators:
+            names = _tainted_bound_names(comp.target, comp.iter, tainted, bound or None)
+            if names:
+                carried = True
+                bound |= names
+        if not carried:
+            return False
+        return _is_tainted(node.key, tainted, bound) or _is_tainted(node.value, tainted, bound)
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in _PASSTHROUGH_CALLS
+    ):
+        return any(_is_tainted(arg, tainted, extra) for arg in node.args)
+    # Other calls launder: retain(), bytes(), decode_*() materialize new objects.
+    return False

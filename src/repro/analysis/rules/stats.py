@@ -1,0 +1,160 @@
+"""REPRO005 — metrics-registry registration discipline.
+
+The metrics plane (PR 9) is a weakref registry: sources register under a
+key, scrapes walk live entries, ``unregister(key)`` detaches.  Two ways
+instance-lifetime components rot:
+
+* a ``REGISTRY.register(...)`` call whose returned key is **discarded**
+  inside an instance method — the entry can never be unregistered, so a
+  recreated component (tests, reconnects, engine restarts) piles up
+  duplicate entries and name collisions;
+* a registering class with **no ``close``/``stop``/``shutdown``/
+  ``__exit__`` that unregisters** — same leak, one level up;
+* a ``self.<attr> = SomethingStats()`` struct that is **never
+  registered** in its module — invisible to the ``stats`` scrape op, so
+  the telemetry the struct exists for never leaves the process.
+
+Module-level registrations (``_REGISTRY.register("tracing.spans",
+SPANS)``) are process-lifetime singletons and exempt.  A stats struct
+registered by a *different* module (e.g. a cache registered by its
+owning engine) carries a waiver naming the registering site.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Set, Tuple
+
+from repro.analysis.core import Finding, ModuleInfo, Project
+from repro.analysis.rules._shared import dotted_name, is_self_attribute
+
+_CLOSERS = frozenset({"close", "stop", "shutdown", "__exit__", "__del__", "aclose"})
+
+
+class _Rule:
+    rule_id = "REPRO005"
+    summary = "registry keys must be kept and unregistered on close; stats structs must be registered"
+
+    def run(self, project: Project) -> Iterator[Finding]:
+        for info in project.src_modules():
+            if "repro/analysis/" in info.path:
+                continue
+            yield from _check_module(info)
+
+
+RULE = _Rule()
+
+
+def _is_registry(expr: ast.expr) -> bool:
+    name = dotted_name(expr)
+    return name is not None and name.split(".")[-1].upper().endswith("REGISTRY")
+
+
+def _register_calls(node: ast.AST) -> Iterator[ast.Call]:
+    for sub in ast.walk(node):
+        if (
+            isinstance(sub, ast.Call)
+            and isinstance(sub.func, ast.Attribute)
+            and sub.func.attr == "register"
+            and _is_registry(sub.func.value)
+        ):
+            yield sub
+
+
+def _register_key(call: ast.Call) -> str:
+    if call.args and isinstance(call.args[0], ast.Constant) and isinstance(call.args[0].value, str):
+        return repr(call.args[0].value)
+    return "<dynamic key>"
+
+
+def _check_module(info: ModuleInfo) -> Iterator[Finding]:
+    # Attr names referenced inside any register call's arguments, module-wide:
+    # covers both `self.wire_stats` and `self._scheduler.stats` shapes.
+    registered_attr_refs: Set[str] = set()
+    for call in _register_calls(info.tree):
+        for arg in list(call.args) + [kw.value for kw in call.keywords]:
+            for sub in ast.walk(arg):
+                if isinstance(sub, ast.Attribute):
+                    registered_attr_refs.add(sub.attr)
+                elif isinstance(sub, ast.Name):
+                    registered_attr_refs.add(sub.id)
+
+    for node in info.tree.body:
+        if isinstance(node, ast.ClassDef):
+            yield from _check_class(info, node, registered_attr_refs)
+
+
+def _check_class(info: ModuleInfo, cls: ast.ClassDef, registered_attr_refs: Set[str]) -> Iterator[Finding]:
+    kept: Set[int] = set()  # id() of register Call nodes whose key is kept
+    all_registers: List[ast.Call] = []
+    has_unregister = False
+    stats_attrs: List[Tuple[str, int]] = []
+
+    for method in [node for node in cls.body if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))]:
+        for call in _register_calls(method):
+            all_registers.append(call)
+        for node in ast.walk(method):
+            # Key kept: register call inside an assignment to a self attribute…
+            targets: List[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets = [node.target]
+            if targets and any(is_self_attribute(t) for t in targets):
+                for call in _register_calls(node.value):
+                    kept.add(id(call))
+            # …or appended/extended into a self-owned container.
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in ("append", "extend", "add")
+                and is_self_attribute(node.func.value)
+            ):
+                for arg in node.args:
+                    for call in _register_calls(arg):
+                        kept.add(id(call))
+            # Unregister in a closer method.
+            if (
+                method.name in _CLOSERS
+                and isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "unregister"
+                and _is_registry(node.func.value)
+            ):
+                has_unregister = True
+            # Stats struct instantiation stored on self.
+            if (
+                isinstance(node, ast.Assign)
+                and isinstance(node.value, ast.Call)
+                and isinstance(node.value.func, (ast.Name, ast.Attribute))
+            ):
+                ctor = node.value.func
+                ctor_name = ctor.id if isinstance(ctor, ast.Name) else ctor.attr
+                if ctor_name.endswith("Stats"):
+                    for target in node.targets:
+                        if is_self_attribute(target):
+                            stats_attrs.append((target.attr, node.lineno))
+
+    for call in all_registers:
+        if id(call) not in kept:
+            yield Finding(
+                "REPRO005",
+                info.path,
+                call.lineno,
+                f"{cls.name}: register({_register_key(call)}) discards the registry key — keep it for unregister",
+            )
+    if all_registers and not has_unregister:
+        yield Finding(
+            "REPRO005",
+            info.path,
+            all_registers[0].lineno,
+            f"{cls.name} registers metrics but no close/stop method calls REGISTRY.unregister",
+        )
+    for attr, lineno in stats_attrs:
+        if attr not in registered_attr_refs:
+            yield Finding(
+                "REPRO005",
+                info.path,
+                lineno,
+                f"{cls.name}.{attr} stats struct is never registered with the metrics registry",
+            )

@@ -112,6 +112,37 @@ BULK_OPERATIONS = frozenset(
 )
 
 
+#: The complement of :data:`BULK_OPERATIONS`, spelled out so the scheduler
+#: classification is a checked partition rather than an implicit default:
+#: the static analyzer (REPRO003) verifies ``BULK_OPERATIONS`` and
+#: ``INTERACTIVE_OPERATIONS`` are disjoint and together cover every name in
+#: ``OPERATIONS``, so adding an op without deciding its class is an error.
+INTERACTIVE_OPERATIONS = frozenset(
+    {
+        "hello",
+        "create_stream",
+        "get_range",
+        "stat_range",
+        "stat_range_multi",
+        "stat_series",
+        "stream_head",
+        "stream_metadata",
+        "put_grant",
+        "fetch_grants",
+        "fetch_envelopes",
+        "routing_table",
+        "ping",
+        "stats",
+        "trace_dump",
+        "kv_get",
+        "kv_put",
+        "kv_delete",
+        "kv_multi_get",
+        "kv_size_bytes",
+    }
+)
+
+
 def classify_operation(operation: Optional[str]) -> str:
     """``"bulk"`` or ``"interactive"`` — the scheduler class of an operation.
 
