@@ -48,6 +48,7 @@ from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence,
 from repro.exceptions import OverloadedError, ProtocolError, StorageError, TransportError
 from repro.net.client import RemoteServerClient, WireStats, _remote_error
 from repro.net.messages import Request, Response, retain
+from repro.obs.metrics import REGISTRY
 from repro.storage.kv import KeyValueStore
 
 logger = logging.getLogger(__name__)
@@ -105,6 +106,9 @@ class RemoteKeyValueStore(KeyValueStore):
         #: object is handed to every underlying client, so per-node
         #: round-trip counters stay continuous across node restarts.
         self.wire_stats = WireStats()
+        self._metrics_key: Optional[str] = REGISTRY.register(
+            f"store.remote.{host}:{port}", self.wire_stats
+        )
 
     @property
     def address(self) -> Tuple[str, int]:
@@ -115,45 +119,62 @@ class RemoteKeyValueStore(KeyValueStore):
     def _ensure_client(self) -> RemoteServerClient:
         """The live transport, dialing (or redialing) if necessary."""
         with self._client_lock:
+            if self._client is not None:
+                return self._client
+        # Dial outside the lock: the connect + hello handshake can block for
+        # the full timeout against a dead peer, and holding _client_lock for
+        # that long wedges every thread that merely wants the cached
+        # transport (the cluster's fan-out pool among them).
+        try:
+            client = RemoteServerClient(
+                self._address[0],
+                self._address[1],
+                timeout=self._timeout,
+                overload_retries=self._overload_retries,
+                zero_copy=self._zero_copy,
+                compression=self._compression,
+                tracing=self._tracing,
+            )
+        except (OSError, TransportError) as exc:
+            raise StorageError(
+                f"storage node {self._address} unreachable: {exc}"
+            ) from exc
+        client.wire_stats = self.wire_stats
+        if client.protocol_version != 2:
+            # The transport's v1 fallback fires when the peer drops
+            # the connection mid-hello — which is what a *restarting*
+            # storage node looks like.  There is no v1 mode for the
+            # kv_* ops, so treat it as the outage it is (retryable,
+            # cluster marks the node down), not a config error.
+            client.close()
+            raise StorageError(
+                f"storage node {self._address} did not complete v2 negotiation "
+                "(node restarting or v1-only peer)"
+            )
+        if not client.supports_operation("kv_multi_put"):
+            client.close()
+            # A reachable peer of the wrong tier is a topology /
+            # configuration error, not an outage: raise the
+            # non-retryable ProtocolError so callers (and the
+            # cluster) do not redial or mark the node down.
+            raise ProtocolError(
+                f"peer at {self._address} does not serve the kv_* storage-node "
+                "operations (is it an engine server?)"
+            )
+        with self._client_lock:
             if self._client is None:
-                try:
-                    client = RemoteServerClient(
-                        self._address[0],
-                        self._address[1],
-                        timeout=self._timeout,
-                        overload_retries=self._overload_retries,
-                        zero_copy=self._zero_copy,
-                        compression=self._compression,
-                        tracing=self._tracing,
-                    )
-                except (OSError, TransportError) as exc:
-                    raise StorageError(
-                        f"storage node {self._address} unreachable: {exc}"
-                    ) from exc
-                client.wire_stats = self.wire_stats
-                if client.protocol_version != 2:
-                    # The transport's v1 fallback fires when the peer drops
-                    # the connection mid-hello — which is what a *restarting*
-                    # storage node looks like.  There is no v1 mode for the
-                    # kv_* ops, so treat it as the outage it is (retryable,
-                    # cluster marks the node down), not a config error.
-                    client.close()
-                    raise StorageError(
-                        f"storage node {self._address} did not complete v2 negotiation "
-                        "(node restarting or v1-only peer)"
-                    )
-                if not client.supports_operation("kv_multi_put"):
-                    client.close()
-                    # A reachable peer of the wrong tier is a topology /
-                    # configuration error, not an outage: raise the
-                    # non-retryable ProtocolError so callers (and the
-                    # cluster) do not redial or mark the node down.
-                    raise ProtocolError(
-                        f"peer at {self._address} does not serve the kv_* storage-node "
-                        "operations (is it an engine server?)"
-                    )
                 self._client = client
-            return self._client
+                if self._metrics_key is None:
+                    # Store reused after close(): re-attach its wire stats.
+                    self._metrics_key = REGISTRY.register(
+                        f"store.remote.{self._address[0]}:{self._address[1]}",
+                        self.wire_stats,
+                    )
+                return client
+            winner = self._client
+        # Lost a concurrent dial race: keep the installed transport.
+        client.close()
+        return winner
 
     def _drop_client(self) -> None:
         with self._client_lock:
@@ -171,6 +192,9 @@ class RemoteKeyValueStore(KeyValueStore):
 
     def close(self) -> None:
         """Drop the connection.  The store may be reused; the next op redials."""
+        if self._metrics_key is not None:
+            REGISTRY.unregister(self._metrics_key)
+            self._metrics_key = None
         self._drop_client()
 
     # -- wire plumbing -------------------------------------------------------------
