@@ -755,6 +755,7 @@ class RemoteServerClient:
         if self._credits is None:
             try:
                 with self._lock:
+                    # repro: allow[REPRO004] _lock exists to serialize frame writes on this socket; holding it across sendall is the design, and only writers contend on it
                     self._write_frames(frames)
             except OSError as exc:
                 self._fail_pending(exc)
@@ -786,6 +787,7 @@ class RemoteServerClient:
                 return futures
             try:
                 with self._lock:
+                    # repro: allow[REPRO004] same write-serialization design as the uncontrolled path above: _lock guards the socket write stream itself
                     self._write_frames(frames[sent : sent + granted])
             except OSError as exc:
                 self._fail_pending(exc)
@@ -1257,18 +1259,28 @@ class ShardedServerClient:
 
     def _router_client(self) -> RemoteServerClient:
         with self._lock:
+            if self._router is not None:
+                return self._router
+        # Dial outside the lock, like _engine_client below: a dead router
+        # must not wedge threads that only need an already-cached transport.
+        client = RemoteServerClient(
+            self._router_address[0],
+            self._router_address[1],
+            timeout=self._timeout,
+            flow_control=self._flow_control,
+            overload_retries=self._overload_retries,
+            zero_copy=self._zero_copy,
+            compression=self._compression,
+            tracing=self._tracing,
+        )
+        with self._lock:
             if self._router is None:
-                self._router = RemoteServerClient(
-                    self._router_address[0],
-                    self._router_address[1],
-                    timeout=self._timeout,
-                    flow_control=self._flow_control,
-                    overload_retries=self._overload_retries,
-                    zero_copy=self._zero_copy,
-                    compression=self._compression,
-                    tracing=self._tracing,
-                )
-            return self._router
+                self._router = client
+                return client
+            winner = self._router
+        # Lost a concurrent dial race: keep the installed transport.
+        client.close()
+        return winner
 
     def _drop_router(self) -> None:
         with self._lock:
