@@ -304,6 +304,7 @@ class StorageCluster(KeyValueStore):
             self._ring = new_ring
             self._replication_factor = min(self._requested_rf, len(self._node_names))
             try:
+                # repro: allow[REPRO004] membership changes are deliberately serialized: _membership_lock IS the rebalance critical section, and the fan-out pool it waits on never takes this lock (data ops read the published ring without it)
                 stats = self._stream_handoff(handoff_batch_size)
             finally:
                 recorded, self._rebalance_writes = self._rebalance_writes, None
@@ -312,7 +313,9 @@ class StorageCluster(KeyValueStore):
             # old owners; sweep the copies that union writes re-created on
             # them mid-handoff, and re-park hints whose host fell off its
             # key's replica walk — both would otherwise go stale.
+            # repro: allow[REPRO004] same serialized-rebalance design as _stream_handoff above
             self._sweep_rebalance_writes(recorded, old_ring, old_rf)
+            # repro: allow[REPRO004] same serialized-rebalance design as _stream_handoff above
             self._rebalance_hints()
             self.last_rebalance = {"action": "add", "node": name, **stats}
             logger.info(
@@ -354,14 +357,17 @@ class StorageCluster(KeyValueStore):
             self._ring = new_ring
             self._replication_factor = min(self._requested_rf, len(self._node_names) - 1)
             try:
+                # repro: allow[REPRO004] membership changes are deliberately serialized under _membership_lock (see add_node); the awaited fan-out never takes it
                 stats = self._stream_handoff(handoff_batch_size)
             finally:
                 recorded, self._rebalance_writes = self._rebalance_writes, None
                 self._prev = None
+            # repro: allow[REPRO004] same serialized-rebalance design as _stream_handoff above
             self._sweep_rebalance_writes(recorded, old_ring, old_rf)
             # After _prev is cleared the leaving node is off every replica
             # walk, so the hint rebalance below moves every hint it hosts
             # onto the survivors and can never place one back on it.
+            # repro: allow[REPRO004] same serialized-rebalance design as _stream_handoff above
             self._rebalance_hints()
             self._node_names.remove(name)
             leaving = self._stores.pop(name)
@@ -1286,9 +1292,12 @@ class StorageCluster(KeyValueStore):
 
     def close(self) -> None:
         with self._executor_lock:
-            if self._executor is not None:
-                self._executor.shutdown(wait=True)
-                self._executor = None
-                self._executor_workers = 0
+            executor, self._executor = self._executor, None
+            self._executor_workers = 0
+        if executor is not None:
+            # Drain outside the lock: waiting on in-flight fan-out futures
+            # while holding _executor_lock would deadlock any worker that
+            # needs _pool() (and wedges concurrent close() callers).
+            executor.shutdown(wait=True)
         for store in self._stores.values():
             store.close()
