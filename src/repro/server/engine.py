@@ -140,11 +140,20 @@ class ServerEngine:
 
     def __post_init__(self) -> None:
         self._cache = NodeCache(capacity_bytes=self.index_cache_bytes)
-        # Weakly registered: an engine that goes away is pruned from the
-        # registry automatically, so short-lived test engines don't pile up.
-        REGISTRY.register("engine.query_stats", self.query_stats)
-        REGISTRY.register("engine.index_cache", self._cache.stats)
+        # Weak registration prunes a collected engine automatically, but two
+        # *live* engines (sharded tiers, tests) would still collide on the
+        # name: keep the keys so close() can detach this engine promptly.
+        self._metrics_keys = [
+            REGISTRY.register("engine.query_stats", self.query_stats),
+            REGISTRY.register("engine.index_cache", self._cache.stats),
+        ]
         self._recover_streams()
+
+    def close(self) -> None:
+        """Detach this engine from the process metrics registry."""
+        for key in self._metrics_keys:
+            REGISTRY.unregister(key)
+        self._metrics_keys = []
 
     # -- recovery -------------------------------------------------------------
 

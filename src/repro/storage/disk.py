@@ -23,6 +23,7 @@ from pathlib import Path
 from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.exceptions import StorageError
+from repro.obs.metrics import REGISTRY
 from repro.storage.kv import KeyValueStore, SortedKeyCache
 from repro.storage.memory import StoreStats
 
@@ -44,6 +45,9 @@ class AppendLogStore(SortedKeyCache, KeyValueStore):
         self._sync = sync
         self._file = open(self._path, "a+b")
         self.stats = StoreStats()
+        # Same discipline as MemoryStore: weakly held, key kept so close()
+        # detaches the entry promptly instead of waiting for GC.
+        self._metrics_key = REGISTRY.register("store.disk", self.stats)
         self._rebuild_index()
 
     # -- recovery -------------------------------------------------------------
@@ -261,6 +265,9 @@ class AppendLogStore(SortedKeyCache, KeyValueStore):
         self._invalidate_sorted_keys()
 
     def close(self) -> None:
+        if self._metrics_key is not None:
+            REGISTRY.unregister(self._metrics_key)
+            self._metrics_key = None
         if not self._file.closed:
             self._file.close()
 

@@ -81,8 +81,15 @@ class MemoryStore(SortedKeyCache, KeyValueStore):
         self._data: Dict[bytes, bytes] = {}
         self._lock = threading.Lock()
         self.stats = StoreStats()
-        # Weakly held: the registry entry disappears with the store.
-        REGISTRY.register("store.memory", self.stats)
+        # Weakly held, so a collected store prunes itself — but keep the key
+        # so close() detaches promptly instead of waiting for GC (two live
+        # stores would collide on the registry name until then).
+        self._metrics_key = REGISTRY.register("store.memory", self.stats)
+
+    def close(self) -> None:
+        if self._metrics_key is not None:
+            REGISTRY.unregister(self._metrics_key)
+            self._metrics_key = None
 
     def _live_keys(self) -> Iterable[bytes]:
         return self._data
