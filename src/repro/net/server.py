@@ -510,6 +510,7 @@ class _FrameScheduler:
         # ``_lock`` (updated inside ``_next_locked``).
         self._bulk_last_dispatch_ns = 0
         self._bulk_interval_ewma_ns = 0.0
+        # repro: allow[REPRO005] registered by the owning TimeCryptTCPServer under server.scheduler[...] via its scheduler_stats() snapshot
         self.stats = SchedulerStats()
 
     def submit(
@@ -1127,9 +1128,11 @@ class TimeCryptTCPServer:
                     return
                 if len(encoded) == 1:
                     # Single pre-joined buffer (v1 / legacy mode): plain sendall.
+                    # repro: allow[REPRO004] write_lock is the per-connection response serializer; holding it across the socket write is its entire purpose
                     connection.sock.sendall(encoded[0])
                     sent = len(encoded[0])
                 else:
+                    # repro: allow[REPRO004] same per-connection write serialization as the sendall branch
                     _syscalls, sent, coalesced = write_vectored(connection.sock, encoded)
                     vectored = 1
         except OSError:

@@ -67,6 +67,7 @@ class LRUCache(Generic[K, V]):
         self._weigher = weigher or (lambda _value: 1)
         self._entries: "OrderedDict[K, _Entry[V]]" = OrderedDict()
         self._weight = 0
+        # repro: allow[REPRO005] a bare LRUCache is a library object, not a process component; owners register it (ServerEngine exposes its cache as engine.index_cache)
         self.stats = CacheStats()
 
     @property
