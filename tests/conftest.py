@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import os
 import random
 
 import pytest
@@ -16,6 +17,25 @@ from repro import (
 )
 from repro.crypto.keytree import KeyDerivationTree
 from repro.storage.memory import MemoryStore
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _lockwatch():
+    """Opt-in runtime lock-order watchdog for the whole session.
+
+    ``REPRO_LOCKWATCH=1 pytest …`` instruments every lock the repro
+    modules construct from here on and fails the session on any
+    lock-order inversion observed anywhere in the run (blocking-call
+    observations are recorded but not fatal — the static analyzer's
+    REPRO004 waivers document the intentional ones).
+    """
+    from repro.analysis.lockwatch import install_from_env
+
+    watcher = install_from_env(os.environ.get("REPRO_LOCKWATCH"))
+    yield watcher
+    if watcher is not None:
+        watcher.uninstall()
+        assert not watcher.ordering_violations, watcher.report()
 
 
 @pytest.fixture

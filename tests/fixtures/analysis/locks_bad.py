@@ -1,0 +1,27 @@
+"""REPRO004 bad fixture: AB/BA lock inversion and I/O under a lock."""
+
+import threading
+
+
+class Pair:
+    def __init__(self):
+        self.lock_a = threading.Lock()
+        self.lock_b = threading.Lock()
+
+    def forward(self):
+        with self.lock_a:
+            with self.lock_b:
+                return 1
+
+    def backward(self):
+        with self.lock_b:
+            with self.lock_a:  # opposite nesting order: cycle
+                return 2
+
+    def send_locked(self, sock, payload):
+        with self.lock_a:
+            sock.sendall(payload)  # socket I/O while holding a lock
+
+    def wait_locked(self, future):
+        with self.lock_b:
+            return future.result()  # pool wait while holding a lock

@@ -1,0 +1,29 @@
+"""REPRO004 good fixture: consistent order, I/O outside locks."""
+
+import threading
+
+
+class Pair:
+    def __init__(self):
+        self.lock_a = threading.Lock()
+        self.lock_b = threading.Lock()
+
+    def forward(self):
+        with self.lock_a:
+            with self.lock_b:
+                return 1
+
+    def also_forward(self):
+        with self.lock_a:
+            with self.lock_b:  # same global order: no cycle
+                return 2
+
+    def send_unlocked(self, sock, payload):
+        with self.lock_a:
+            data = bytes(payload)
+        sock.sendall(data)  # I/O after the lock is dropped
+
+    def wait_unlocked(self, future):
+        with self.lock_b:
+            pending = future
+        return pending.result()

@@ -1,0 +1,24 @@
+"""REPRO001 bad fixture: attachment views stored without retain()."""
+
+
+class Dispatcher:
+    def __init__(self, store):
+        self.store = store
+        self._last_value = None
+        self._seen_keys = []
+
+    def _op_kv_put(self, request):
+        key = request.attachments[0]
+        value = request.attachments[1]
+        self._last_value = value  # stored into an attribute: outlives the request
+        self._seen_keys.append(key)  # self-owned container
+        self.store.put(key, value)  # storage call persists the view
+        return {"ok": True}
+
+    def _op_kv_multi_put(self, request):
+        pairs = [
+            (key, value)
+            for key, value in zip(request.attachments[0::2], request.attachments[1::2])
+        ]
+        self.store.multi_put(pairs)  # comprehension carries the taint through
+        return {"count": len(pairs)}

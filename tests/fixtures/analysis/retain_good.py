@@ -1,0 +1,29 @@
+"""REPRO001 good fixture: every stored view goes through retain()."""
+
+from repro.net.messages import retain
+
+
+class Dispatcher:
+    def __init__(self, store):
+        self.store = store
+        self._last_value = None
+        self._seen_keys = []
+
+    def _op_kv_put(self, request):
+        key = retain(request.attachments[0])
+        value = retain(request.attachments[1])
+        self._last_value = value
+        self._seen_keys.append(key)
+        self.store.put(key, value)
+        return {"ok": True}
+
+    def _op_kv_multi_put(self, request):
+        pairs = [
+            (retain(key), retain(value))
+            for key, value in zip(request.attachments[0::2], request.attachments[1::2])
+        ]
+        self.store.multi_put(pairs)
+        # A request-local response list is not a sink: it dies with the call.
+        response = []
+        response.append(request.attachments[0])
+        return {"count": len(pairs), "echo": response}

@@ -1,0 +1,14 @@
+"""REPRO005 bad fixture: discarded registry key, unregistered stats struct."""
+
+from repro.obs.metrics import REGISTRY
+
+
+class PoolStats:
+    submitted: int = 0
+    completed: int = 0
+
+
+class Pool:
+    def __init__(self):
+        self.stats = PoolStats()  # never registered anywhere in this module
+        REGISTRY.register("pool.queue", object())  # key discarded, and no close()

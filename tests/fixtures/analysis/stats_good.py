@@ -1,0 +1,19 @@
+"""REPRO005 good fixture: key kept, unregistered on close, stats registered."""
+
+from repro.obs.metrics import REGISTRY
+
+
+class PoolStats:
+    submitted: int = 0
+    completed: int = 0
+
+
+class Pool:
+    def __init__(self):
+        self.stats = PoolStats()
+        self._metrics_key = REGISTRY.register("pool.queue", self.stats)
+
+    def close(self):
+        if self._metrics_key is not None:
+            REGISTRY.unregister(self._metrics_key)
+            self._metrics_key = None

@@ -1,0 +1,13 @@
+"""REPRO002 bad fixture: telemetry referencing key material."""
+
+import logging
+
+logger = logging.getLogger(__name__)
+SPANS = None  # stands in for the span collector
+
+
+def derive_and_log(master_key, record):
+    derived_key = master_key + record
+    logger.debug("derived %r for chunk", derived_key)  # leaks key material
+    SPANS.record({"op": "derive", "master_key": master_key})  # span payload leak
+    return derived_key

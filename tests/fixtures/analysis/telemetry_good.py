@@ -1,0 +1,13 @@
+"""REPRO002 good fixture: telemetry records op names, sizes, timings."""
+
+import logging
+
+logger = logging.getLogger(__name__)
+SPANS = None  # stands in for the span collector
+
+
+def derive_and_log(master_key, record):
+    derived_key = master_key + record
+    logger.debug("derived material for chunk (%d bytes)", len(record))
+    SPANS.record({"op": "derive", "bytes": len(record), "duration_ms": 0.1})
+    return derived_key

@@ -1,0 +1,37 @@
+"""REPRO003 bad fixture: ragged operation inventory and untyped raises."""
+
+KV_OPERATIONS = ("kv_get", "kv_put")
+
+OPERATIONS = (
+    "ping",
+    "fetch",
+    "push",
+    "orphan",  # declared, no handler anywhere
+) + KV_OPERATIONS
+
+BULK_OPERATIONS = frozenset({"push", "fetch", "kv_put"})
+
+INTERACTIVE_OPERATIONS = frozenset({"ping", "fetch", "kv_get"})  # fetch in both
+# "orphan" is additionally in neither class.
+
+
+class Dispatcher:
+    def _op_ping(self, request):
+        if request is None:
+            raise ValueError("bad request")  # builtin escapes to the wire
+        return {"pong": True}
+
+    def _op_fetch(self, request):
+        return {}
+
+    def _op_push(self, request):
+        return {}
+
+    def _op_kv_get(self, request):
+        return {}
+
+    def _op_kv_put(self, request):
+        return {}
+
+    def _op_ghost(self, request):  # handler for an undeclared op
+        return {}

@@ -1,0 +1,255 @@
+"""Runtime lock-order watchdog tests.
+
+The AB/BA inversion tests drive :class:`WatchedLock` directly — no
+install, no patched modules — so the acquisition graph is deterministic:
+threads run strictly sequentially, yet the watchdog must still flag the
+ordering inversion (that is its whole point: order bugs are detected
+from nesting shape, not from an actual deadlock's timing).
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import socket
+import threading
+
+import pytest
+
+from repro.analysis import lockwatch
+from repro.analysis.lockwatch import (
+    LockWatcher,
+    WatchedCondition,
+    WatchedLock,
+    install_from_env,
+)
+
+
+def _watched(watcher: LockWatcher, name: str, rlock: bool = False) -> WatchedLock:
+    inner = threading.RLock() if rlock else threading.Lock()
+    return WatchedLock(inner, name, watcher)
+
+
+def _run_in_thread(fn) -> None:
+    thread = threading.Thread(target=fn)
+    thread.start()
+    thread.join(timeout=10)
+    assert not thread.is_alive()
+
+
+class TestOrderingGraph:
+    def test_ab_ba_inversion_detected_without_deadlock(self):
+        watcher = LockWatcher()
+        lock_a = _watched(watcher, "mod:1")
+        lock_b = _watched(watcher, "mod:2")
+
+        def forward():
+            with lock_a:
+                with lock_b:
+                    pass
+
+        def backward():
+            with lock_b:
+                with lock_a:
+                    pass
+
+        # Strictly sequential: the threads never contend, so a timing-based
+        # detector would see nothing.  The order graph still gains a cycle.
+        _run_in_thread(forward)
+        _run_in_thread(backward)
+
+        assert len(watcher.ordering_violations) == 1
+        violation = watcher.ordering_violations[0]
+        assert "lock-order inversion" in violation
+        assert "mod:1" in violation and "mod:2" in violation
+
+    def test_consistent_order_is_clean(self):
+        watcher = LockWatcher()
+        lock_a = _watched(watcher, "mod:1")
+        lock_b = _watched(watcher, "mod:2")
+
+        def nested():
+            with lock_a:
+                with lock_b:
+                    pass
+
+        for _ in range(3):
+            _run_in_thread(nested)
+        assert watcher.ordering_violations == []
+
+    def test_three_lock_cycle_detected(self):
+        watcher = LockWatcher()
+        locks = {name: _watched(watcher, name) for name in ("l:1", "l:2", "l:3")}
+
+        def nest(outer: str, inner: str):
+            with locks[outer]:
+                with locks[inner]:
+                    pass
+
+        nest("l:1", "l:2")
+        nest("l:2", "l:3")
+        assert watcher.ordering_violations == []
+        nest("l:3", "l:1")  # closes 1 -> 2 -> 3 -> 1
+        assert len(watcher.ordering_violations) == 1
+        assert "l:1" in watcher.ordering_violations[0]
+        assert "l:3" in watcher.ordering_violations[0]
+
+    def test_same_site_nesting_is_observation_not_violation(self):
+        watcher = LockWatcher()
+        # Two distinct lock objects born at one construction site — e.g. two
+        # connections' write locks.  Rank-equal: observed, never a violation.
+        first = _watched(watcher, "conn:write")
+        second = _watched(watcher, "conn:write")
+        with first:
+            with second:
+                pass
+        with second:
+            with first:
+                pass
+        assert watcher.ordering_violations == []
+        assert any("same-site lock nesting" in obs for obs in watcher.observations)
+
+    def test_rlock_recursion_adds_no_edges(self):
+        watcher = LockWatcher()
+        lock = _watched(watcher, "mod:9", rlock=True)
+        with lock:
+            with lock:
+                pass
+        assert watcher.ordering_violations == []
+        assert watcher.observations == []
+        assert watcher._edges == {}
+
+    def test_release_pops_correct_entry(self):
+        watcher = LockWatcher()
+        lock_a = _watched(watcher, "mod:1")
+        lock_b = _watched(watcher, "mod:2")
+        lock_a.acquire()
+        lock_b.acquire()
+        lock_a.release()  # out-of-order release must not corrupt the stack
+        assert watcher.holding() == "mod:2"
+        lock_b.release()
+        assert watcher.holding() is None
+
+
+class TestBlockingObservations:
+    def test_note_blocking_only_while_holding(self):
+        watcher = LockWatcher()
+        watcher.note_blocking("socket.sendall()")
+        assert watcher.observations == []
+        lock = _watched(watcher, "mod:3")
+        with lock:
+            watcher.note_blocking("socket.sendall()")
+        assert len(watcher.observations) == 1
+        assert "while holding mod:3" in watcher.observations[0]
+
+    def test_condition_tracks_acquire_release(self):
+        watcher = LockWatcher()
+        cond = WatchedCondition(threading.Condition(), "mod:cond", watcher)
+        with cond:
+            assert watcher.holding() == "mod:cond"
+            cond.wait(timeout=0.01)
+            assert watcher.holding() == "mod:cond"
+        assert watcher.holding() is None
+        assert watcher.ordering_violations == []
+
+
+class TestInstallUninstall:
+    def test_install_swaps_module_threading_and_uninstall_restores(self):
+        if lockwatch.active_watcher() is not None:
+            pytest.skip("a process-global watcher owns the patches")
+        import repro.storage.memory as memory_module
+
+        watcher = LockWatcher()
+        orig_result = concurrent.futures.Future.result
+        orig_sendall = socket.socket.sendall
+        watcher.install()
+        try:
+            assert memory_module.threading is not threading
+            lock = memory_module.threading.Lock()
+            assert isinstance(lock, WatchedLock)
+            # Named by construction site in *this* module.
+            assert "test_lockwatch" in lock._name and lock._name.rpartition(":")[2].isdigit()
+            assert concurrent.futures.Future.result is not orig_result
+            assert socket.socket.sendall is not orig_sendall
+        finally:
+            watcher.uninstall()
+        assert memory_module.threading is threading
+        assert concurrent.futures.Future.result is orig_result
+        assert socket.socket.sendall is orig_sendall
+
+    def test_future_result_under_watched_lock_is_observed(self):
+        if lockwatch.active_watcher() is not None:
+            pytest.skip("a process-global watcher owns the patches")
+        watcher = LockWatcher()
+        watcher.install()
+        try:
+            lock = _watched(watcher, "mod:pool")
+            pool = concurrent.futures.ThreadPoolExecutor(max_workers=1)
+            try:
+                with lock:
+                    assert pool.submit(lambda: 41 + 1).result() == 42
+            finally:
+                pool.shutdown(wait=True)
+        finally:
+            watcher.uninstall()
+        assert any(
+            "Future.result() while holding mod:pool" in obs for obs in watcher.observations
+        )
+        assert watcher.ordering_violations == []
+
+    def test_install_from_env_disabled_values(self):
+        for value in (None, "", "0", "false", " 0 "):
+            assert install_from_env(value) is None
+
+    def test_report_summarises(self):
+        watcher = LockWatcher()
+        lock_a = _watched(watcher, "r:1")
+        lock_b = _watched(watcher, "r:2")
+        with lock_a:
+            with lock_b:
+                pass
+        with lock_b:
+            with lock_a:
+                pass
+        report = watcher.report()
+        assert "1 ordering violation(s)" in report
+        assert "lock-order inversion" in report
+
+
+class TestClusterStress:
+    def test_cluster_workload_has_zero_ordering_violations(self):
+        if lockwatch.active_watcher() is not None:
+            pytest.skip("a process-global watcher owns the patches")
+        watcher = LockWatcher()
+        watcher.install()
+        try:
+            # Construct AFTER install so every lock the cluster takes is watched.
+            from repro.storage.cluster import StorageCluster
+
+            cluster = StorageCluster(num_nodes=3, replication_factor=2)
+            try:
+                errors = []
+
+                def worker(base: int):
+                    try:
+                        for index in range(40):
+                            key = f"k-{base}-{index}".encode()
+                            cluster.put(key, b"v" * 32)
+                            assert cluster.get(key) == b"v" * 32
+                    except Exception as exc:  # pragma: no cover - surfaced below
+                        errors.append(exc)
+
+                threads = [threading.Thread(target=worker, args=(base,)) for base in range(4)]
+                for thread in threads:
+                    thread.start()
+                # A live membership change while writers run: the rebalance
+                # path nests the membership lock over the fan-out pool.
+                cluster.add_node()
+                for thread in threads:
+                    thread.join(timeout=30)
+                    assert not thread.is_alive()
+                assert errors == []
+            finally:
+                cluster.close()
+        finally:
+            watcher.uninstall()
+        assert watcher.ordering_violations == [], watcher.report()
