@@ -7,7 +7,7 @@ import io
 import pytest
 
 from repro import ServerEngine, TimeCrypt, TimeCryptConsumer, Principal
-from repro.exceptions import ProtocolError, StreamNotFoundError
+from repro.exceptions import ProtocolError, StreamNotFoundError, TransportError
 from repro.net.client import RemoteServerClient
 from repro.net.framing import MAX_FRAME_BYTES, read_frame, write_frame
 from repro.net.messages import Request, Response
@@ -33,7 +33,7 @@ class TestFraming:
         buffer = io.BytesIO()
         write_frame(buffer, b"hello")
         data = buffer.getvalue()[:-2]
-        with pytest.raises(Exception):
+        with pytest.raises(TransportError):
             read_frame(io.BytesIO(data))
 
     def test_oversized_frame_rejected(self):

@@ -26,7 +26,7 @@ from concurrent.futures import ThreadPoolExecutor
 import pytest
 
 from repro import ServerEngine, StreamConfig, TimeCrypt
-from repro.exceptions import OverloadedError
+from repro.exceptions import OverloadedError, StreamNotFoundError
 from repro.net.client import RemoteServerClient, ShardedServerClient
 from repro.net.messages import Request, Response
 from repro.net.server import (
@@ -299,7 +299,7 @@ def test_error_spans_record_the_error_type():
     with TimeCryptTCPServer(engine) as server:
         host, port = server.address
         with RemoteServerClient(host, port, tracing=True) as remote:
-            with pytest.raises(Exception):
+            with pytest.raises(StreamNotFoundError):
                 remote.stream_head("no-such-stream")
     statuses = {span["kind"]: span["status"] for span in SPANS.spans() if span["op"] == "stream_head"}
     assert statuses["server"] == "StreamNotFoundError"

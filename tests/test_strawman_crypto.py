@@ -7,6 +7,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.crypto import ecc, hybrid
+from repro.exceptions import DecryptionError
 from repro.crypto.abe import ABEAuthority, ABECostModel, ABEPrincipal, wrap_chunk_key
 from repro.crypto.ecelgamal import ECElGamal
 from repro.crypto.paillier import generate_keypair, generate_prime, _is_probable_prime
@@ -167,18 +168,18 @@ class TestHybridEncryption:
         private_a, public_a = hybrid.generate_keypair()
         private_b, _public_b = hybrid.generate_keypair()
         blob = hybrid.encrypt(public_a, b"secret")
-        with pytest.raises(Exception):
+        with pytest.raises(DecryptionError):
             hybrid.decrypt(private_b, blob)
 
     def test_wrong_context_fails(self):
         private, public = hybrid.generate_keypair()
         blob = hybrid.encrypt(public, b"secret", b"ctx-a")
-        with pytest.raises(Exception):
+        with pytest.raises(DecryptionError):
             hybrid.decrypt(private, blob, b"ctx-b")
 
     def test_truncated_envelope_rejected(self):
         private, public = hybrid.generate_keypair()
-        with pytest.raises(Exception):
+        with pytest.raises(DecryptionError):
             hybrid.decrypt(private, b"\x00")
 
     def test_envelope_encoding_roundtrip(self):
